@@ -1,0 +1,78 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! source-contact timeout, the hybrid maintenance damping, and the
+//! source mode. Wall-clock per construction tracks the round count, so
+//! the cliffs found by `lagover-experiments run ablations` (e.g. the
+//! timeout=1 oracle starvation) are visible here as timing walls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_bench::bench_population;
+use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind, SourceMode};
+use lagover_workload::TopologicalConstraint;
+
+fn ablations(c: &mut Criterion) {
+    let population = bench_population(TopologicalConstraint::BiCorr);
+
+    let mut group = c.benchmark_group("ablation_timeout_rounds");
+    group.sample_size(10);
+    for timeout in [2u32, 4, 8, 16] {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_timeout_rounds(timeout)
+            .with_max_rounds(2_000);
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(timeout),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    seed += 1;
+                    std::hint::black_box(construct(population, &config, seed).rounds_run)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_maintenance_timeout");
+    group.sample_size(10);
+    for damping in [1u32, 3, 8] {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_maintenance_timeout(damping)
+            .with_max_rounds(2_000);
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(damping),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    seed += 1;
+                    std::hint::black_box(construct(population, &config, seed).rounds_run)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_source_mode");
+    group.sample_size(10);
+    for mode in [SourceMode::Pull, SourceMode::Push] {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_source_mode(mode)
+            .with_max_rounds(2_000);
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    seed += 1;
+                    std::hint::black_box(construct(population, &config, seed).rounds_run)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

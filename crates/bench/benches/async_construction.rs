@@ -1,0 +1,55 @@
+//! §5.3 kernel: event-driven construction — lockstep baseline vs
+//! heterogeneous RTT-derived interaction durations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_bench::bench_population;
+use lagover_core::{run_async, run_async_lockstep, Algorithm, ConstructionConfig, OracleKind, PeerId};
+use lagover_net::{DurationModel, LatencyConfig, LatencySpace, RttInteractionModel};
+use lagover_sim::SimRng;
+use lagover_workload::TopologicalConstraint;
+
+fn async_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_construction");
+    group.sample_size(10);
+    let population = bench_population(TopologicalConstraint::Rand);
+    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+        .with_max_rounds(3_000);
+
+    let mut seed = 0u64;
+    group.bench_function(BenchmarkId::new("mode", "lockstep"), |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(
+                run_async_lockstep(&population, &config, 3_000.0, seed).converged_at,
+            )
+        })
+    });
+
+    let mut rng = SimRng::seed_from(0xA54C);
+    let space = LatencySpace::generate(population.len(), &LatencyConfig::default(), &mut rng);
+    let model = RttInteractionModel::new(space, 2.0);
+    let mut seed2 = 0u64;
+    group.bench_function(BenchmarkId::new("mode", "rtt_async"), |b| {
+        b.iter(|| {
+            seed2 += 1;
+            let model = model.clone();
+            let outcome = run_async(
+                &population,
+                &config,
+                move |p: PeerId, rng: &mut SimRng| {
+                    // Raw RTT durations (base 0.1): strictly positive,
+                    // heterogeneous across peers.
+                    model.interaction_duration(p.index(), rng) * 2.0 + 0.5
+                },
+                30_000.0,
+                seed2,
+            );
+            std::hint::black_box(outcome.converged_at)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, async_construction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §3.3.1 kernel: both algorithms on the adversarial family. Greedy
+//! iterations bifurcate — fast when lucky, full-cap when wedged — which
+//! shows up directly in Criterion's distribution plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+use lagover_workload::adversarial_population;
+
+fn counterexample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counterexample");
+    group.sample_size(30);
+    for (chain, hub) in [(2u32, 2u32), (3, 3)] {
+        let population = adversarial_population(chain, hub).expect("non-degenerate");
+        for algorithm in [Algorithm::Greedy, Algorithm::Hybrid] {
+            let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
+                .with_max_rounds(500);
+            let mut seed = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(format!("chain{chain}_hub{hub}"), algorithm.to_string()),
+                &population,
+                |b, population| {
+                    b.iter(|| {
+                        seed += 1;
+                        std::hint::black_box(construct(population, &config, seed).rounds_run)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counterexample);
+criterion_main!(benches);

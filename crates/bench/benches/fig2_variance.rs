@@ -1,0 +1,37 @@
+//! Figure 2 kernel: greedy construction (Oracle Random-Delay) per
+//! workload class, 120 peers, no churn. Criterion's per-iteration
+//! timing variance mirrors the paper's convergence-latency variance:
+//! each iteration uses a fresh seed, so run-to-run spread is visible in
+//! the reported distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_bench::bench_population;
+use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+use lagover_workload::TopologicalConstraint;
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_greedy_random_delay");
+    group.sample_size(20);
+    for class in TopologicalConstraint::PAPER_CLASSES {
+        let population = bench_population(class);
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(3_000);
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(class),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    seed += 1;
+                    let outcome = construct(population, &config, seed);
+                    std::hint::black_box(outcome.converged_at)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 3 kernel: greedy construction under each Oracle, per
+//! workload class. Non-converging oracle/workload pairs (O2b) cost the
+//! full round cap — exactly the wall the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_bench::bench_population;
+use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+use lagover_workload::TopologicalConstraint;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_oracles");
+    group.sample_size(10);
+    for class in [TopologicalConstraint::Rand, TopologicalConstraint::BiCorr] {
+        let population = bench_population(class);
+        for kind in OracleKind::ALL {
+            // O2b runs hit the cap; keep it modest so the bench ends.
+            let cap = if kind == OracleKind::RandomDelayCapacity {
+                500
+            } else {
+                3_000
+            };
+            let config = ConstructionConfig::new(Algorithm::Greedy, kind).with_max_rounds(cap);
+            let mut seed = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(class.to_string(), kind.label()),
+                &population,
+                |b, population| {
+                    b.iter(|| {
+                        seed += 1;
+                        let outcome = construct(population, &config, seed);
+                        std::hint::black_box(outcome.rounds_run)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 4 kernel: greedy vs hybrid on the BiCorr workload, without
+//! churn (run to convergence) and with the paper's churn model (fixed
+//! 400-round horizon).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_bench::bench_population;
+use lagover_core::{construct, run_with_churn, Algorithm, ConstructionConfig, OracleKind};
+use lagover_workload::{ChurnSpec, TopologicalConstraint};
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_greedy_vs_hybrid");
+    group.sample_size(10);
+    let population = bench_population(TopologicalConstraint::BiCorr);
+    for algorithm in [Algorithm::Greedy, Algorithm::Hybrid] {
+        let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
+            .with_max_rounds(3_000);
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("no_churn", algorithm.to_string()),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    seed += 1;
+                    std::hint::black_box(construct(population, &config, seed).converged_at)
+                })
+            },
+        );
+        let mut seed2 = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("paper_churn_400_rounds", algorithm.to_string()),
+            &population,
+            |b, population| {
+                b.iter(|| {
+                    seed2 += 1;
+                    let mut churn = ChurnSpec::Paper.build();
+                    let outcome =
+                        run_with_churn(population, &config, churn.as_mut(), 400, seed2);
+                    std::hint::black_box(outcome.steady_state_fraction)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Substrate micro-benchmarks: overlay mutations and queries, oracle
+//! sampling, DHT lookups, gossip walks, and workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lagover_bench::bench_population;
+use lagover_core::node::{Member, PeerId};
+use lagover_core::oracle::OracleView;
+use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind, Overlay};
+use lagover_dht::{Key, Ring};
+use lagover_gossip::{MembershipGraph, MhWalkSampler, PeerSampler};
+use lagover_sim::SimRng;
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+
+/// A converged 120-peer engine to query against.
+fn converged_engine() -> Engine {
+    let population = bench_population(TopologicalConstraint::Rand);
+    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+        .with_max_rounds(10_000);
+    let mut engine = Engine::new(&population, &config, 1);
+    engine.run_to_convergence().expect("converges");
+    engine
+}
+
+fn overlay_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    let population = bench_population(TopologicalConstraint::Rand);
+
+    group.bench_function("attach_detach_chain_120", |b| {
+        b.iter(|| {
+            let mut overlay = Overlay::new(&population);
+            overlay.attach(PeerId::new(0), Member::Source).unwrap();
+            for i in 1..population.len() as u32 {
+                // Build a long chain; fanouts in Rand are >= 1 after
+                // repair only probabilistically, so attach under the
+                // deepest node that accepts.
+                let mut parent = i - 1;
+                loop {
+                    match overlay.attach(PeerId::new(i), Member::Peer(PeerId::new(parent))) {
+                        Ok(()) => break,
+                        Err(_) if parent > 0 => parent -= 1,
+                        Err(_) => {
+                            let _ = overlay.attach(PeerId::new(i), Member::Source);
+                            break;
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(overlay.attached_count())
+        })
+    });
+
+    let engine = converged_engine();
+    group.bench_function("delay_query_all_120", |b| {
+        b.iter(|| {
+            let total: u32 = engine
+                .population()
+                .peer_ids()
+                .filter_map(|p| engine.overlay().delay(p))
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("validate_120", |b| {
+        b.iter(|| std::hint::black_box(engine.overlay().validate().is_ok()))
+    });
+    group.finish();
+}
+
+fn oracle_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_sample");
+    let engine = converged_engine();
+    let online = vec![true; engine.population().len()];
+    let mut rng = SimRng::seed_from(3);
+    for kind in OracleKind::ALL {
+        let mut oracle = kind.build();
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let view = OracleView::new(engine.overlay(), engine.population(), &online);
+                std::hint::black_box(oracle.sample(PeerId::new(5), &view, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dht_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht");
+    let mut rng = SimRng::seed_from(9);
+    for n in [64usize, 256, 1024] {
+        let ring = Ring::bootstrap(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("lookup", n), &ring, |b, ring| {
+            b.iter(|| {
+                let key = Key::random(&mut rng);
+                std::hint::black_box(ring.lookup(key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gossip_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip");
+    let mut rng = SimRng::seed_from(11);
+    let graph = MembershipGraph::random_connected(1_000, 6, &mut rng);
+    let mut sampler = MhWalkSampler::new(graph, 12);
+    group.bench_function("mh_walk_1000_peers_len12", |b| {
+        b.iter(|| std::hint::black_box(sampler.sample_peer(0, &mut rng)))
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generate");
+    let mut seed = 0u64;
+    for class in TopologicalConstraint::PAPER_CLASSES {
+        group.bench_function(BenchmarkId::from_parameter(class), |b| {
+            b.iter(|| loop {
+                seed += 1;
+                // Rare random draws are genuinely unsatisfiable; skip
+                // them rather than panicking mid-benchmark.
+                if let Ok(population) = WorkloadSpec::new(class, 120).generate(seed) {
+                    break std::hint::black_box(population);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    overlay_ops,
+    oracle_sampling,
+    dht_lookup,
+    gossip_walk,
+    workload_generation
+);
+criterion_main!(benches);

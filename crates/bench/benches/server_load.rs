@@ -1,0 +1,43 @@
+//! §1 motivation kernel: feed dissemination over a converged overlay
+//! plus the server-load comparison, at increasing population sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind};
+use lagover_feed::{compare_server_load, disseminate, DisseminationConfig, PublishSchedule};
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+
+fn server_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_load");
+    group.sample_size(10);
+    for peers in [60usize, 120, 240] {
+        let population = WorkloadSpec::new(TopologicalConstraint::Rand, peers)
+            .generate(0xFEED)
+            .expect("repairable");
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let mut engine = Engine::new(&population, &config, 0xFEED);
+        engine.run_to_convergence().expect("converges");
+        let dconfig = DisseminationConfig {
+            pull_interval: 1,
+            rounds: 300,
+            schedule: PublishSchedule::Periodic { interval: 3 },
+        };
+        group.throughput(Throughput::Elements(peers as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(peers),
+            &(engine, population),
+            |b, (engine, population)| {
+                b.iter(|| {
+                    let report = disseminate(engine.overlay(), population, &dconfig, 1);
+                    let load = compare_server_load(engine.overlay(), population, 1);
+                    std::hint::black_box((report.items_published, load.reduction_factor))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, server_load);
+criterion_main!(benches);

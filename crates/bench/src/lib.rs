@@ -1,0 +1,48 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! One bench target per paper artifact (see `DESIGN.md` §5):
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `fig2_variance` | Figure 2 — greedy construction per workload class |
+//! | `fig3_oracles` | Figure 3 — construction per oracle |
+//! | `fig4_churn` | Figure 4 — greedy vs hybrid, with/without churn |
+//! | `counterexample` | §3.3.1 — adversarial family |
+//! | `async_construction` | §5.3 — lockstep vs asynchronous runs |
+//! | `server_load` | §1 — dissemination and server-load kernel |
+//! | `micro` | substrate micro-benchmarks |
+//!
+//! Criterion reports wall-clock cost of the simulation kernels; the
+//! *scientific* outputs (medians, convergence rates) come from
+//! `lagover-experiments`.
+
+use lagover_core::node::Population;
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+
+/// Standard benchmark population: 120 peers (the paper's §5.2 scale).
+pub const BENCH_PEERS: usize = 120;
+
+/// Deterministic population for a workload class at the benchmark
+/// scale.
+///
+/// # Panics
+///
+/// Panics if generation fails (paper classes at 120 peers are always
+/// repairable).
+pub fn bench_population(class: TopologicalConstraint) -> Population {
+    WorkloadSpec::new(class, BENCH_PEERS)
+        .generate(0xBE7C)
+        .expect("bench populations are repairable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_populations_exist_for_all_classes() {
+        for class in TopologicalConstraint::PAPER_CLASSES {
+            assert_eq!(bench_population(class).len(), BENCH_PEERS);
+        }
+    }
+}

@@ -1,0 +1,493 @@
+#![warn(missing_docs)]
+
+//! # lagover-cli
+//!
+//! The `lagover` command-line tool: build, inspect, and exercise
+//! LagOver dissemination trees from the shell.
+//!
+//! ```text
+//! lagover spec       --workload rand --peers 60 [--seed N] [--source-fanout F]
+//! lagover check      (--spec FILE | --workload …)
+//! lagover construct  (--spec FILE | --workload …) [--algorithm hybrid] [--oracle random-delay]
+//! lagover disseminate(--spec FILE | --workload …) [--rounds N] [--pull-interval T]
+//! lagover evolve     (--spec FILE | --workload …) [--trace N]
+//! ```
+//!
+//! `spec` emits a population as JSON (editable by hand); every other
+//! command accepts either such a file or workload-generation flags.
+
+use std::fmt;
+
+use lagover_core::analysis;
+use lagover_core::node::{PeerId, Population};
+use lagover_core::{
+    check_sufficiency, exact_feasibility, Algorithm, ConstructionConfig, Engine, OracleKind,
+};
+use lagover_feed::{compare_server_load, disseminate, DisseminationConfig, PublishSchedule};
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// The subcommand.
+    pub command: String,
+    /// `--spec FILE` (JSON population).
+    pub spec_path: Option<String>,
+    /// `--workload <tf1|rand|bicorr|biuncorr|adversarial|zipf>`.
+    pub workload: String,
+    /// `--peers N`.
+    pub peers: usize,
+    /// `--seed N`.
+    pub seed: u64,
+    /// `--source-fanout F`.
+    pub source_fanout: u32,
+    /// `--algorithm <greedy|hybrid>`.
+    pub algorithm: Algorithm,
+    /// `--oracle <random|random-capacity|random-delay-capacity|random-delay>`.
+    pub oracle: OracleKind,
+    /// `--max-rounds N`.
+    pub max_rounds: u64,
+    /// `--rounds N` (dissemination horizon).
+    pub rounds: u64,
+    /// `--pull-interval T`.
+    pub pull_interval: u64,
+    /// `--trace N` (evolve: max trace events to print).
+    pub trace: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: String::new(),
+            spec_path: None,
+            workload: "rand".into(),
+            peers: 60,
+            seed: 42,
+            source_fanout: 3,
+            algorithm: Algorithm::Hybrid,
+            oracle: OracleKind::RandomDelay,
+            max_rounds: 20_000,
+            rounds: 300,
+            pull_interval: 1,
+            trace: 200,
+        }
+    }
+}
+
+/// The usage string.
+pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve> \
+[--spec FILE] [--workload tf1|rand|bicorr|biuncorr|adversarial|zipf] [--peers N] [--seed N] \
+[--source-fanout F] [--algorithm greedy|hybrid] \
+[--oracle random|random-capacity|random-delay-capacity|random-delay] \
+[--max-rounds N] [--rounds N] [--pull-interval T] [--trace N]";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a message naming the offending flag or value.
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| err(USAGE))?.clone();
+    if !["spec", "check", "construct", "disseminate", "evolve"].contains(&command.as_str()) {
+        return Err(err(format!("unknown command '{command}'\n{USAGE}")));
+    }
+    let mut opts = Options {
+        command,
+        ..Options::default()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--spec" => opts.spec_path = Some(value()?),
+            "--workload" => opts.workload = value()?,
+            "--peers" => {
+                opts.peers = value()?
+                    .parse()
+                    .map_err(|_| err("--peers needs an integer"))?
+            }
+            "--seed" => {
+                opts.seed = value()?
+                    .parse()
+                    .map_err(|_| err("--seed needs an integer"))?
+            }
+            "--source-fanout" => {
+                opts.source_fanout = value()?
+                    .parse()
+                    .map_err(|_| err("--source-fanout needs an integer"))?
+            }
+            "--algorithm" => {
+                opts.algorithm = match value()?.as_str() {
+                    "greedy" => Algorithm::Greedy,
+                    "hybrid" => Algorithm::Hybrid,
+                    other => return Err(err(format!("unknown algorithm '{other}'"))),
+                }
+            }
+            "--oracle" => {
+                opts.oracle = match value()?.as_str() {
+                    "random" => OracleKind::Random,
+                    "random-capacity" => OracleKind::RandomCapacity,
+                    "random-delay-capacity" => OracleKind::RandomDelayCapacity,
+                    "random-delay" => OracleKind::RandomDelay,
+                    other => return Err(err(format!("unknown oracle '{other}'"))),
+                }
+            }
+            "--max-rounds" => {
+                opts.max_rounds = value()?
+                    .parse()
+                    .map_err(|_| err("--max-rounds needs an integer"))?
+            }
+            "--rounds" => {
+                opts.rounds = value()?
+                    .parse()
+                    .map_err(|_| err("--rounds needs an integer"))?
+            }
+            "--pull-interval" => {
+                opts.pull_interval = value()?
+                    .parse()
+                    .map_err(|_| err("--pull-interval needs an integer"))?
+            }
+            "--trace" => {
+                opts.trace = value()?
+                    .parse()
+                    .map_err(|_| err("--trace needs an integer"))?
+            }
+            other => return Err(err(format!("unknown flag '{other}'\n{USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Resolves the population: from `--spec` JSON if given, else generated
+/// from the workload flags.
+pub fn resolve_population(opts: &Options) -> Result<Population, CliError> {
+    if let Some(path) = &opts.spec_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        return serde_json::from_str(&text)
+            .map_err(|e| err(format!("cannot parse {path}: {e}")));
+    }
+    let constraint = match opts.workload.as_str() {
+        "tf1" => TopologicalConstraint::Tf1,
+        "rand" => TopologicalConstraint::Rand,
+        "bicorr" => TopologicalConstraint::BiCorr,
+        "biuncorr" => TopologicalConstraint::BiUnCorr,
+        "adversarial" => TopologicalConstraint::Adversarial {
+            chain: 2,
+            hub_fanout: 2,
+        },
+        "zipf" => TopologicalConstraint::Zipf { exponent_x100: 150 },
+        other => return Err(err(format!("unknown workload '{other}'"))),
+    };
+    WorkloadSpec::new(constraint, opts.peers)
+        .with_source_fanout(opts.source_fanout)
+        .generate(opts.seed)
+        .map_err(|e| err(format!("generation failed: {e}")))
+}
+
+/// Runs the parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Any population/IO/parse failure, with a user-facing message.
+pub fn run(opts: &Options) -> Result<String, CliError> {
+    match opts.command.as_str() {
+        "spec" => cmd_spec(opts),
+        "check" => cmd_check(opts),
+        "construct" => cmd_construct(opts),
+        "disseminate" => cmd_disseminate(opts),
+        "evolve" => cmd_evolve(opts),
+        other => Err(err(format!("unknown command '{other}'"))),
+    }
+}
+
+fn cmd_spec(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    serde_json::to_string_pretty(&population).map_err(|e| err(format!("serialize: {e}")))
+}
+
+fn cmd_check(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let report = check_sufficiency(&population);
+    let mut out = format!(
+        "{} peers, source fanout {}\nsufficiency condition: {}\n",
+        population.len(),
+        population.source_fanout(),
+        if report.satisfied { "SATISFIED" } else { "violated" },
+    );
+    if let Some(level) = report.first_violation {
+        out += &format!("first overloaded level: {level}\n");
+    }
+    for lr in &report.levels {
+        out += &format!(
+            "  level {:>2}: demand {:>4}  available {:>4}\n",
+            lr.level, lr.demand, lr.available
+        );
+    }
+    if population.len() <= 16 {
+        match exact_feasibility(&population) {
+            Some(depths) => {
+                out += "exact feasibility: a LagOver exists; witness depths:\n";
+                for (i, d) in depths.iter().enumerate() {
+                    out += &format!("  peer {i}: depth {d}\n");
+                }
+            }
+            None => out += "exact feasibility: NO LagOver exists for this population\n",
+        }
+    } else {
+        out += "exact feasibility: population too large for exhaustive search (<= 16)\n";
+    }
+    Ok(out)
+}
+
+fn render_tree(engine: &Engine, population: &Population) -> String {
+    let mut out = String::from("source\n");
+    let mut stack: Vec<(PeerId, u32)> = engine
+        .overlay()
+        .source_children()
+        .iter()
+        .rev()
+        .map(|&c| (c, 1))
+        .collect();
+    while let Some((p, depth)) = stack.pop() {
+        let c = population.constraints(p);
+        out += &format!(
+            "{}└─ peer {} (l={}, f={}, delay={})\n",
+            "   ".repeat(depth as usize),
+            p.get(),
+            c.latency,
+            c.fanout,
+            engine
+                .overlay()
+                .delay(p)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+        for &child in engine.overlay().children(p).iter().rev() {
+            stack.push((child, depth + 1));
+        }
+    }
+    let fragments: Vec<u32> = population
+        .peer_ids()
+        .filter(|&p| engine.overlay().parent(p).is_none())
+        .map(PeerId::get)
+        .collect();
+    if !fragments.is_empty() {
+        out += &format!("unattached peers: {fragments:?}\n");
+    }
+    out
+}
+
+fn build(opts: &Options, population: &Population) -> Engine {
+    let config = ConstructionConfig::new(opts.algorithm, opts.oracle)
+        .with_max_rounds(opts.max_rounds);
+    Engine::new(population, &config, opts.seed)
+}
+
+fn cmd_construct(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let mut engine = build(opts, &population);
+    let converged = engine.run_to_convergence();
+    let mut out = match converged {
+        Some(round) => format!("converged in {} rounds\n", round.get()),
+        None => format!(
+            "did not converge within {} rounds (satisfied fraction {:.3})\n",
+            opts.max_rounds,
+            engine.satisfied_fraction()
+        ),
+    };
+    out += &render_tree(&engine, &population);
+    let depth = analysis::depth_profile(engine.overlay(), &population);
+    let slack = analysis::slack_profile(engine.overlay(), &population);
+    out += &format!(
+        "depth: max {}, mean {:.2}; slack: min {:?}, mean {:.2} ({} tight, {} violated)\n",
+        depth.max_depth, depth.mean_depth, slack.min_slack, slack.mean_slack, slack.tight,
+        slack.violated,
+    );
+    if let Some(g) = analysis::gradation_coefficient(engine.overlay(), &population) {
+        out += &format!("latency gradation coefficient: {g:.3}\n");
+    }
+    Ok(out)
+}
+
+fn cmd_disseminate(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let mut engine = build(opts, &population);
+    engine
+        .run_to_convergence()
+        .ok_or_else(|| err("construction did not converge; cannot disseminate"))?;
+    let report = disseminate(
+        engine.overlay(),
+        &population,
+        &DisseminationConfig {
+            pull_interval: opts.pull_interval,
+            rounds: opts.rounds,
+            schedule: PublishSchedule::Periodic { interval: 3 },
+        },
+        opts.seed,
+    );
+    let load = compare_server_load(engine.overlay(), &population, opts.pull_interval);
+    Ok(format!(
+        "published {} items over {} rounds\nmax staleness: {:?} (constraint violations: {})\nserver load: {:.1} req/round direct polling vs {:.1} via LagOver ({:.1}x reduction)\n",
+        report.items_published,
+        opts.rounds,
+        report.max_staleness(),
+        report.constraint_violations.len(),
+        load.direct_polling_rate,
+        load.lagover_rate,
+        load.reduction_factor,
+    ))
+}
+
+fn cmd_evolve(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let mut engine = build(opts, &population);
+    engine.enable_trace(1_000_000);
+    let converged = engine.run_to_convergence();
+    let log = engine.take_trace().expect("tracing enabled");
+    let mut out = String::new();
+    let total = log.len();
+    for event in log.iter().take(opts.trace) {
+        out += &format!("{event}\n");
+    }
+    if total > opts.trace {
+        out += &format!("… {} more events (raise --trace)\n", total - opts.trace);
+    }
+    out += &match converged {
+        Some(round) => format!("converged in {} rounds, {} structural events\n", round.get(), total),
+        None => format!("not converged after {} rounds\n", opts.max_rounds),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let opts = parse_args(&args(
+            "construct --workload bicorr --peers 50 --seed 9 --algorithm greedy \
+             --oracle random --max-rounds 100 --source-fanout 5",
+        ))
+        .unwrap();
+        assert_eq!(opts.command, "construct");
+        assert_eq!(opts.workload, "bicorr");
+        assert_eq!(opts.peers, 50);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.algorithm, Algorithm::Greedy);
+        assert_eq!(opts.oracle, OracleKind::Random);
+        assert_eq!(opts.max_rounds, 100);
+        assert_eq!(opts.source_fanout, 5);
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("check --bogus 1")).is_err());
+        assert!(parse_args(&args("check --peers")).is_err());
+        assert!(parse_args(&args("check --peers x")).is_err());
+        assert!(parse_args(&args("construct --oracle psychic")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_check() {
+        let opts = parse_args(&args("spec --workload rand --peers 20 --seed 3")).unwrap();
+        let json = run(&opts).unwrap();
+        let population: Population = serde_json::from_str(&json).unwrap();
+        assert_eq!(population.len(), 20);
+    }
+
+    #[test]
+    fn check_reports_sufficiency_and_feasibility() {
+        let opts = parse_args(&args("check --workload adversarial")).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("violated"), "{out}");
+        assert!(out.contains("a LagOver exists"), "{out}");
+    }
+
+    #[test]
+    fn construct_prints_tree_and_analysis() {
+        let opts =
+            parse_args(&args("construct --workload rand --peers 25 --seed 4")).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("converged in"), "{out}");
+        assert!(out.contains("source\n"), "{out}");
+        assert!(out.contains("gradation coefficient"), "{out}");
+    }
+
+    #[test]
+    fn disseminate_reports_load_reduction() {
+        let opts =
+            parse_args(&args("disseminate --workload rand --peers 25 --rounds 100")).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("reduction"), "{out}");
+        assert!(out.contains("constraint violations: 0"), "{out}");
+    }
+
+    #[test]
+    fn evolve_prints_trace_events() {
+        let opts = parse_args(&args(
+            "evolve --workload adversarial --algorithm hybrid --trace 50",
+        ))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("<-"), "{out}");
+        assert!(out.contains("converged in"), "{out}");
+    }
+
+    #[test]
+    fn spec_file_round_trip() {
+        let dir = std::env::temp_dir().join("lagover-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pop.json");
+        let spec_opts = parse_args(&args("spec --workload tf1 --peers 12")).unwrap();
+        std::fs::write(&path, run(&spec_opts).unwrap()).unwrap();
+        let check_opts = parse_args(&[
+            "check".to_string(),
+            "--spec".to_string(),
+            path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let out = run(&check_opts).unwrap();
+        assert!(out.contains("12 peers"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_spec_file_is_a_clean_error() {
+        let opts = parse_args(&[
+            "check".to_string(),
+            "--spec".to_string(),
+            "/nonexistent/pop.json".to_string(),
+        ])
+        .unwrap();
+        let e = run(&opts).unwrap_err();
+        assert!(e.0.contains("cannot read"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Event-driven (asynchronous) construction (§5.3 extended
+//! experiments).
+//!
+//! In real deployments *"synchronization of peer interactions is
+//! unrealistic"*: each peer's interaction takes its own amount of time.
+//! [`run_async`] drives the same per-peer logic as the round-based
+//! engine, but each peer schedules its next action `duration(peer)`
+//! time units after the previous one completes, so peers drift out of
+//! lockstep. The paper's observation — asynchrony slows construction
+//! but does not prevent convergence — is experiment E6.
+
+use lagover_sim::{EventQueue, SimRng, TimeSeries, VirtualTime};
+
+use crate::config::ConstructionConfig;
+use crate::engine::Engine;
+use crate::node::{PeerId, Population};
+use crate::runner::ConstructionOutcome;
+
+/// Supplies per-peer interaction durations. Implemented by
+/// `lagover-net`'s models; kept as a local trait so `lagover-core` does
+/// not depend on the network substrate.
+pub trait InteractionDurations {
+    /// Strictly positive duration of the next action of `peer`.
+    fn duration(&mut self, peer: PeerId, rng: &mut SimRng) -> f64;
+}
+
+impl<F> InteractionDurations for F
+where
+    F: FnMut(PeerId, &mut SimRng) -> f64,
+{
+    fn duration(&mut self, peer: PeerId, rng: &mut SimRng) -> f64 {
+        self(peer, rng)
+    }
+}
+
+/// Every action takes the same fixed duration — the lockstep baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedActionDuration(pub f64);
+
+impl InteractionDurations for FixedActionDuration {
+    fn duration(&mut self, _peer: PeerId, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+}
+
+/// Outcome of an asynchronous run: virtual-time convergence instant plus
+/// the equivalent-rounds normalization used to compare against the
+/// synchronous engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncOutcome {
+    /// Virtual time at which every peer was satisfied, if reached.
+    pub converged_at: Option<f64>,
+    /// Total actions (events) processed.
+    pub actions: u64,
+    /// Satisfied fraction sampled after each action (x = virtual time).
+    pub satisfied_series: TimeSeries,
+    /// Final satisfied fraction.
+    pub final_satisfied_fraction: f64,
+}
+
+impl AsyncOutcome {
+    /// Whether the run converged before the time limit.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+}
+
+/// Runs asynchronous construction until convergence or `max_time`.
+///
+/// Every peer's first action is scheduled at an independent offset in
+/// `[0, 1)` so the initial conditions are already desynchronized.
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::{run_async, Algorithm, ConstructionConfig, OracleKind};
+/// use lagover_core::node::{Constraints, Population, PeerId};
+/// use lagover_sim::SimRng;
+///
+/// let pop = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(0, 2)]);
+/// let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
+/// // Heterogeneous action durations: peers alternate fast and slow.
+/// let durations = |p: PeerId, rng: &mut SimRng| {
+///     0.5 + rng.f64() * (p.index() as f64 % 2.0 + 1.0) / 2.0
+/// };
+/// let outcome = run_async(&pop, &config, durations, 1_000.0, 3);
+/// assert!(outcome.converged());
+/// ```
+pub fn run_async<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    mut durations: D,
+    max_time: f64,
+    seed: u64,
+) -> AsyncOutcome {
+    let mut engine = Engine::new(population, config, seed);
+    let mut schedule_rng = SimRng::seed_from(seed).split(0x5EED_A57C);
+    let mut queue: EventQueue<PeerId> = EventQueue::new();
+    for p in population.peer_ids() {
+        let offset = schedule_rng.f64();
+        queue.schedule(VirtualTime::new(offset).expect("offset in [0,1)"), p);
+    }
+
+    let mut series = TimeSeries::new("satisfied_fraction");
+    series.push(0.0, engine.satisfied_fraction());
+    let mut actions = 0u64;
+    let mut converged_at = None;
+
+    while let Some(t) = queue.peek_time() {
+        if t.get() > max_time {
+            break;
+        }
+        let (now, p) = queue.pop().expect("peeked");
+        if engine.is_online(p) {
+            engine.act_on(p);
+            actions += 1;
+            series.push(now.get(), engine.satisfied_fraction());
+            if engine.is_converged() {
+                converged_at = Some(now.get());
+                break;
+            }
+        }
+        let d = durations.duration(p, &mut schedule_rng);
+        assert!(d > 0.0, "interaction durations must be positive");
+        queue.schedule_after(d, p);
+    }
+
+    AsyncOutcome {
+        converged_at,
+        actions,
+        final_satisfied_fraction: engine.satisfied_fraction(),
+        satisfied_series: series,
+    }
+}
+
+/// Convenience: the synchronous baseline expressed through the
+/// asynchronous machinery (every action takes exactly one time unit).
+/// Used to validate that the event-driven path reproduces the
+/// round-based behaviour.
+pub fn run_async_lockstep(
+    population: &Population,
+    config: &ConstructionConfig,
+    max_time: f64,
+    seed: u64,
+) -> AsyncOutcome {
+    run_async(population, config, FixedActionDuration(1.0), max_time, seed)
+}
+
+/// Converts an [`AsyncOutcome`] into the [`ConstructionOutcome`] shape
+/// (rounds := ceil(virtual time)) so async and sync results tabulate
+/// together.
+pub fn as_construction_outcome(outcome: &AsyncOutcome) -> ConstructionOutcome {
+    ConstructionOutcome {
+        converged_at: outcome.converged_at.map(|t| t.ceil() as u64),
+        rounds_run: outcome
+            .satisfied_series
+            .last()
+            .map(|(x, _)| x.ceil() as u64)
+            .unwrap_or(0),
+        satisfied_series: outcome.satisfied_series.clone(),
+        final_satisfied_fraction: outcome.final_satisfied_fraction,
+        counters: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::node::Constraints;
+    use crate::oracle::OracleKind;
+
+    fn population() -> Population {
+        Population::new(
+            2,
+            vec![
+                Constraints::new(2, 1),
+                Constraints::new(1, 2),
+                Constraints::new(0, 2),
+                Constraints::new(0, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn lockstep_async_converges() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let outcome = run_async_lockstep(&population(), &config, 5_000.0, 7);
+        assert!(outcome.converged());
+        assert_eq!(outcome.final_satisfied_fraction, 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_durations_still_converge() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        // Peers 0/1 fast, peers 2/3 up to 4x slower.
+        let outcome = run_async(
+            &population(),
+            &config,
+            |p: PeerId, rng: &mut SimRng| {
+                if p.index() < 2 {
+                    0.5 + rng.f64() * 0.1
+                } else {
+                    1.5 + rng.f64() * 2.5
+                }
+            },
+            10_000.0,
+            11,
+        );
+        assert!(outcome.converged());
+        assert!(outcome.actions > 0);
+    }
+
+    #[test]
+    fn time_limit_truncates() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let outcome = run_async(&population(), &config, FixedActionDuration(10.0), 5.0, 3);
+        // Only the initial offsets fit inside the limit.
+        assert!(outcome.actions <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_durations_rejected() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let _ = run_async(&population(), &config, FixedActionDuration(0.0), 10.0, 3);
+    }
+
+    #[test]
+    fn conversion_to_construction_outcome() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let outcome = run_async_lockstep(&population(), &config, 5_000.0, 7);
+        let converted = as_construction_outcome(&outcome);
+        assert_eq!(converted.converged(), outcome.converged());
+        assert_eq!(
+            converted.final_satisfied_fraction,
+            outcome.final_satisfied_fraction
+        );
+    }
+}
+
+/// Outcome of an asynchronous run under churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncChurnOutcome {
+    /// Virtual time at which every *online* peer was first satisfied,
+    /// if that ever happened.
+    pub first_converged_at: Option<f64>,
+    /// Actions processed.
+    pub actions: u64,
+    /// Satisfied fraction sampled after each churn tick (x = virtual
+    /// time).
+    pub satisfied_series: TimeSeries,
+    /// Mean satisfied fraction over the final quarter of the run.
+    pub steady_state_fraction: f64,
+}
+
+/// Event payload for the churn-aware asynchronous runner.
+enum AsyncEvent {
+    /// A peer's next own-action.
+    Act(PeerId),
+    /// The once-per-time-unit churn tick.
+    ChurnTick,
+}
+
+/// Runs asynchronous construction with churn applied once per unit of
+/// virtual time (the paper's per-round churn semantics mapped onto the
+/// continuous clock).
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::{run_async_with_churn, Algorithm, ConstructionConfig, OracleKind};
+/// use lagover_core::async_engine::FixedActionDuration;
+/// use lagover_core::node::{Constraints, Population};
+/// use lagover_sim::BernoulliChurn;
+///
+/// let pop = Population::new(2, vec![Constraints::new(1, 1), Constraints::new(0, 2)]);
+/// let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
+/// let mut churn = BernoulliChurn::new(0.01, 0.2);
+/// let outcome = run_async_with_churn(
+///     &pop, &config, FixedActionDuration(1.0), &mut churn, 500.0, 3,
+/// );
+/// assert!(outcome.steady_state_fraction > 0.5);
+/// ```
+pub fn run_async_with_churn<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    mut durations: D,
+    churn: &mut dyn lagover_sim::ChurnProcess,
+    max_time: f64,
+    seed: u64,
+) -> AsyncChurnOutcome {
+    let mut engine = Engine::new(population, config, seed);
+    let mut schedule_rng = SimRng::seed_from(seed).split(0x5EED_A57D);
+    let mut queue: EventQueue<AsyncEvent> = EventQueue::new();
+    for p in population.peer_ids() {
+        let offset = schedule_rng.f64();
+        queue.schedule(
+            VirtualTime::new(offset).expect("offset in [0,1)"),
+            AsyncEvent::Act(p),
+        );
+    }
+    queue.schedule(VirtualTime::new(1.0).expect("positive"), AsyncEvent::ChurnTick);
+
+    let mut series = TimeSeries::new("satisfied_fraction");
+    series.push(0.0, engine.satisfied_fraction());
+    let mut actions = 0u64;
+    let mut first_converged_at = None;
+
+    while let Some(t) = queue.peek_time() {
+        if t.get() > max_time {
+            break;
+        }
+        let (now, event) = queue.pop().expect("peeked");
+        match event {
+            AsyncEvent::Act(p) => {
+                if engine.is_online(p) {
+                    engine.act_on(p);
+                    actions += 1;
+                    if first_converged_at.is_none() && engine.is_converged() {
+                        first_converged_at = Some(now.get());
+                    }
+                }
+                let d = durations.duration(p, &mut schedule_rng);
+                assert!(d > 0.0, "interaction durations must be positive");
+                queue.schedule_after(d, AsyncEvent::Act(p));
+            }
+            AsyncEvent::ChurnTick => {
+                engine.apply_churn(churn);
+                series.push(now.get(), engine.satisfied_fraction());
+                queue.schedule_after(1.0, AsyncEvent::ChurnTick);
+            }
+        }
+    }
+
+    let window = (series.len() / 4).max(1);
+    AsyncChurnOutcome {
+        first_converged_at,
+        actions,
+        steady_state_fraction: series.tail_mean(window).unwrap_or(0.0),
+        satisfied_series: series,
+    }
+}

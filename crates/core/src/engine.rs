@@ -1,0 +1,951 @@
+//! The round-based construction engine.
+//!
+//! One [`Engine::step`] is one simulator round (§2.1.1's construction
+//! clock): every online peer acts once, in a freshly shuffled order —
+//! parent-less peers run a construction step of the configured algorithm
+//! (greedy or hybrid), parented peers run the maintenance check. Churn
+//! is applied between rounds by [`Engine::apply_churn`].
+//!
+//! The engine also hosts the mutation helpers shared by both algorithms:
+//! latency-checked attaches, child displacement, and the
+//! replace-and-adopt reconfiguration (`j ← i ← k`).
+
+use lagover_sim::{ChurnProcess, Round, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Algorithm, ConstructionConfig};
+use crate::node::{Member, PeerId, Population};
+use crate::oracle::{Oracle, OracleView};
+use crate::overlay::Overlay;
+use crate::trace::{DetachCause, TraceEvent, TraceLog};
+use crate::{greedy, hybrid, maintenance};
+
+/// Victim-selection policy for [`Engine::displace_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DisplacePolicy {
+    /// Strict latency order: the victim must be strictly laxer than the
+    /// incomer (greedy invariant).
+    Greedy,
+    /// Capacity-aware: the victim must not out-fan the incomer; prefer
+    /// the lowest-fanout victim.
+    Hybrid,
+}
+
+/// Per-peer protocol bookkeeping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct ProtoState {
+    /// Interaction target carried over from a referral ("use `k` as the
+    /// next reference"), consulted before the oracle.
+    pub referral: Option<Member>,
+    /// Consecutive own-actions spent without a parent; drives the
+    /// timeout fallback to the source.
+    pub rounds_unparented: u32,
+    /// Consecutive own-actions with `DelayAt > l` while rooted; drives
+    /// the hybrid maintenance timeout.
+    pub violation_rounds: u32,
+}
+
+impl ProtoState {
+    fn reset(&mut self) {
+        *self = ProtoState::default();
+    }
+}
+
+/// Event counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineCounters {
+    /// Pairwise interactions performed.
+    pub interactions: u64,
+    /// Oracle queries issued.
+    pub oracle_queries: u64,
+    /// Oracle queries that found no candidate (the peer waited).
+    pub oracle_misses: u64,
+    /// Successful attach operations.
+    pub attaches: u64,
+    /// Detach operations (all causes).
+    pub detaches: u64,
+    /// Displacement / replace-and-adopt reconfigurations.
+    pub displacements: u64,
+    /// Direct contacts with the source (timeout or referral).
+    pub source_contacts: u64,
+    /// Detaches triggered by the maintenance rule.
+    pub maintenance_detaches: u64,
+    /// Peers lost to churn over the run.
+    pub churn_departures: u64,
+    /// Peers (re)joining over the run.
+    pub churn_arrivals: u64,
+}
+
+/// A serializable checkpoint of an [`Engine`]'s simulation state.
+///
+/// Produced by [`Engine::snapshot`] and consumed by [`Engine::restore`];
+/// serializable, so campaigns can persist checkpoints to disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    population: Population,
+    config: ConstructionConfig,
+    overlay: Overlay,
+    online: Vec<bool>,
+    proto: Vec<ProtoState>,
+    counters: EngineCounters,
+    rng: SimRng,
+    round: Round,
+}
+
+impl EngineSnapshot {
+    /// The round the snapshot was taken at.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The snapshotted overlay (read-only).
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+}
+
+/// The construction simulator for one population and one configuration.
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind};
+/// use lagover_core::node::{Constraints, Population};
+///
+/// let pop = Population::new(2, vec![
+///     Constraints::new(1, 1),
+///     Constraints::new(0, 2),
+/// ]);
+/// let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
+/// let mut engine = Engine::new(&pop, &config, 42);
+/// let converged = engine.run_to_convergence();
+/// assert!(converged.is_some());
+/// ```
+pub struct Engine {
+    pub(crate) population: Population,
+    pub(crate) config: ConstructionConfig,
+    pub(crate) overlay: Overlay,
+    pub(crate) online: Vec<bool>,
+    pub(crate) proto: Vec<ProtoState>,
+    pub(crate) counters: EngineCounters,
+    oracle: Box<dyn Oracle>,
+    pub(crate) rng: SimRng,
+    round: Round,
+    trace: Option<TraceLog>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("population", &self.population.len())
+            .field("round", &self.round)
+            .field("oracle", &self.oracle.name())
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine using the reference oracle named in `config`.
+    pub fn new(population: &Population, config: &ConstructionConfig, seed: u64) -> Self {
+        Self::with_oracle(population, config, config.oracle.build(), seed)
+    }
+
+    /// Creates an engine with a custom oracle implementation (used to
+    /// plug in the DHT-directory and random-walk realizations).
+    pub fn with_oracle(
+        population: &Population,
+        config: &ConstructionConfig,
+        oracle: Box<dyn Oracle>,
+        seed: u64,
+    ) -> Self {
+        let n = population.len();
+        Engine {
+            population: population.clone(),
+            config: *config,
+            overlay: Overlay::new(population),
+            online: vec![true; n],
+            proto: vec![ProtoState::default(); n],
+            counters: EngineCounters::default(),
+            oracle,
+            rng: SimRng::seed_from(seed),
+            round: Round::ZERO,
+            trace: None,
+        }
+    }
+
+    /// Enables structural-event tracing, keeping at most `capacity`
+    /// events (ring buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The trace log, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the trace log, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take()
+    }
+
+    /// Captures the engine's complete simulation state (overlay,
+    /// membership, protocol bookkeeping, counters, RNG, round). A
+    /// snapshot restored with [`Engine::restore`] under the same
+    /// configuration and a stateless oracle replays *identically* —
+    /// the checkpoint/resume facility a long experiment campaign needs.
+    ///
+    /// The trace log is not part of the snapshot.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            population: self.population.clone(),
+            config: self.config,
+            overlay: self.overlay.clone(),
+            online: self.online.clone(),
+            proto: self.proto.clone(),
+            counters: self.counters,
+            rng: self.rng.clone(),
+            round: self.round,
+        }
+    }
+
+    /// Reconstructs an engine from a snapshot, using the reference
+    /// oracle named in the snapshot's configuration.
+    ///
+    /// Replay is bit-exact only if the oracle is stateless (all four
+    /// reference oracles are); substrate oracles carry their own state
+    /// and should be re-injected via [`Engine::restore_with_oracle`].
+    pub fn restore(snapshot: EngineSnapshot) -> Self {
+        let oracle = snapshot.config.oracle.build();
+        Self::restore_with_oracle(snapshot, oracle)
+    }
+
+    /// [`Engine::restore`] with a custom oracle.
+    pub fn restore_with_oracle(snapshot: EngineSnapshot, oracle: Box<dyn Oracle>) -> Self {
+        Engine {
+            population: snapshot.population,
+            config: snapshot.config,
+            overlay: snapshot.overlay,
+            online: snapshot.online,
+            proto: snapshot.proto,
+            counters: snapshot.counters,
+            oracle,
+            rng: snapshot.rng,
+            round: snapshot.round,
+            trace: None,
+        }
+    }
+
+    fn emit_attach(&mut self, child: PeerId, parent: Member) {
+        if let Some(log) = &mut self.trace {
+            log.push(TraceEvent::Attach {
+                round: self.round.get(),
+                child,
+                parent,
+            });
+        }
+    }
+
+    fn emit_detach(&mut self, child: PeerId, parent: Member, cause: DetachCause) {
+        if let Some(log) = &mut self.trace {
+            log.push(TraceEvent::Detach {
+                round: self.round.get(),
+                child,
+                parent,
+                cause,
+            });
+        }
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The overlay under construction.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The population being organized.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ConstructionConfig {
+        &self.config
+    }
+
+    /// Event counters so far.
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// Whether `p` is currently online.
+    pub fn is_online(&self, p: PeerId) -> bool {
+        self.online[p.index()]
+    }
+
+    /// Number of peers currently online.
+    pub fn online_count(&self) -> usize {
+        self.online.iter().filter(|&&o| o).count()
+    }
+
+    /// Whether `p`'s constraints are currently met: chain rooted at the
+    /// source and `DelayAt(p) <= l_p`.
+    pub fn is_satisfied(&self, p: PeerId) -> bool {
+        matches!(self.overlay.delay(p), Some(d) if d <= self.population.latency(p))
+    }
+
+    /// Fraction of *online* peers currently satisfied (1.0 when nobody
+    /// is online).
+    pub fn satisfied_fraction(&self) -> f64 {
+        let mut online = 0usize;
+        let mut satisfied = 0usize;
+        for p in self.population.peer_ids() {
+            if self.online[p.index()] {
+                online += 1;
+                if self.is_satisfied(p) {
+                    satisfied += 1;
+                }
+            }
+        }
+        if online == 0 {
+            1.0
+        } else {
+            satisfied as f64 / online as f64
+        }
+    }
+
+    /// Whether every online peer is satisfied — the paper's convergence
+    /// criterion for construction latency.
+    pub fn is_converged(&self) -> bool {
+        self.population
+            .peer_ids()
+            .all(|p| !self.online[p.index()] || self.is_satisfied(p))
+    }
+
+    /// Runs one construction round: every online peer acts once, in a
+    /// shuffled order.
+    pub fn step(&mut self) {
+        let mut order: Vec<PeerId> = self
+            .population
+            .peer_ids()
+            .filter(|p| self.online[p.index()])
+            .collect();
+        self.rng.shuffle(&mut order);
+        for p in order {
+            if self.online[p.index()] {
+                self.act_on(p);
+            }
+        }
+        self.round = self.round.next();
+        debug_assert_eq!(self.overlay.validate(), Ok(()));
+    }
+
+    /// Performs one action for peer `p`: a construction step if it has
+    /// no parent, otherwise the maintenance check. Exposed to the
+    /// asynchronous (event-driven) engine.
+    pub fn act_on(&mut self, p: PeerId) {
+        debug_assert!(self.online[p.index()], "offline peers do not act");
+        if self.overlay.parent(p).is_none() {
+            self.construction_step(p);
+        } else {
+            maintenance::maintain(self, p);
+        }
+    }
+
+    /// One construction step for a parent-less peer.
+    fn construction_step(&mut self, p: PeerId) {
+        self.proto[p.index()].rounds_unparented += 1;
+
+        // Target selection: referral first, then the timeout fallback to
+        // the source, then the oracle.
+        let referral = self.proto[p.index()].referral.take();
+        let target: Option<Member> = match referral {
+            Some(Member::Source) => Some(Member::Source),
+            Some(Member::Peer(j)) if self.online[j.index()] && j != p => Some(Member::Peer(j)),
+            // Dead or degenerate referral: fall through to the normal
+            // selection path this same round.
+            _ => {
+                if self.proto[p.index()].rounds_unparented >= self.config.timeout_rounds {
+                    Some(Member::Source)
+                } else {
+                    self.counters.oracle_queries += 1;
+                    let view = OracleView::new(&self.overlay, &self.population, &self.online);
+                    match self.oracle.sample(p, &view, &mut self.rng) {
+                        Some(j) if j != p && self.online[j.index()] => Some(Member::Peer(j)),
+                        Some(_) | None => {
+                            self.counters.oracle_misses += 1;
+                            None
+                        }
+                    }
+                }
+            }
+        };
+
+        match target {
+            None => {}
+            Some(Member::Source) => {
+                self.counters.source_contacts += 1;
+                self.proto[p.index()].rounds_unparented = 0;
+                self.source_interaction(p);
+            }
+            Some(Member::Peer(j)) => {
+                self.counters.interactions += 1;
+                match self.config.algorithm {
+                    Algorithm::Greedy => greedy::interact(self, p, j),
+                    Algorithm::Hybrid => hybrid::interact(self, p, j),
+                }
+            }
+        }
+
+        if self.overlay.parent(p).is_some() {
+            self.proto[p.index()].rounds_unparented = 0;
+        }
+    }
+
+    /// Interaction of a parent-less peer directly at the source — shared
+    /// by both algorithms (Algorithm 2 lines 2–7): attach if the source
+    /// has a free slot, otherwise displace a direct child `c` and adopt
+    /// it if possible. With a pull-only source the victim is the laxest
+    /// child with `l_c > l_p`; with a push-capable source (Algorithm 2
+    /// lines 29–33) it is the smallest-fanout child with `f_c < f_p`.
+    pub(crate) fn source_interaction(&mut self, p: PeerId) {
+        if self.overlay.has_free_fanout(Member::Source) {
+            self.overlay
+                .attach(p, Member::Source)
+                .expect("free source slot");
+            self.counters.attaches += 1;
+            self.emit_attach(p, Member::Source);
+            return;
+        }
+        let victim = match self.config.source_mode {
+            crate::config::SourceMode::Pull => {
+                let l_p = self.population.latency(p);
+                // Laxest direct child strictly laxer than p (ties broken
+                // by id for determinism).
+                self.overlay
+                    .source_children()
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.population.latency(c) > l_p)
+                    .max_by_key(|&c| (self.population.latency(c), c.get()))
+            }
+            crate::config::SourceMode::Push => {
+                // Fanout decides first (lines 29–33); latency remains
+                // the safety valve (lines 24–25): a strictly stricter
+                // node may displace the laxest child when no
+                // fanout-justified victim exists.
+                let f_p = self.population.fanout(p);
+                let l_p = self.population.latency(p);
+                self.overlay
+                    .source_children()
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.population.fanout(c) < f_p)
+                    .min_by_key(|&c| (self.population.fanout(c), c.get()))
+                    .or_else(|| {
+                        self.overlay
+                            .source_children()
+                            .iter()
+                            .copied()
+                            .filter(|&c| self.population.latency(c) > l_p)
+                            .max_by_key(|&c| (self.population.latency(c), c.get()))
+                    })
+            }
+        };
+        if let Some(c) = victim {
+            // The displacer's claim takes priority: the victim is
+            // orphaned if it cannot be adopted.
+            self.replace_and_adopt_impl(Member::Source, c, p, true);
+        }
+    }
+
+    /// `DelayAt` if rooted, speculative delay otherwise — the estimate
+    /// peers negotiate with inside fragments.
+    pub(crate) fn effective_delay(&self, p: PeerId) -> u32 {
+        self.overlay.speculative_delay(p)
+    }
+
+    /// Latency-checked attach: `child` goes under `parent` only if the
+    /// parent has a free slot and the child's (speculative) delay there
+    /// would respect the child's own constraint. Returns whether the
+    /// attach happened.
+    pub(crate) fn try_attach(&mut self, child: PeerId, parent: Member) -> bool {
+        let would_be = match parent {
+            Member::Source => 1,
+            Member::Peer(q) => self.effective_delay(q) + 1,
+        };
+        if would_be > self.population.latency(child) {
+            return false;
+        }
+        if self.overlay.attach(child, parent).is_ok() {
+            self.counters.attaches += 1;
+            self.emit_attach(child, parent);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Displacement into a full parent `j`: enquirer `i` becomes a child
+    /// of `j` by taking over one of `j`'s current children `m`
+    /// (`m ← i ← j`). The victim is *adopted* by `i` when that keeps it
+    /// satisfied (discarding `i`'s laxest fragment child if its fanout
+    /// is full — Algorithm 2's "i may need to discard one child node");
+    /// a *strictly laxer* victim may instead be orphaned when adoption
+    /// is impossible, mirroring the priority rule at the source (the
+    /// stricter node's claim wins). The victim policy depends on the
+    /// algorithm:
+    ///
+    /// * greedy (`DisplacePolicy::Greedy`) — only strictly laxer
+    ///   victims (preserving the `l_parent <= l_child` invariant),
+    ///   laxest first;
+    /// * hybrid (`DisplacePolicy::Hybrid`) — a victim qualifies if
+    ///   demoting it is capacity-cheap (`f_m <= f_i`, adoption required)
+    ///   or latency-justified (`l_m > l_i`); adoptable low-fanout
+    ///   victims are preferred, so high-fanout children are demoted
+    ///   only as a last resort.
+    ///
+    /// Returns whether the reconfiguration happened.
+    pub(crate) fn displace_into(&mut self, i: PeerId, j: PeerId, policy: DisplacePolicy) -> bool {
+        let d_j = self.effective_delay(j);
+        let l_i = self.population.latency(i);
+        if d_j + 1 > l_i {
+            return false;
+        }
+        let f_i = self.population.fanout(i);
+        // Whether adopting m (at depth d_j + 2) keeps it satisfied.
+        let adoptable = |m: PeerId| f_i > 0 && d_j + 2 <= self.population.latency(m);
+        let eligible = |m: PeerId| {
+            if m == i {
+                return false;
+            }
+            let strictly_laxer = self.population.latency(m) > l_i;
+            match policy {
+                DisplacePolicy::Greedy => strictly_laxer,
+                DisplacePolicy::Hybrid => {
+                    strictly_laxer || (self.population.fanout(m) <= f_i && adoptable(m))
+                }
+            }
+        };
+        let victim = match policy {
+            // Laxest victim first; prefer one that can be adopted.
+            DisplacePolicy::Greedy => self
+                .overlay
+                .children(j)
+                .iter()
+                .copied()
+                .filter(|&m| eligible(m))
+                .max_by_key(|&m| (adoptable(m), self.population.latency(m), m.get())),
+            // Adoptable victims first, then lowest fanout, then laxest.
+            DisplacePolicy::Hybrid => self
+                .overlay
+                .children(j)
+                .iter()
+                .copied()
+                .filter(|&m| eligible(m))
+                .max_by_key(|&m| {
+                    (
+                        adoptable(m),
+                        u32::MAX - self.population.fanout(m),
+                        self.population.latency(m),
+                        m.get(),
+                    )
+                }),
+        };
+        let Some(m) = victim else {
+            return false;
+        };
+        // i is parent-less, so it cannot be an ancestor of j; the only
+        // cycle risk is j being inside i's own fragment, which
+        // overlay.attach rejects — pre-check to keep this transactional.
+        if self.is_in_subtree_of(j, i) {
+            return false;
+        }
+        let adopt = adoptable(m);
+        if adopt && !self.overlay.has_free_fanout(Member::Peer(i)) {
+            // Make room for the victim by orphaning i's laxest fragment
+            // child.
+            let discard = self
+                .overlay
+                .children(i)
+                .iter()
+                .copied()
+                .max_by_key(|&c| (self.population.latency(c), c.get()))
+                .expect("positive fanout and full implies a child exists");
+            self.overlay.detach(discard).expect("child of i");
+            self.counters.detaches += 1;
+            self.emit_detach(discard, Member::Peer(i), DetachCause::Discarded);
+        }
+        self.overlay.detach(m).expect("m is a child of j");
+        self.emit_detach(m, Member::Peer(j), DetachCause::Displaced);
+        self.overlay
+            .attach(i, Member::Peer(j))
+            .expect("slot freed and cycle pre-checked");
+        self.emit_attach(i, Member::Peer(j));
+        if adopt {
+            self.overlay
+                .attach(m, Member::Peer(i))
+                .expect("room made at i and m was below j already");
+            self.counters.attaches += 1;
+            self.emit_attach(m, Member::Peer(i));
+        } else {
+            // m restarts construction from its displacer's neighborhood.
+            self.proto[m.index()].referral = Some(Member::Peer(j));
+        }
+        self.counters.displacements += 1;
+        self.counters.detaches += 1;
+        self.counters.attaches += 1;
+        true
+    }
+
+    /// The `j ← i ← k` reconfiguration: parent-less `i` takes `j`'s slot
+    /// under `parent`, adopting `j` (and thereby `j`'s subtree) as its
+    /// own child when feasible. If `i`'s fanout is full, its laxest
+    /// current child is discarded to make room (Algorithm 2: "i may need
+    /// to discard one child node"). Fails — with no state change —
+    /// unless the adoption keeps `j` satisfied. Returns whether the
+    /// reconfiguration happened.
+    pub(crate) fn replace_and_adopt(&mut self, parent: Member, j: PeerId, i: PeerId) -> bool {
+        self.replace_and_adopt_impl(parent, j, i, false)
+    }
+
+    /// [`Engine::replace_and_adopt`] with a policy switch: when
+    /// `orphan_if_unadoptable` is set (source displacement, where the
+    /// stricter/stronger node's claim takes priority) the swap proceeds
+    /// even if `j` cannot be adopted, leaving `j` a fragment root.
+    pub(crate) fn replace_and_adopt_impl(
+        &mut self,
+        parent: Member,
+        j: PeerId,
+        i: PeerId,
+        orphan_if_unadoptable: bool,
+    ) -> bool {
+        debug_assert_eq!(self.overlay.parent(j), Some(parent));
+        if i == j || self.overlay.parent(i).is_some() {
+            return false;
+        }
+        let slot_delay = match parent {
+            Member::Source => 1,
+            Member::Peer(k) => self.effective_delay(k) + 1,
+        };
+        let l_i = self.population.latency(i);
+        let l_j = self.population.latency(j);
+        if slot_delay > l_i {
+            return false;
+        }
+        let can_adopt = self.population.fanout(i) > 0 && slot_delay + 1 <= l_j;
+        if !can_adopt && !orphan_if_unadoptable {
+            return false;
+        }
+        // Cycle pre-check: the slot's parent must not sit inside i's
+        // fragment. (j itself cannot: j's parent is outside i's
+        // fragment, while every non-root member of i's fragment has its
+        // parent inside it.)
+        if let Member::Peer(k) = parent {
+            if self.is_in_subtree_of(k, i) {
+                return false;
+            }
+        }
+        if can_adopt && !self.overlay.has_free_fanout(Member::Peer(i)) {
+            // Discard the laxest current child to make room for j.
+            let discard = self
+                .overlay
+                .children(i)
+                .iter()
+                .copied()
+                .max_by_key(|&c| (self.population.latency(c), c.get()))
+                .expect("fanout > 0 and full implies a child exists");
+            self.overlay.detach(discard).expect("child of i");
+            self.counters.detaches += 1;
+            self.emit_detach(discard, Member::Peer(i), DetachCause::Discarded);
+        }
+        self.overlay.detach(j).expect("j is a child of parent");
+        self.emit_detach(j, parent, DetachCause::Displaced);
+        self.overlay
+            .attach(i, parent)
+            .expect("slot freed and cycle pre-checked");
+        self.emit_attach(i, parent);
+        if can_adopt {
+            self.overlay
+                .attach(j, Member::Peer(i))
+                .expect("room made at i");
+            self.counters.attaches += 1;
+            self.emit_attach(j, Member::Peer(i));
+        } else {
+            // j restarts construction; point it back at its displacer so
+            // its fragment can re-merge nearby.
+            self.proto[j.index()].referral = Some(Member::Peer(i));
+        }
+        self.counters.displacements += 1;
+        self.counters.detaches += 1;
+        self.counters.attaches += 1;
+        true
+    }
+
+    /// Whether `node` lies in the subtree rooted at `root` (walking up
+    /// from `node`; O(depth)).
+    pub(crate) fn is_in_subtree_of(&self, node: PeerId, root: PeerId) -> bool {
+        let mut cur = node;
+        loop {
+            if cur == root {
+                return true;
+            }
+            match self.overlay.parent(cur) {
+                Some(Member::Peer(q)) => cur = q,
+                Some(Member::Source) | None => return false,
+            }
+        }
+    }
+
+    /// Detaches `p` from its parent as a maintenance action and resets
+    /// its protocol state so construction restarts next round.
+    pub(crate) fn maintenance_detach(&mut self, p: PeerId) {
+        let parent = self.overlay.detach(p).expect("maintenance on parented peer");
+        self.counters.detaches += 1;
+        self.counters.maintenance_detaches += 1;
+        self.emit_detach(p, parent, DetachCause::Maintenance);
+        self.proto[p.index()].reset();
+    }
+
+    /// Applies one round of churn. Departing peers leave the overlay
+    /// (children become fragment roots, §3.2); arriving peers come back
+    /// fresh.
+    pub fn apply_churn(&mut self, churn: &mut dyn ChurnProcess) {
+        let mut bitmap = self.online.clone();
+        churn.step(&mut bitmap, &mut self.rng);
+        let peers: Vec<PeerId> = self.population.peer_ids().collect();
+        for p in peers {
+            let was = self.online[p.index()];
+            let now = bitmap[p.index()];
+            if was && !now {
+                self.counters.churn_departures += 1;
+                self.online[p.index()] = false;
+                if let Some(parent) = self.overlay.parent(p) {
+                    self.emit_detach(p, parent, DetachCause::Churn);
+                }
+                let orphans = self.overlay.remove_peer(p);
+                for orphan in orphans {
+                    self.emit_detach(orphan, Member::Peer(p), DetachCause::Churn);
+                }
+                self.proto[p.index()].reset();
+            } else if !was && now {
+                self.counters.churn_arrivals += 1;
+                self.online[p.index()] = true;
+                self.proto[p.index()].reset();
+            }
+        }
+        debug_assert_eq!(self.overlay.validate(), Ok(()));
+    }
+
+    /// Steps until convergence or the configured round cap, returning
+    /// the convergence round if reached.
+    pub fn run_to_convergence(&mut self) -> Option<Round> {
+        if self.is_converged() {
+            return Some(self.round);
+        }
+        while self.round.get() < self.config.max_rounds {
+            self.step();
+            if self.is_converged() {
+                return Some(self.round);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Constraints;
+    use crate::oracle::OracleKind;
+
+    fn p(i: u32) -> PeerId {
+        PeerId::new(i)
+    }
+
+    fn chain_population() -> Population {
+        Population::new(
+            1,
+            vec![
+                Constraints::new(1, 1),
+                Constraints::new(1, 2),
+                Constraints::new(0, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn trivial_chain_converges_under_both_algorithms() {
+        for algorithm in [Algorithm::Greedy, Algorithm::Hybrid] {
+            for oracle in OracleKind::ALL {
+                let config = ConstructionConfig::new(algorithm, oracle).with_max_rounds(2_000);
+                let mut engine = Engine::new(&chain_population(), &config, 7);
+                let at = engine.run_to_convergence();
+                assert!(
+                    at.is_some(),
+                    "{algorithm} with {oracle} failed to converge"
+                );
+                assert!(engine.is_converged());
+                assert_eq!(engine.satisfied_fraction(), 1.0);
+                engine.overlay().validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn source_interaction_attaches_when_free() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let mut engine = Engine::new(&chain_population(), &config, 1);
+        engine.source_interaction(p(0));
+        assert_eq!(engine.overlay.parent(p(0)), Some(Member::Source));
+        assert_eq!(engine.counters.attaches, 1);
+    }
+
+    #[test]
+    fn source_interaction_displaces_laxer_child() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let mut engine = Engine::new(&chain_population(), &config, 1);
+        // Peer 1 (l=2) grabs the only source slot first.
+        engine.source_interaction(p(1));
+        assert_eq!(engine.overlay.parent(p(1)), Some(Member::Source));
+        // Peer 0 (l=1) displaces it and adopts it.
+        engine.source_interaction(p(0));
+        assert_eq!(engine.overlay.parent(p(0)), Some(Member::Source));
+        assert_eq!(engine.overlay.parent(p(1)), Some(Member::Peer(p(0))));
+        assert_eq!(engine.counters.displacements, 1);
+        engine.overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn source_interaction_does_not_displace_stricter_child() {
+        let pop = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(1, 1)]);
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let mut engine = Engine::new(&pop, &config, 1);
+        engine.source_interaction(p(0));
+        engine.source_interaction(p(1));
+        // Equal latency: no displacement; peer 1 stays parent-less.
+        assert_eq!(engine.overlay.parent(p(1)), None);
+        assert_eq!(engine.counters.displacements, 0);
+    }
+
+    #[test]
+    fn try_attach_enforces_latency() {
+        let pop = Population::new(
+            2,
+            vec![Constraints::new(2, 1), Constraints::new(0, 1)],
+        );
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let mut engine = Engine::new(&pop, &config, 1);
+        assert!(engine.try_attach(p(0), Member::Source));
+        // Peer 1 has l=1; attaching under peer 0 would put it at delay 2.
+        assert!(!engine.try_attach(p(1), Member::Peer(p(0))));
+        assert!(engine.try_attach(p(1), Member::Source));
+    }
+
+    #[test]
+    fn replace_and_adopt_moves_subtrees() {
+        // source(f=1); a(f=1,l=4) holds b(f=0,l=4); i(f=2,l=1) swaps in.
+        let pop = Population::new(
+            1,
+            vec![
+                Constraints::new(1, 4),
+                Constraints::new(0, 4),
+                Constraints::new(2, 1),
+            ],
+        );
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::Random);
+        let mut engine = Engine::new(&pop, &config, 1);
+        engine.overlay.attach(p(0), Member::Source).unwrap();
+        engine.overlay.attach(p(1), Member::Peer(p(0))).unwrap();
+        assert!(engine.replace_and_adopt(Member::Source, p(0), p(2)));
+        assert_eq!(engine.overlay.parent(p(2)), Some(Member::Source));
+        assert_eq!(engine.overlay.parent(p(0)), Some(Member::Peer(p(2))));
+        // b rides along under a.
+        assert_eq!(engine.overlay.parent(p(1)), Some(Member::Peer(p(0))));
+        assert_eq!(engine.overlay.delay(p(1)), Some(3));
+        engine.overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_and_adopt_refuses_when_old_child_would_break() {
+        // j has l=1; being adopted at delay 2 would violate it.
+        let pop = Population::new(
+            1,
+            vec![Constraints::new(1, 1), Constraints::new(2, 1)],
+        );
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::Random);
+        let mut engine = Engine::new(&pop, &config, 1);
+        engine.overlay.attach(p(0), Member::Source).unwrap();
+        assert!(!engine.replace_and_adopt(Member::Source, p(0), p(1)));
+        assert_eq!(engine.overlay.parent(p(0)), Some(Member::Source));
+        assert_eq!(engine.overlay.parent(p(1)), None);
+    }
+
+    #[test]
+    fn churn_departure_orphans_children_and_arrival_restores() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let mut engine = Engine::new(&chain_population(), &config, 3);
+        engine.run_to_convergence().expect("converges");
+
+        // Force peer 0 (the source child) offline.
+        struct KillPeer0;
+        impl ChurnProcess for KillPeer0 {
+            fn step(
+                &mut self,
+                online: &mut [bool],
+                _rng: &mut SimRng,
+            ) -> lagover_sim::Transitions {
+                online[0] = false;
+                lagover_sim::Transitions {
+                    departures: 1,
+                    arrivals: 0,
+                }
+            }
+        }
+        engine.apply_churn(&mut KillPeer0);
+        assert!(!engine.is_online(p(0)));
+        assert!(!engine.is_converged());
+        assert_eq!(engine.overlay.parent(p(1)), None, "orphaned");
+        // The orphan keeps its own child: fragment reuse.
+        assert_eq!(engine.overlay.parent(p(2)), Some(Member::Peer(p(1))));
+
+        // Remaining two peers re-converge (l=2 and l=3 both fit).
+        let at = engine.run_to_convergence();
+        assert!(at.is_some(), "survivors re-converge");
+    }
+
+    #[test]
+    fn satisfied_fraction_is_one_when_everyone_offline() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let mut engine = Engine::new(&chain_population(), &config, 5);
+        struct KillAll;
+        impl ChurnProcess for KillAll {
+            fn step(
+                &mut self,
+                online: &mut [bool],
+                _rng: &mut SimRng,
+            ) -> lagover_sim::Transitions {
+                let n = online.len();
+                online.iter_mut().for_each(|o| *o = false);
+                lagover_sim::Transitions {
+                    departures: n,
+                    arrivals: 0,
+                }
+            }
+        }
+        engine.apply_churn(&mut KillAll);
+        assert_eq!(engine.satisfied_fraction(), 1.0);
+        assert!(engine.is_converged());
+        assert_eq!(engine.online_count(), 0);
+    }
+}

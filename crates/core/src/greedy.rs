@@ -1,0 +1,213 @@
+//! The greedy construction algorithm (§3.1): place nodes strictly by
+//! latency constraint, maintaining the invariant `l_parent <= l_child`
+//! along every edge.
+//!
+//! One interaction of a parent-less peer `i` with a random peer `j`:
+//!
+//! * `j` has no parent (two fragments meet) — the node with the smaller
+//!   latency constraint becomes the parent, subject to fanout and a
+//!   speculative latency check; on ties either direction is tried.
+//! * `j` has a parent and `l_j <= l_i` — `i` tries to become `j`'s
+//!   child, first into a free slot, then by displacing a strictly laxer
+//!   child `m` of `j` (`m ← i ← j`, keeping `m` satisfied); failing
+//!   both, `i` is referred upstream to `Parent(j)` ("more likely to
+//!   fulfill `i`'s latency constraint").
+//! * `j` has a parent and `l_i < l_j` — `i` belongs above `j`: it is
+//!   referred upstream; displacement of `j` itself happens when the
+//!   climb reaches the source (handled by
+//!   [`Engine::source_interaction`](crate::engine::Engine)).
+
+use crate::engine::{DisplacePolicy, Engine};
+use crate::node::{Member, PeerId};
+
+/// One greedy interaction `i ↔ j`; `i` is parent-less and both peers
+/// are online.
+pub(crate) fn interact(engine: &mut Engine, i: PeerId, j: PeerId) {
+    let l_i = engine.population.latency(i);
+    let l_j = engine.population.latency(j);
+
+    match engine.overlay.parent(j) {
+        None => {
+            // Two fragments meet; merge respecting the latency order.
+            if l_j < l_i {
+                if engine.try_attach(i, Member::Peer(j)) {
+                    return;
+                }
+                // j's slots are full: displace a strictly laxer child.
+                if engine.displace_into(i, j, DisplacePolicy::Greedy) {
+                    return;
+                }
+            } else if l_i < l_j {
+                if engine.try_attach(j, Member::Peer(i)) {
+                    return;
+                }
+            } else {
+                // Equal constraints: either direction preserves the
+                // invariant; prefer j (the contacted peer) as parent so
+                // the enquirer makes progress, then the reverse.
+                if engine.try_attach(i, Member::Peer(j)) || engine.try_attach(j, Member::Peer(i)) {
+                    return;
+                }
+            }
+            // No configuration possible; next round consults the oracle.
+        }
+        Some(parent) => {
+            if l_j <= l_i {
+                // i tries to become a child of j.
+                if engine.try_attach(i, Member::Peer(j)) {
+                    return;
+                }
+                if engine.displace_into(i, j, DisplacePolicy::Greedy) {
+                    return;
+                }
+            }
+            // Referred upstream: towards strictly stricter territory.
+            engine.proto[i.index()].referral = Some(parent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, ConstructionConfig};
+    use crate::node::{Constraints, Population};
+    use crate::oracle::OracleKind;
+
+    fn p(i: u32) -> PeerId {
+        PeerId::new(i)
+    }
+
+    fn engine(specs: &[(u32, u32)], source_fanout: u32) -> Engine {
+        let pop = Population::new(
+            source_fanout,
+            specs
+                .iter()
+                .map(|&(f, l)| Constraints::new(f, l))
+                .collect(),
+        );
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        Engine::new(&pop, &config, 99)
+    }
+
+    #[test]
+    fn fragment_merge_orders_by_latency() {
+        let mut e = engine(&[(1, 3), (1, 1)], 1);
+        // i (l=3) meets unparented j (l=1): j must be the parent.
+        interact(&mut e, p(0), p(1));
+        assert_eq!(e.overlay.parent(p(0)), Some(Member::Peer(p(1))));
+        assert_eq!(e.overlay.parent(p(1)), None, "j remains a fragment root");
+    }
+
+    #[test]
+    fn fragment_merge_reverse_direction() {
+        let mut e = engine(&[(1, 1), (1, 3)], 1);
+        // i (l=1) meets unparented j (l=3): i becomes the parent.
+        interact(&mut e, p(0), p(1));
+        assert_eq!(e.overlay.parent(p(1)), Some(Member::Peer(p(0))));
+    }
+
+    #[test]
+    fn equal_latency_merges_through_available_fanout() {
+        let mut e = engine(&[(0, 2), (1, 2)], 1);
+        // i has no fanout; j does: i must end up under j.
+        interact(&mut e, p(0), p(1));
+        assert_eq!(e.overlay.parent(p(0)), Some(Member::Peer(p(1))));
+    }
+
+    #[test]
+    fn speculative_latency_blocks_hopeless_merge() {
+        // j (l=2) is a fragment root with a child chain; i (l=2) would
+        // land at speculative delay 3 > 2.
+        let mut e = engine(&[(1, 2), (2, 2), (1, 2)], 1);
+        e.overlay.attach(p(2), Member::Peer(p(1))).unwrap();
+        // i = 0 meets j = 2 (child of fragment root 1): spec delay of 2
+        // is 2, so i under 2 would be 3 > l_0 = 2. No displacement
+        // (strictly laxer child required). i gets referred to 2's parent.
+        interact(&mut e, p(0), p(2));
+        assert_eq!(e.overlay.parent(p(0)), None);
+        assert_eq!(e.proto[0].referral, Some(Member::Peer(p(1))));
+    }
+
+    #[test]
+    fn attaches_into_free_slot_of_parented_peer() {
+        let mut e = engine(&[(1, 1), (1, 2)], 1);
+        e.overlay.attach(p(0), Member::Source).unwrap();
+        interact(&mut e, p(1), p(0));
+        assert_eq!(e.overlay.parent(p(1)), Some(Member::Peer(p(0))));
+        assert_eq!(e.overlay.delay(p(1)), Some(2));
+    }
+
+    #[test]
+    fn displaces_strictly_laxer_child() {
+        // Source -> a(l=1,f=1) -> m(l=4). i (l=2) displaces m.
+        let mut e = engine(&[(1, 1), (1, 4), (1, 2)], 1);
+        e.overlay.attach(p(0), Member::Source).unwrap();
+        e.overlay.attach(p(1), Member::Peer(p(0))).unwrap();
+        interact(&mut e, p(2), p(0));
+        assert_eq!(e.overlay.parent(p(2)), Some(Member::Peer(p(0))));
+        assert_eq!(e.overlay.parent(p(1)), Some(Member::Peer(p(2))));
+        assert_eq!(e.overlay.delay(p(1)), Some(3), "m stays satisfied");
+        e.overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn does_not_displace_equal_latency_child() {
+        let mut e = engine(&[(1, 1), (1, 2), (1, 2)], 1);
+        e.overlay.attach(p(0), Member::Source).unwrap();
+        e.overlay.attach(p(1), Member::Peer(p(0))).unwrap();
+        interact(&mut e, p(2), p(0));
+        // No displacement: the victim must be strictly laxer. i climbs.
+        assert_eq!(e.overlay.parent(p(2)), None);
+        assert_eq!(e.proto[2].referral, Some(Member::Source));
+    }
+
+    #[test]
+    fn stricter_enquirer_is_referred_upstream() {
+        let mut e = engine(&[(1, 1), (1, 3), (1, 2)], 1);
+        e.overlay.attach(p(0), Member::Source).unwrap();
+        e.overlay.attach(p(1), Member::Peer(p(0))).unwrap();
+        // i (l=2) meets j (l=3): i belongs above j — referred to j's
+        // parent.
+        interact(&mut e, p(2), p(1));
+        assert_eq!(e.overlay.parent(p(2)), None);
+        assert_eq!(e.proto[2].referral, Some(Member::Peer(p(0))));
+    }
+
+    #[test]
+    fn greedy_invariant_holds_after_full_construction() {
+        // A feasible mixed population; after convergence every edge must
+        // satisfy l_parent <= l_child.
+        let specs = [
+            (2, 1),
+            (2, 1),
+            (2, 2),
+            (2, 2),
+            (1, 3),
+            (1, 3),
+            (0, 3),
+            (0, 4),
+            (0, 4),
+            (0, 4),
+        ];
+        let pop = Population::new(
+            2,
+            specs
+                .iter()
+                .map(|&(f, l)| Constraints::new(f, l))
+                .collect(),
+        );
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let mut e = Engine::new(&pop, &config, 11);
+        e.run_to_convergence().expect("feasible population converges");
+        for peer in pop.peer_ids() {
+            if let Some(Member::Peer(q)) = e.overlay().parent(peer) {
+                assert!(
+                    pop.latency(q) <= pop.latency(peer),
+                    "greedy invariant violated on edge {q} -> {peer}"
+                );
+            }
+        }
+    }
+}

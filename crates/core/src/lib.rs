@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # lagover-core
+//!
+//! The primary contribution of *"LagOver: Latency Gradated Overlays"*
+//! (Datta, Stoica, Franklin — ICDCS 2007): self-organizing dissemination
+//! trees in which every consumer's individual **latency constraint**
+//! (`l_i`, maximum tolerated staleness) and **fanout constraint** (`f_i`,
+//! maximum children served) are first-class.
+//!
+//! The crate provides:
+//!
+//! * [`node`] — peer identities, `(f, l)` constraints, populations;
+//! * [`overlay`] — the dissemination forest with `Parent` / `Children` /
+//!   `Root` / `DelayAt` queries and invariant-checked mutations;
+//! * [`oracle`] — the four partial-global-information Oracles of §2.1.4
+//!   (`Random`, `Random-Capacity`, `Random-Delay-Capacity`,
+//!   `Random-Delay`) behind a trait that substrate realizations plug
+//!   into;
+//! * the **greedy** (§3.1) and **hybrid** (§3.4, Algorithm 2)
+//!   construction algorithms with the maintenance protocol
+//!   (Algorithm 1), driven by the round-based [`Engine`] or the
+//!   event-driven asynchronous runner ([`run_async`]);
+//! * [`sufficiency`] — the §3.3 existence condition and an exact
+//!   feasibility checker;
+//! * [`runner`] — convergence and churn run orchestration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+//! use lagover_core::node::{Constraints, Population};
+//!
+//! // A source that serves 2 direct consumers, and four consumers with
+//! // mixed constraints.
+//! let population = Population::new(2, vec![
+//!     Constraints::new(2, 1),   // strict: must hear within 1 time unit
+//!     Constraints::new(1, 2),
+//!     Constraints::new(0, 2),
+//!     Constraints::new(0, 3),   // lax: anywhere in the tree works
+//! ]);
+//!
+//! let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
+//! let outcome = construct(&population, &config, 42);
+//! assert!(outcome.converged());
+//! ```
+
+pub mod analysis;
+pub mod async_engine;
+pub mod config;
+pub mod engine;
+pub mod node;
+pub mod oracle;
+pub mod overlay;
+pub mod runner;
+pub mod sufficiency;
+pub mod trace;
+
+mod greedy;
+mod hybrid;
+mod maintenance;
+
+pub use async_engine::{
+    as_construction_outcome, run_async, run_async_lockstep, run_async_with_churn, AsyncChurnOutcome,
+    AsyncOutcome,
+};
+pub use config::{Algorithm, ConstructionConfig, SourceMode};
+pub use engine::{Engine, EngineCounters, EngineSnapshot};
+pub use node::{Constraints, Member, PeerId, Population};
+pub use oracle::{Oracle, OracleKind, OracleView};
+pub use overlay::{ChainRoot, Overlay, OverlayError};
+pub use runner::{construct, construct_with_oracle, run_with_churn, ChurnOutcome, ConstructionOutcome};
+pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
+pub use trace::{DetachCause, TraceEvent, TraceLog};

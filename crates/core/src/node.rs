@@ -1,0 +1,267 @@
+//! Node identities, per-node constraints, and populations.
+//!
+//! The paper writes a consumer as `i_f^l` — node `i` with maximum fanout
+//! `f` and delay constraint `l` (Table 1). The feed source is *node 0*;
+//! here it is the distinguished [`Member::Source`] variant rather than
+//! index 0, so peer indices stay dense and the type system rules out
+//! "source used as a consumer" bugs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a consumer peer (dense index into the population).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PeerId(u32);
+
+impl PeerId {
+    /// Creates a peer id from a dense index.
+    pub fn new(index: u32) -> Self {
+        PeerId(index)
+    }
+
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw id value.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer {}", self.0)
+    }
+}
+
+/// A participant in the overlay: the feed source (the paper's node 0) or
+/// a consumer peer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Member {
+    /// The feed source.
+    Source,
+    /// A consumer.
+    Peer(PeerId),
+}
+
+impl Member {
+    /// The peer id if this member is a consumer.
+    pub fn peer(self) -> Option<PeerId> {
+        match self {
+            Member::Source => None,
+            Member::Peer(p) => Some(p),
+        }
+    }
+
+    /// Whether this member is the source.
+    pub fn is_source(self) -> bool {
+        matches!(self, Member::Source)
+    }
+}
+
+impl From<PeerId> for Member {
+    fn from(p: PeerId) -> Self {
+        Member::Peer(p)
+    }
+}
+
+impl fmt::Display for Member {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Member::Source => write!(f, "source"),
+            Member::Peer(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A consumer's declared constraints: the paper's `(f_i, l_i)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Maximum number of children this peer will serve (`f_i`, may be 0).
+    pub fanout: u32,
+    /// Maximum tolerated delay in time units / overlay hops (`l_i` ≥ 1).
+    pub latency: u32,
+}
+
+impl Constraints {
+    /// Creates a constraint pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`: a node one hop from the source already
+    /// observes delay 1, so `l = 0` is unsatisfiable by definition.
+    pub fn new(fanout: u32, latency: u32) -> Self {
+        assert!(latency >= 1, "latency constraint must be at least 1");
+        Constraints { fanout, latency }
+    }
+}
+
+impl fmt::Display for Constraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f={} l={}", self.fanout, self.latency)
+    }
+}
+
+/// The consumer population plus the source's own fanout budget.
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::node::{Constraints, Population};
+///
+/// let pop = Population::new(3, vec![
+///     Constraints::new(3, 1),
+///     Constraints::new(2, 2),
+/// ]);
+/// assert_eq!(pop.len(), 2);
+/// assert_eq!(pop.source_fanout(), 3);
+/// assert_eq!(pop.constraints(lagover_core::node::PeerId::new(1)).latency, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    source_fanout: u32,
+    peers: Vec<Constraints>,
+}
+
+impl Population {
+    /// Creates a population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_fanout == 0` (the source must serve someone) or
+    /// the population is empty.
+    pub fn new(source_fanout: u32, peers: Vec<Constraints>) -> Self {
+        assert!(source_fanout >= 1, "source fanout must be at least 1");
+        assert!(!peers.is_empty(), "population must be non-empty");
+        Population {
+            source_fanout,
+            peers,
+        }
+    }
+
+    /// Number of consumers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether there are no consumers (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The source's fanout budget (`f_0`).
+    pub fn source_fanout(&self) -> u32 {
+        self.source_fanout
+    }
+
+    /// Constraints of one peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer id is out of range.
+    pub fn constraints(&self, p: PeerId) -> Constraints {
+        self.peers[p.index()]
+    }
+
+    /// Latency constraint `l_p`.
+    pub fn latency(&self, p: PeerId) -> u32 {
+        self.peers[p.index()].latency
+    }
+
+    /// Fanout constraint `f_p`.
+    pub fn fanout(&self, p: PeerId) -> u32 {
+        self.peers[p.index()].fanout
+    }
+
+    /// Iterates over `(PeerId, Constraints)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, Constraints)> + '_ {
+        self.peers
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (PeerId::new(i as u32), c))
+    }
+
+    /// All peer ids.
+    pub fn peer_ids(&self) -> impl Iterator<Item = PeerId> + '_ {
+        (0..self.peers.len() as u32).map(PeerId::new)
+    }
+
+    /// The largest latency constraint present.
+    pub fn max_latency(&self) -> u32 {
+        self.peers.iter().map(|c| c.latency).max().unwrap_or(0)
+    }
+
+    /// Total consumer-side fanout capacity.
+    pub fn total_fanout(&self) -> u64 {
+        self.peers.iter().map(|c| u64::from(c.fanout)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_round_trips() {
+        let p = PeerId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.get(), 7);
+        assert_eq!(p.to_string(), "peer 7");
+    }
+
+    #[test]
+    fn member_conversions() {
+        let p = PeerId::new(3);
+        let m: Member = p.into();
+        assert_eq!(m.peer(), Some(p));
+        assert!(!m.is_source());
+        assert!(Member::Source.is_source());
+        assert_eq!(Member::Source.peer(), None);
+        assert_eq!(Member::Source.to_string(), "source");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_latency_rejected() {
+        Constraints::new(1, 0);
+    }
+
+    #[test]
+    fn population_accessors() {
+        let pop = Population::new(
+            2,
+            vec![
+                Constraints::new(3, 1),
+                Constraints::new(0, 4),
+                Constraints::new(1, 2),
+            ],
+        );
+        assert_eq!(pop.len(), 3);
+        assert_eq!(pop.latency(PeerId::new(1)), 4);
+        assert_eq!(pop.fanout(PeerId::new(1)), 0);
+        assert_eq!(pop.max_latency(), 4);
+        assert_eq!(pop.total_fanout(), 4);
+        assert_eq!(pop.peer_ids().count(), 3);
+        let collected: Vec<_> = pop.iter().collect();
+        assert_eq!(collected[2].0, PeerId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        Population::new(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source fanout")]
+    fn zero_source_fanout_rejected() {
+        Population::new(0, vec![Constraints::new(1, 1)]);
+    }
+}

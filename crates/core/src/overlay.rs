@@ -1,0 +1,499 @@
+//! The overlay forest: parent/child links, delay and root queries, and
+//! the invariant-checked mutation primitives every construction
+//! algorithm is built from.
+//!
+//! During construction the overlay is a *forest*: fragments whose roots
+//! are still looking for a parent, plus the tree rooted at the source.
+//! The paper's local knowledge assumptions (§2.1.3) — every node knows
+//! `Parent()`, `Children()`, `Root()` and `DelayAt()` of its chain — map
+//! to the query methods here. `DelayAt` follows the worked example of
+//! §3.2: a direct child of the source observes delay 1 (one pull
+//! interval), and every further hop adds one time unit, i.e.
+//! `DelayAt(i) = depth(i)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{Member, PeerId, Population};
+
+/// Root of a peer's chain: either the source (the chain can actually
+/// receive the feed) or the topmost parent-less peer of a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainRoot {
+    /// The chain reaches node 0; `DelayAt` is real.
+    Source,
+    /// The chain dangles from a fragment root still seeking a parent.
+    Fragment(PeerId),
+}
+
+/// Why a mutation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The child already has a parent (detach first).
+    HasParent,
+    /// The prospective parent has no unused fanout.
+    ParentFull,
+    /// The attachment would create a cycle (the parent is in the
+    /// child's subtree).
+    WouldCycle,
+    /// A peer may not adopt itself.
+    SelfParent,
+    /// The peer has no parent to detach from.
+    NoParent,
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            OverlayError::HasParent => "child already has a parent",
+            OverlayError::ParentFull => "parent fanout is fully used",
+            OverlayError::WouldCycle => "attachment would create a cycle",
+            OverlayError::SelfParent => "a peer cannot be its own parent",
+            OverlayError::NoParent => "peer has no parent",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// The dissemination forest over a fixed population.
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::node::{Constraints, Member, PeerId, Population};
+/// use lagover_core::overlay::Overlay;
+///
+/// let pop = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(0, 2)]);
+/// let mut overlay = Overlay::new(&pop);
+/// let (a, b) = (PeerId::new(0), PeerId::new(1));
+/// overlay.attach(a, Member::Source)?;
+/// overlay.attach(b, Member::Peer(a))?;
+/// assert_eq!(overlay.delay(b), Some(2));
+/// # Ok::<(), lagover_core::overlay::OverlayError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Overlay {
+    source_fanout: u32,
+    fanout: Vec<u32>,
+    parent: Vec<Option<Member>>,
+    children: Vec<Vec<PeerId>>,
+    source_children: Vec<PeerId>,
+}
+
+impl Overlay {
+    /// Creates an empty forest (every peer parent-less) for a population.
+    pub fn new(population: &Population) -> Self {
+        let n = population.len();
+        Overlay {
+            source_fanout: population.source_fanout(),
+            fanout: population.iter().map(|(_, c)| c.fanout).collect(),
+            parent: vec![None; n],
+            children: vec![Vec::new(); n],
+            source_children: Vec::new(),
+        }
+    }
+
+    /// Number of peers the forest was sized for.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest tracks no peers.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// `Parent(p)`, if any.
+    pub fn parent(&self, p: PeerId) -> Option<Member> {
+        self.parent[p.index()]
+    }
+
+    /// `Children(p)`.
+    pub fn children(&self, p: PeerId) -> &[PeerId] {
+        &self.children[p.index()]
+    }
+
+    /// Children of the source.
+    pub fn source_children(&self) -> &[PeerId] {
+        &self.source_children
+    }
+
+    /// Unused fanout of a member.
+    pub fn free_fanout(&self, m: Member) -> u32 {
+        match m {
+            Member::Source => self.source_fanout - self.source_children.len() as u32,
+            Member::Peer(p) => self.fanout[p.index()] - self.children[p.index()].len() as u32,
+        }
+    }
+
+    /// Whether a member has unused fanout.
+    pub fn has_free_fanout(&self, m: Member) -> bool {
+        self.free_fanout(m) > 0
+    }
+
+    /// `Root(p)`: walks the chain upstream to the source or the
+    /// fragment root.
+    pub fn root(&self, p: PeerId) -> ChainRoot {
+        let mut current = p;
+        loop {
+            match self.parent[current.index()] {
+                Some(Member::Source) => return ChainRoot::Source,
+                Some(Member::Peer(q)) => current = q,
+                None => return ChainRoot::Fragment(current),
+            }
+        }
+    }
+
+    /// Whether `p`'s chain reaches the source.
+    pub fn is_rooted(&self, p: PeerId) -> bool {
+        matches!(self.root(p), ChainRoot::Source)
+    }
+
+    /// Number of edges between `p` and its chain root (0 when `p` *is*
+    /// the fragment root; depth when rooted at the source).
+    pub fn hops_to_root(&self, p: PeerId) -> u32 {
+        let mut hops = 0;
+        let mut current = p;
+        loop {
+            match self.parent[current.index()] {
+                Some(Member::Source) => return hops + 1,
+                Some(Member::Peer(q)) => {
+                    hops += 1;
+                    current = q;
+                }
+                None => return hops,
+            }
+        }
+    }
+
+    /// `DelayAt(p)`: the actual observed delay, defined only when the
+    /// chain reaches the source. A direct child of the source observes
+    /// delay 1 (§3.2 worked example); each hop adds one time unit.
+    pub fn delay(&self, p: PeerId) -> Option<u32> {
+        match self.root(p) {
+            ChainRoot::Source => Some(self.hops_to_root(p)),
+            ChainRoot::Fragment(_) => None,
+        }
+    }
+
+    /// The delay `p` *would* observe if its fragment root attached
+    /// directly to the source — the optimistic estimate peers use when
+    /// negotiating inside unrooted fragments. Equals [`Overlay::delay`]
+    /// for rooted peers.
+    pub fn speculative_delay(&self, p: PeerId) -> u32 {
+        match self.root(p) {
+            ChainRoot::Source => self.hops_to_root(p),
+            ChainRoot::Fragment(_) => self.hops_to_root(p) + 1,
+        }
+    }
+
+    /// Attaches `child` under `parent`.
+    ///
+    /// The child's entire subtree comes along (its own children keep
+    /// their links), so the cycle check walks *up* from the parent.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::HasParent`], [`OverlayError::ParentFull`],
+    /// [`OverlayError::SelfParent`], or [`OverlayError::WouldCycle`].
+    pub fn attach(&mut self, child: PeerId, parent: Member) -> Result<(), OverlayError> {
+        if parent == Member::Peer(child) {
+            return Err(OverlayError::SelfParent);
+        }
+        if self.parent[child.index()].is_some() {
+            return Err(OverlayError::HasParent);
+        }
+        if !self.has_free_fanout(parent) {
+            return Err(OverlayError::ParentFull);
+        }
+        if let Member::Peer(p) = parent {
+            // Reject if child is an ancestor of parent (or parent itself,
+            // covered above): walking up from parent must not meet child.
+            let mut cur = p;
+            loop {
+                if cur == child {
+                    return Err(OverlayError::WouldCycle);
+                }
+                match self.parent[cur.index()] {
+                    Some(Member::Peer(q)) => cur = q,
+                    Some(Member::Source) | None => break,
+                }
+            }
+        }
+        self.parent[child.index()] = Some(parent);
+        match parent {
+            Member::Source => self.source_children.push(child),
+            Member::Peer(p) => self.children[p.index()].push(child),
+        }
+        Ok(())
+    }
+
+    /// Detaches `child` from its parent (the paper's `j ↚ i`). The
+    /// child keeps its own subtree and becomes a fragment root.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::NoParent`] if the child has no parent.
+    pub fn detach(&mut self, child: PeerId) -> Result<Member, OverlayError> {
+        let parent = self.parent[child.index()].ok_or(OverlayError::NoParent)?;
+        self.parent[child.index()] = None;
+        let list = match parent {
+            Member::Source => &mut self.source_children,
+            Member::Peer(p) => &mut self.children[p.index()],
+        };
+        let pos = list
+            .iter()
+            .position(|&c| c == child)
+            .expect("parent/child link consistency");
+        list.swap_remove(pos);
+        Ok(parent)
+    }
+
+    /// Removes a departing peer from the overlay (churn): detaches it
+    /// from its parent and orphans each of its children, which keep
+    /// their own subtrees and become fragment roots (§3.2 argues this
+    /// reuse of past structure matters).
+    ///
+    /// Returns the orphaned children.
+    pub fn remove_peer(&mut self, p: PeerId) -> Vec<PeerId> {
+        if self.parent[p.index()].is_some() {
+            self.detach(p).expect("checked parent");
+        }
+        let orphans = std::mem::take(&mut self.children[p.index()]);
+        for &c in &orphans {
+            self.parent[c.index()] = None;
+        }
+        orphans
+    }
+
+    /// Iterates over the subtree of `p` (including `p`), breadth-first.
+    pub fn subtree(&self, p: PeerId) -> Vec<PeerId> {
+        let mut out = vec![p];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend(self.children[out[i].index()].iter().copied());
+            i += 1;
+        }
+        out
+    }
+
+    /// Number of peers currently attached (having any parent).
+    pub fn attached_count(&self) -> usize {
+        self.parent.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Exhaustively checks structural invariants; used by tests and
+    /// debug assertions. Cheap enough (O(n + edges)) to run after every
+    /// round in test builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.source_children.len() as u32 > self.source_fanout {
+            return Err(format!(
+                "source fanout exceeded: {} > {}",
+                self.source_children.len(),
+                self.source_fanout
+            ));
+        }
+        for (i, kids) in self.children.iter().enumerate() {
+            let p = PeerId::new(i as u32);
+            if kids.len() as u32 > self.fanout[i] {
+                return Err(format!("{p} fanout exceeded"));
+            }
+            for &c in kids {
+                if self.parent[c.index()] != Some(Member::Peer(p)) {
+                    return Err(format!("{c} not linked back to {p}"));
+                }
+            }
+        }
+        for &c in &self.source_children {
+            if self.parent[c.index()] != Some(Member::Source) {
+                return Err(format!("{c} not linked back to source"));
+            }
+        }
+        for (i, par) in self.parent.iter().enumerate() {
+            let p = PeerId::new(i as u32);
+            match par {
+                Some(Member::Source) => {
+                    if !self.source_children.contains(&p) {
+                        return Err(format!("{p} missing from source children"));
+                    }
+                }
+                Some(Member::Peer(q)) => {
+                    if !self.children[q.index()].contains(&p) {
+                        return Err(format!("{p} missing from children of {q}"));
+                    }
+                }
+                None => {}
+            }
+            // Cycle check: walking up from p must terminate within n
+            // steps.
+            let mut cur = p;
+            let mut steps = 0;
+            loop {
+                match self.parent[cur.index()] {
+                    Some(Member::Peer(q)) => {
+                        cur = q;
+                        steps += 1;
+                        if steps > self.parent.len() {
+                            return Err(format!("cycle through {p}"));
+                        }
+                    }
+                    Some(Member::Source) | None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Constraints;
+
+    fn pop(source_fanout: u32, specs: &[(u32, u32)]) -> Population {
+        Population::new(
+            source_fanout,
+            specs
+                .iter()
+                .map(|&(f, l)| Constraints::new(f, l))
+                .collect(),
+        )
+    }
+
+    fn p(i: u32) -> PeerId {
+        PeerId::new(i)
+    }
+
+    #[test]
+    fn attach_detach_round_trip() {
+        let population = pop(2, &[(2, 1), (1, 2), (0, 3)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(1))).unwrap();
+        assert_eq!(o.delay(p(2)), Some(3));
+        assert_eq!(o.parent(p(1)), Some(Member::Peer(p(0))));
+        assert_eq!(o.children(p(0)), &[p(1)]);
+        assert!(o.is_rooted(p(2)));
+        o.validate().unwrap();
+
+        let old_parent = o.detach(p(1)).unwrap();
+        assert_eq!(old_parent, Member::Peer(p(0)));
+        assert_eq!(o.delay(p(2)), None, "fragment has no actual delay");
+        assert_eq!(o.root(p(2)), ChainRoot::Fragment(p(1)));
+        assert_eq!(o.speculative_delay(p(2)), 2);
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn attach_rejects_full_parent() {
+        let population = pop(1, &[(0, 1), (0, 1)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        assert_eq!(o.attach(p(1), Member::Source), Err(OverlayError::ParentFull));
+        assert_eq!(
+            o.attach(p(1), Member::Peer(p(0))),
+            Err(OverlayError::ParentFull)
+        );
+    }
+
+    #[test]
+    fn attach_rejects_double_parent_and_self() {
+        let population = pop(2, &[(1, 1), (1, 2)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        assert_eq!(o.attach(p(0), Member::Source), Err(OverlayError::HasParent));
+        assert_eq!(
+            o.attach(p(1), Member::Peer(p(1))),
+            Err(OverlayError::SelfParent)
+        );
+    }
+
+    #[test]
+    fn attach_rejects_cycle() {
+        let population = pop(2, &[(1, 1), (1, 2), (1, 3)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(1))).unwrap();
+        // 0 under 2 would close the loop 0 -> 1 -> 2 -> 0.
+        assert_eq!(
+            o.attach(p(0), Member::Peer(p(2))),
+            Err(OverlayError::WouldCycle)
+        );
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_without_parent_errors() {
+        let population = pop(1, &[(1, 1)]);
+        let mut o = Overlay::new(&population);
+        assert_eq!(o.detach(p(0)), Err(OverlayError::NoParent));
+    }
+
+    #[test]
+    fn remove_peer_orphans_children_with_subtrees() {
+        let population = pop(1, &[(2, 1), (1, 2), (1, 2), (0, 3)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(0))).unwrap();
+        o.attach(p(3), Member::Peer(p(1))).unwrap();
+        let orphans = o.remove_peer(p(0));
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(o.parent(p(1)), None);
+        // 3 stays under 1: the fragment is reusable (§3.2).
+        assert_eq!(o.parent(p(3)), Some(Member::Peer(p(1))));
+        assert_eq!(o.root(p(3)), ChainRoot::Fragment(p(1)));
+        assert_eq!(o.source_children(), &[] as &[PeerId]);
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn free_fanout_accounting() {
+        let population = pop(2, &[(3, 1), (0, 2)]);
+        let mut o = Overlay::new(&population);
+        assert_eq!(o.free_fanout(Member::Source), 2);
+        assert_eq!(o.free_fanout(Member::Peer(p(0))), 3);
+        assert!(!o.has_free_fanout(Member::Peer(p(1))));
+        o.attach(p(0), Member::Source).unwrap();
+        assert_eq!(o.free_fanout(Member::Source), 1);
+    }
+
+    #[test]
+    fn subtree_is_breadth_first_closure() {
+        let population = pop(1, &[(2, 1), (1, 2), (0, 2), (0, 3)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(0))).unwrap();
+        o.attach(p(3), Member::Peer(p(1))).unwrap();
+        let sub = o.subtree(p(0));
+        assert_eq!(sub, vec![p(0), p(1), p(2), p(3)]);
+        assert_eq!(o.subtree(p(3)), vec![p(3)]);
+    }
+
+    #[test]
+    fn speculative_delay_of_fragment_root() {
+        let population = pop(1, &[(1, 1)]);
+        let o = Overlay::new(&population);
+        assert_eq!(o.speculative_delay(p(0)), 1);
+        assert_eq!(o.hops_to_root(p(0)), 0);
+    }
+
+    #[test]
+    fn attached_count_tracks_links() {
+        let population = pop(2, &[(1, 1), (1, 2)]);
+        let mut o = Overlay::new(&population);
+        assert_eq!(o.attached_count(), 0);
+        o.attach(p(0), Member::Source).unwrap();
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        assert_eq!(o.attached_count(), 2);
+        assert_eq!(o.len(), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! High-level run orchestration: single construction runs, runs under
+//! churn, and the recorded outcomes the experiment harness consumes.
+
+use lagover_sim::{ChurnProcess, Round, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ConstructionConfig;
+use crate::engine::{Engine, EngineCounters};
+use crate::node::Population;
+use crate::oracle::Oracle;
+
+/// Everything recorded about one construction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstructionOutcome {
+    /// Round at which every online peer was first satisfied, if reached
+    /// within the round cap — the paper's *construction latency*.
+    pub converged_at: Option<u64>,
+    /// Rounds actually executed.
+    pub rounds_run: u64,
+    /// Per-round satisfied fraction (x = round, y = fraction).
+    pub satisfied_series: TimeSeries,
+    /// Final satisfied fraction.
+    pub final_satisfied_fraction: f64,
+    /// Event counters accumulated over the run.
+    pub counters: EngineCounters,
+}
+
+impl ConstructionOutcome {
+    /// Whether the run converged within its round cap.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Construction latency as a float, with non-convergence mapped to
+    /// `cap` (the paper plots truncated bars for non-converged runs).
+    pub fn latency_or(&self, cap: f64) -> f64 {
+        self.converged_at.map(|r| r as f64).unwrap_or(cap)
+    }
+}
+
+/// Runs construction (no churn) until convergence or the configured
+/// round cap, recording the satisfied-fraction series.
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+/// use lagover_core::node::{Constraints, Population};
+///
+/// let pop = Population::new(2, vec![
+///     Constraints::new(1, 1),
+///     Constraints::new(0, 2),
+/// ]);
+/// let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay);
+/// let outcome = construct(&pop, &config, 1);
+/// assert!(outcome.converged());
+/// assert_eq!(outcome.final_satisfied_fraction, 1.0);
+/// ```
+pub fn construct(
+    population: &Population,
+    config: &ConstructionConfig,
+    seed: u64,
+) -> ConstructionOutcome {
+    let engine = Engine::new(population, config, seed);
+    construct_with_engine(engine)
+}
+
+/// [`construct`] with a custom oracle (DHT directory, random-walk
+/// sampler, …).
+pub fn construct_with_oracle(
+    population: &Population,
+    config: &ConstructionConfig,
+    oracle: Box<dyn Oracle>,
+    seed: u64,
+) -> ConstructionOutcome {
+    let engine = Engine::with_oracle(population, config, oracle, seed);
+    construct_with_engine(engine)
+}
+
+fn construct_with_engine(mut engine: Engine) -> ConstructionOutcome {
+    let mut series = TimeSeries::new("satisfied_fraction");
+    series.push(0.0, engine.satisfied_fraction());
+    let mut converged_at: Option<Round> = if engine.is_converged() {
+        Some(engine.round())
+    } else {
+        None
+    };
+    while converged_at.is_none() && engine.round().get() < engine.config().max_rounds {
+        engine.step();
+        series.push(engine.round().get() as f64, engine.satisfied_fraction());
+        if engine.is_converged() {
+            converged_at = Some(engine.round());
+        }
+    }
+    ConstructionOutcome {
+        converged_at: converged_at.map(Round::get),
+        rounds_run: engine.round().get(),
+        final_satisfied_fraction: engine.satisfied_fraction(),
+        satisfied_series: series,
+        counters: *engine.counters(),
+    }
+}
+
+/// Everything recorded about a run under churn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnOutcome {
+    /// Round at which all online peers were first satisfied, if ever.
+    pub first_converged_at: Option<u64>,
+    /// Rounds executed.
+    pub rounds_run: u64,
+    /// Per-round satisfied fraction.
+    pub satisfied_series: TimeSeries,
+    /// Mean satisfied fraction over the final quarter of the run — the
+    /// steady-state quality under membership dynamics.
+    pub steady_state_fraction: f64,
+    /// Fraction of rounds in which all online peers were satisfied.
+    pub fully_satisfied_round_fraction: f64,
+    /// Event counters accumulated over the run.
+    pub counters: EngineCounters,
+}
+
+/// Runs construction for exactly `rounds` rounds, applying one churn
+/// step before each construction round (the paper's §5.3 protocol:
+/// everyone starts online; each time step peers leave w.p. 0.01 and
+/// rejoin w.p. 0.2).
+pub fn run_with_churn(
+    population: &Population,
+    config: &ConstructionConfig,
+    churn: &mut dyn ChurnProcess,
+    rounds: u64,
+    seed: u64,
+) -> ChurnOutcome {
+    let mut engine = Engine::new(population, config, seed);
+    let mut series = TimeSeries::new("satisfied_fraction");
+    let mut first_converged_at = None;
+    let mut fully_satisfied_rounds = 0u64;
+    series.push(0.0, engine.satisfied_fraction());
+    for _ in 0..rounds {
+        engine.apply_churn(churn);
+        engine.step();
+        let frac = engine.satisfied_fraction();
+        series.push(engine.round().get() as f64, frac);
+        if engine.is_converged() {
+            fully_satisfied_rounds += 1;
+            if first_converged_at.is_none() {
+                first_converged_at = Some(engine.round().get());
+            }
+        }
+    }
+    let window = (rounds as usize / 4).max(1).min(series.len());
+    let steady = series.tail_mean(window).unwrap_or(0.0);
+    ChurnOutcome {
+        first_converged_at,
+        rounds_run: rounds,
+        satisfied_series: series,
+        steady_state_fraction: steady,
+        fully_satisfied_round_fraction: if rounds == 0 {
+            0.0
+        } else {
+            fully_satisfied_rounds as f64 / rounds as f64
+        },
+        counters: *engine.counters(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::node::Constraints;
+    use crate::oracle::OracleKind;
+    use lagover_sim::{BernoulliChurn, NoChurn};
+
+    fn population() -> Population {
+        // Source feeds 2; two tiers.
+        Population::new(
+            2,
+            vec![
+                Constraints::new(2, 1),
+                Constraints::new(2, 1),
+                Constraints::new(0, 2),
+                Constraints::new(0, 2),
+                Constraints::new(0, 2),
+                Constraints::new(0, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn construct_records_monotone_progress_to_one() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let outcome = construct(&population(), &config, 5);
+        assert!(outcome.converged());
+        assert_eq!(outcome.final_satisfied_fraction, 1.0);
+        assert_eq!(
+            outcome.satisfied_series.last().map(|(_, y)| y),
+            Some(1.0)
+        );
+        assert_eq!(outcome.rounds_run, outcome.converged_at.unwrap());
+        assert!(outcome.counters.attaches >= 6);
+    }
+
+    #[test]
+    fn latency_or_caps_nonconverged() {
+        let o = ConstructionOutcome {
+            converged_at: None,
+            rounds_run: 10,
+            satisfied_series: TimeSeries::new("s"),
+            final_satisfied_fraction: 0.5,
+            counters: EngineCounters::default(),
+        };
+        assert_eq!(o.latency_or(99.0), 99.0);
+        assert!(!o.converged());
+    }
+
+    #[test]
+    fn run_with_no_churn_matches_construct_quality() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let outcome = run_with_churn(&population(), &config, &mut NoChurn, 300, 5);
+        assert!(outcome.first_converged_at.is_some());
+        assert_eq!(outcome.steady_state_fraction, 1.0);
+        assert!(outcome.fully_satisfied_round_fraction > 0.8);
+    }
+
+    #[test]
+    fn run_with_paper_churn_keeps_high_steady_state() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let mut churn = BernoulliChurn::paper();
+        let outcome = run_with_churn(&population(), &config, &mut churn, 600, 9);
+        assert!(
+            outcome.steady_state_fraction > 0.7,
+            "steady state {} too low",
+            outcome.steady_state_fraction
+        );
+        assert!(outcome.counters.churn_departures > 0);
+    }
+
+    #[test]
+    fn zero_round_churn_run_is_well_formed() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
+        let outcome = run_with_churn(&population(), &config, &mut NoChurn, 0, 1);
+        assert_eq!(outcome.rounds_run, 0);
+        assert_eq!(outcome.fully_satisfied_round_fraction, 0.0);
+    }
+}

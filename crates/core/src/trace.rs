@@ -1,0 +1,231 @@
+//! Structural event tracing for construction runs.
+//!
+//! When enabled on the [`Engine`](crate::engine::Engine), every overlay
+//! mutation is recorded with its round and cause. The trace is what the
+//! `overlay_evolution` example renders, what debugging a wedged run
+//! needs, and what a deployment would ship to its telemetry pipeline.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{Member, PeerId};
+
+/// Why a peer lost its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetachCause {
+    /// The maintenance rule fired (`DelayAt > l` while rooted).
+    Maintenance,
+    /// Displaced by another peer's reconfiguration.
+    Displaced,
+    /// Discarded by its own parent to make room during a swap.
+    Discarded,
+    /// The peer (or its parent) churned offline.
+    Churn,
+}
+
+impl fmt::Display for DetachCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DetachCause::Maintenance => "maintenance",
+            DetachCause::Displaced => "displaced",
+            DetachCause::Discarded => "discarded",
+            DetachCause::Churn => "churn",
+        })
+    }
+}
+
+/// One structural event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `child` gained `parent`.
+    Attach {
+        /// Round of the event.
+        round: u64,
+        /// The new child.
+        child: PeerId,
+        /// Its new parent.
+        parent: Member,
+    },
+    /// `child` lost `parent`.
+    Detach {
+        /// Round of the event.
+        round: u64,
+        /// The detached peer.
+        child: PeerId,
+        /// The parent it lost.
+        parent: Member,
+        /// Why.
+        cause: DetachCause,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event happened in.
+    pub fn round(&self) -> u64 {
+        match *self {
+            TraceEvent::Attach { round, .. } | TraceEvent::Detach { round, .. } => round,
+        }
+    }
+
+    /// The peer whose parent link changed.
+    pub fn child(&self) -> PeerId {
+        match *self {
+            TraceEvent::Attach { child, .. } | TraceEvent::Detach { child, .. } => child,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Attach { round, child, parent } => {
+                write!(f, "r{round}: {child} <- {parent}")
+            }
+            TraceEvent::Detach {
+                round,
+                child,
+                parent,
+                cause,
+            } => write!(f, "r{round}: {child} !<- {parent} ({cause})"),
+        }
+    }
+}
+
+/// A bounded in-memory event log. When the capacity is reached, the
+/// *oldest* events are dropped (a ring buffer), so long churn runs keep
+/// the recent history that matters for debugging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    start: usize,
+}
+
+impl TraceLog {
+    /// Creates a log keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            start: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.start] = event;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events[self.start..]
+            .iter()
+            .chain(self.events[..self.start].iter())
+    }
+
+    /// Retained events concerning one peer, oldest first.
+    pub fn for_peer(&self, peer: PeerId) -> Vec<&TraceEvent> {
+        self.iter().filter(|e| e.child() == peer).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attach(round: u64, child: u32) -> TraceEvent {
+        TraceEvent::Attach {
+            round,
+            child: PeerId::new(child),
+            parent: Member::Source,
+        }
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut log = TraceLog::new(10);
+        for r in 0..5 {
+            log.push(attach(r, r as u32));
+        }
+        let rounds: Vec<u64> = log.iter().map(|e| e.round()).collect();
+        assert_eq!(rounds, vec![0, 1, 2, 3, 4]);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let mut log = TraceLog::new(3);
+        for r in 0..7 {
+            log.push(attach(r, 0));
+        }
+        let rounds: Vec<u64> = log.iter().map(|e| e.round()).collect();
+        assert_eq!(rounds, vec![4, 5, 6]);
+        assert_eq!(log.dropped(), 4);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn per_peer_filter() {
+        let mut log = TraceLog::new(10);
+        log.push(attach(0, 1));
+        log.push(attach(1, 2));
+        log.push(TraceEvent::Detach {
+            round: 2,
+            child: PeerId::new(1),
+            parent: Member::Source,
+            cause: DetachCause::Maintenance,
+        });
+        let events = log.for_peer(PeerId::new(1));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].round(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = attach(3, 7);
+        assert_eq!(e.to_string(), "r3: peer 7 <- source");
+        let d = TraceEvent::Detach {
+            round: 4,
+            child: PeerId::new(2),
+            parent: Member::Peer(PeerId::new(9)),
+            cause: DetachCause::Displaced,
+        };
+        assert_eq!(d.to_string(), "r4: peer 2 !<- peer 9 (displaced)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        TraceLog::new(0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Property-based tests for the core invariants.
+//!
+//! Strategy overview:
+//!
+//! * arbitrary populations are drawn as `(source_fanout, Vec<(f, l)>)`;
+//! * arbitrary *op sequences* drive the overlay through
+//!   attach/detach/remove operations, after which the full structural
+//!   validator must pass;
+//! * full construction runs must never violate fanout, create cycles,
+//!   or (greedy) break the `l_parent <= l_child` invariant — regardless
+//!   of workload, oracle, or seed.
+
+use proptest::prelude::*;
+
+use lagover_core::node::{Constraints, Member, PeerId, Population};
+use lagover_core::overlay::Overlay;
+use lagover_core::sufficiency::{check, exact_feasibility, validate_assignment};
+use lagover_core::{construct, Algorithm, ConstructionConfig, Engine, OracleKind};
+use lagover_sim::{BernoulliChurn, SimRng};
+
+/// Strategy: a population of 1..=12 peers with fanout 0..=4 and latency
+/// 1..=6, source fanout 1..=3.
+fn population_strategy() -> impl Strategy<Value = Population> {
+    (
+        1u32..=3,
+        prop::collection::vec((0u32..=4, 1u32..=6), 1..=12),
+    )
+        .prop_map(|(source_fanout, specs)| {
+            Population::new(
+                source_fanout,
+                specs
+                    .into_iter()
+                    .map(|(f, l)| Constraints::new(f, l))
+                    .collect(),
+            )
+        })
+}
+
+/// An abstract overlay mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    Attach { child: usize, parent: Option<usize> },
+    Detach { peer: usize },
+    Remove { peer: usize },
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n, prop::option::weighted(0.8, 0..n))
+            .prop_map(|(child, parent)| Op::Attach { child, parent }),
+        (0..n).prop_map(|peer| Op::Detach { peer }),
+        (0..n).prop_map(|peer| Op::Remove { peer }),
+    ]
+}
+
+proptest! {
+    /// Any sequence of overlay mutations leaves the structure valid:
+    /// parent/child links consistent, fanouts respected, no cycles.
+    #[test]
+    fn overlay_survives_arbitrary_op_sequences(
+        population in population_strategy(),
+        ops in prop::collection::vec(op_strategy(12), 0..60),
+    ) {
+        let n = population.len();
+        let mut overlay = Overlay::new(&population);
+        for op in ops {
+            match op {
+                Op::Attach { child, parent } => {
+                    if child < n {
+                        let parent = match parent {
+                            Some(p) if p < n => Member::Peer(PeerId::new(p as u32)),
+                            _ => Member::Source,
+                        };
+                        // May legitimately fail; must never corrupt.
+                        let _ = overlay.attach(PeerId::new(child as u32), parent);
+                    }
+                }
+                Op::Detach { peer } => {
+                    if peer < n {
+                        let _ = overlay.detach(PeerId::new(peer as u32));
+                    }
+                }
+                Op::Remove { peer } => {
+                    if peer < n {
+                        let _ = overlay.remove_peer(PeerId::new(peer as u32));
+                    }
+                }
+            }
+            prop_assert_eq!(overlay.validate(), Ok(()));
+        }
+    }
+
+    /// DelayAt is defined exactly for rooted peers, equals the hop
+    /// count, and the speculative delay coincides with it when rooted.
+    #[test]
+    fn delay_definitions_are_consistent(
+        population in population_strategy(),
+        ops in prop::collection::vec(op_strategy(12), 0..40),
+    ) {
+        let n = population.len();
+        let mut overlay = Overlay::new(&population);
+        for op in ops {
+            if let Op::Attach { child, parent } = op {
+                if child < n {
+                    let parent = match parent {
+                        Some(p) if p < n => Member::Peer(PeerId::new(p as u32)),
+                        _ => Member::Source,
+                    };
+                    let _ = overlay.attach(PeerId::new(child as u32), parent);
+                }
+            }
+        }
+        for p in population.peer_ids() {
+            match overlay.delay(p) {
+                Some(d) => {
+                    prop_assert!(overlay.is_rooted(p));
+                    prop_assert_eq!(d, overlay.hops_to_root(p));
+                    prop_assert_eq!(overlay.speculative_delay(p), d);
+                    prop_assert!(d >= 1);
+                }
+                None => {
+                    prop_assert!(!overlay.is_rooted(p));
+                    prop_assert_eq!(
+                        overlay.speculative_delay(p),
+                        overlay.hops_to_root(p) + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// The §3.3 lemma, empirically: sufficiency implies a feasible
+    /// depth assignment exists.
+    #[test]
+    fn sufficiency_implies_feasibility(population in population_strategy()) {
+        if check(&population).satisfied {
+            let depths = exact_feasibility(&population);
+            prop_assert!(depths.is_some(), "sufficient but infeasible: {population:?}");
+            validate_assignment(&population, &depths.unwrap())
+                .map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// Feasibility witnesses returned by the exact search always
+    /// validate.
+    #[test]
+    fn exact_feasibility_witnesses_validate(population in population_strategy()) {
+        if let Some(depths) = exact_feasibility(&population) {
+            validate_assignment(&population, &depths)
+                .map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// Full construction runs keep the overlay valid and, if they
+    /// converge, satisfy every constraint; the greedy run additionally
+    /// preserves `l_parent <= l_child` on every edge.
+    #[test]
+    fn construction_preserves_invariants(
+        population in population_strategy(),
+        algorithm_is_greedy in any::<bool>(),
+        oracle_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let algorithm = if algorithm_is_greedy {
+            Algorithm::Greedy
+        } else {
+            Algorithm::Hybrid
+        };
+        let oracle = OracleKind::ALL[oracle_idx];
+        let config = ConstructionConfig::new(algorithm, oracle).with_max_rounds(300);
+        let mut engine = Engine::new(&population, &config, seed);
+        let converged = engine.run_to_convergence();
+        prop_assert_eq!(engine.overlay().validate(), Ok(()));
+        if converged.is_some() {
+            for p in population.peer_ids() {
+                let d = engine.overlay().delay(p);
+                prop_assert!(
+                    matches!(d, Some(d) if d <= population.latency(p)),
+                    "converged but {p} unsatisfied"
+                );
+            }
+        }
+        if algorithm_is_greedy {
+            for p in population.peer_ids() {
+                if let Some(Member::Peer(q)) = engine.overlay().parent(p) {
+                    prop_assert!(
+                        population.latency(q) <= population.latency(p),
+                        "greedy invariant broken on {q} -> {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Construction under churn never corrupts the overlay, and offline
+    /// peers are always fully out of it.
+    #[test]
+    fn churn_preserves_structure(
+        population in population_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let mut engine = Engine::new(&population, &config, seed);
+        let mut churn = BernoulliChurn::new(0.1, 0.3);
+        for _ in 0..50 {
+            engine.apply_churn(&mut churn);
+            engine.step();
+            prop_assert_eq!(engine.overlay().validate(), Ok(()));
+            for p in population.peer_ids() {
+                if !engine.is_online(p) {
+                    prop_assert_eq!(engine.overlay().parent(p), None);
+                    prop_assert!(engine.overlay().children(p).is_empty());
+                }
+            }
+        }
+    }
+
+    /// The convergence predicate is exactly "every online peer rooted
+    /// within its constraint".
+    #[test]
+    fn convergence_predicate_matches_definition(
+        population in population_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random)
+            .with_max_rounds(150);
+        let outcome = construct(&population, &config, seed);
+        if let Some(at) = outcome.converged_at {
+            prop_assert!(at <= 150);
+            prop_assert_eq!(outcome.final_satisfied_fraction, 1.0);
+        }
+        // The satisfied series never exceeds 1 and never goes negative.
+        for (_, y) in outcome.satisfied_series.iter() {
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    /// Deterministic replay: the same (population, config, seed) gives
+    /// the identical outcome.
+    #[test]
+    fn construction_is_deterministic(
+        population in population_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(200);
+        let a = construct(&population, &config, seed);
+        let b = construct(&population, &config, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feasible-and-sufficient populations always converge under the
+    /// hybrid algorithm with the recommended oracle — the engine's
+    /// completeness on its intended domain.
+    #[test]
+    fn hybrid_converges_on_sufficient_populations(
+        population in population_strategy(),
+        seed in 0u64..100_000,
+    ) {
+        if check(&population).satisfied {
+            let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+                .with_max_rounds(5_000);
+            let outcome = construct(&population, &config, seed);
+            prop_assert!(
+                outcome.converged(),
+                "hybrid failed on a sufficient population: {population:?}"
+            );
+        }
+    }
+
+    /// RNG determinism and stream independence: the engine's behaviour
+    /// is a pure function of the seed.
+    #[test]
+    fn seeds_fully_determine_runs(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+}
+
+proptest! {
+    /// Analysis profiles are consistent with the overlay they describe:
+    /// depth counts + unrooted = population, slack classes partition the
+    /// rooted peers, and per-level usage never exceeds capacity.
+    #[test]
+    fn analysis_profiles_are_consistent(
+        population in population_strategy(),
+        ops in prop::collection::vec(op_strategy(12), 0..50),
+    ) {
+        use lagover_core::analysis::{depth_profile, slack_profile, utilization_profile};
+        let n = population.len();
+        let mut overlay = Overlay::new(&population);
+        for op in ops {
+            if let Op::Attach { child, parent } = op {
+                if child < n {
+                    let parent = match parent {
+                        Some(p) if p < n => Member::Peer(PeerId::new(p as u32)),
+                        _ => Member::Source,
+                    };
+                    let _ = overlay.attach(PeerId::new(child as u32), parent);
+                }
+            }
+        }
+        let d = depth_profile(&overlay, &population);
+        prop_assert_eq!(d.counts.iter().sum::<usize>() + d.unrooted, n);
+        let s = slack_profile(&overlay, &population);
+        prop_assert_eq!(s.violated + s.tight + s.slackful + d.unrooted, n);
+        let u = utilization_profile(&overlay, &population);
+        for (level, (&used, &cap)) in u.used.iter().zip(u.capacity.iter()).enumerate() {
+            prop_assert!(used <= cap, "level {level}: {used} > {cap}");
+        }
+    }
+}

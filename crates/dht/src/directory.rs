@@ -1,0 +1,437 @@
+//! A feed directory stored on the ring — the deployable stand-in for
+//! Syndic8 / OpenDHT that the paper's informed Oracles assume.
+//!
+//! Consumers periodically *publish* a small metadata record (observed
+//! delay, free capacity, latency constraint) under the feed's key; an
+//! enquiring peer *queries* the directory with a predicate and receives a
+//! uniformly random matching record. Records expire after a TTL and are
+//! lost when the ring node storing them crashes, so answers can be stale
+//! or incomplete — the realistic imperfection experiment E9 quantifies
+//! against the in-memory reference oracles.
+
+use std::collections::HashMap;
+
+use lagover_sim::SimRng;
+
+use crate::id::Key;
+use crate::ring::Ring;
+
+/// Metadata one consumer publishes about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// The consumer's identifier in the LagOver population.
+    pub peer: usize,
+    /// The consumer's actual observed delay, if its chain reaches the
+    /// source (`None` while disconnected).
+    pub delay: Option<u32>,
+    /// Whether the consumer has unused fanout.
+    pub free_capacity: bool,
+    /// The consumer's latency constraint `l`.
+    pub latency_constraint: u32,
+    /// Publication timestamp (round).
+    pub refreshed_at: u64,
+}
+
+/// Directory tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryConfig {
+    /// Number of replicas (the responsible node plus `replication - 1`
+    /// of its successors) each record is written to.
+    pub replication: usize,
+    /// Rounds after which an un-refreshed record stops being served.
+    pub entry_ttl: u64,
+}
+
+impl Default for DirectoryConfig {
+    fn default() -> Self {
+        DirectoryConfig {
+            replication: 2,
+            entry_ttl: 8,
+        }
+    }
+}
+
+/// The ring-hosted directory service.
+///
+/// # Example
+///
+/// ```
+/// use lagover_dht::{Directory, DirectoryConfig, DirectoryEntry, Key};
+/// use lagover_sim::SimRng;
+///
+/// let mut rng = SimRng::seed_from(3);
+/// let mut dir = Directory::bootstrap(16, DirectoryConfig::default(), &mut rng);
+/// let feed = Key::hash_str("planet-rust");
+/// dir.publish(feed, DirectoryEntry {
+///     peer: 4, delay: Some(2), free_capacity: true,
+///     latency_constraint: 5, refreshed_at: 0,
+/// });
+/// let hit = dir.query(feed, 1, |e| e.free_capacity, &mut rng);
+/// assert_eq!(hit.map(|e| e.peer), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    ring: Ring,
+    config: DirectoryConfig,
+    /// Records held by each ring node: `ring node -> (feed, peer) -> entry`.
+    store: HashMap<u64, HashMap<(u64, usize), DirectoryEntry>>,
+}
+
+impl Directory {
+    /// Creates a directory over a freshly bootstrapped ring of
+    /// `ring_size` nodes.
+    pub fn bootstrap(ring_size: usize, config: DirectoryConfig, rng: &mut SimRng) -> Self {
+        Directory {
+            ring: Ring::bootstrap(ring_size, rng),
+            config,
+            store: HashMap::new(),
+        }
+    }
+
+    /// Wraps an existing ring.
+    pub fn over_ring(ring: Ring, config: DirectoryConfig) -> Self {
+        Directory {
+            ring,
+            config,
+            store: HashMap::new(),
+        }
+    }
+
+    /// Read access to the underlying ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Crashes a ring node, losing the records it stored.
+    pub fn node_crash(&mut self, node: Key) -> bool {
+        self.store.remove(&node.get());
+        self.ring.leave(node)
+    }
+
+    /// Joins a ring node.
+    pub fn node_join(&mut self, node: Key) -> bool {
+        self.ring.join(node)
+    }
+
+    /// Runs one stabilization step at every ring member.
+    pub fn stabilize(&mut self) {
+        self.ring.stabilize_all();
+    }
+
+    /// Publishes (or refreshes) `entry` under `feed`.
+    ///
+    /// The record is routed to the responsible node and replicated on its
+    /// successors. Publication silently fails (as in a deployment) if
+    /// routing fails; the next refresh retries.
+    pub fn publish(&mut self, feed: Key, entry: DirectoryEntry) {
+        let Some(primary) = self.ring.lookup(feed) else {
+            return;
+        };
+        let mut targets = vec![primary];
+        // Replicate on ground-truth successors of the primary; a real
+        // implementation asks the primary for its successor list.
+        let mut cursor = primary;
+        while targets.len() < self.config.replication {
+            match self.ring.true_successor(Key::new(cursor.get().wrapping_add(1))) {
+                Some(next) if next != primary => {
+                    targets.push(next);
+                    cursor = next;
+                }
+                _ => break,
+            }
+        }
+        for t in targets {
+            self.store
+                .entry(t.get())
+                .or_default()
+                .insert((feed.get(), entry.peer), entry);
+        }
+    }
+
+    /// Removes the record for `peer` under `feed` from all replicas that
+    /// still hold it (a graceful unsubscribe).
+    pub fn retract(&mut self, feed: Key, peer: usize) {
+        for records in self.store.values_mut() {
+            records.remove(&(feed.get(), peer));
+        }
+    }
+
+    /// Queries the directory: routes to the feed's responsible node and
+    /// returns a uniformly random non-expired record matching `pred`.
+    ///
+    /// Returns `None` if routing fails or nothing matches — the paper's
+    /// "the Oracle finds no suitable j, and the peer needs to wait and
+    /// try again" case.
+    pub fn query<F>(&self, feed: Key, now: u64, pred: F, rng: &mut SimRng) -> Option<DirectoryEntry>
+    where
+        F: Fn(&DirectoryEntry) -> bool,
+    {
+        let primary = self.ring.lookup(feed)?;
+        let records = self.store.get(&primary.get())?;
+        let mut matches: Vec<DirectoryEntry> = records
+            .iter()
+            .filter(|((f, _), e)| {
+                *f == feed.get()
+                    && now.saturating_sub(e.refreshed_at) <= self.config.entry_ttl
+                    && pred(e)
+            })
+            .map(|(_, e)| *e)
+            .collect();
+        if matches.is_empty() {
+            return None;
+        }
+        // Sort for determinism (HashMap iteration order is unstable),
+        // then pick uniformly.
+        matches.sort_by_key(|e| e.peer);
+        Some(matches[rng.index(matches.len())])
+    }
+
+    /// Total records currently stored (including replicas).
+    pub fn stored_records(&self) -> usize {
+        self.store.values().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(peer: usize, delay: Option<u32>, free: bool, at: u64) -> DirectoryEntry {
+        DirectoryEntry {
+            peer,
+            delay,
+            free_capacity: free,
+            latency_constraint: 5,
+            refreshed_at: at,
+        }
+    }
+
+    #[test]
+    fn publish_then_query_round_trips() {
+        let mut rng = SimRng::seed_from(10);
+        let mut dir = Directory::bootstrap(32, DirectoryConfig::default(), &mut rng);
+        let feed = Key::hash_str("feed");
+        dir.publish(feed, entry(1, Some(3), true, 0));
+        dir.publish(feed, entry(2, None, false, 0));
+        let hit = dir.query(feed, 0, |e| e.free_capacity, &mut rng);
+        assert_eq!(hit.map(|e| e.peer), Some(1));
+    }
+
+    #[test]
+    fn expired_entries_are_not_served() {
+        let mut rng = SimRng::seed_from(11);
+        let config = DirectoryConfig {
+            replication: 1,
+            entry_ttl: 3,
+        };
+        let mut dir = Directory::bootstrap(8, config, &mut rng);
+        let feed = Key::hash_str("feed");
+        dir.publish(feed, entry(7, Some(1), true, 0));
+        assert!(dir.query(feed, 3, |_| true, &mut rng).is_some());
+        assert!(dir.query(feed, 4, |_| true, &mut rng).is_none());
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let mut rng = SimRng::seed_from(12);
+        let mut dir = Directory::bootstrap(8, DirectoryConfig::default(), &mut rng);
+        let feed = Key::hash_str("feed");
+        dir.publish(feed, entry(7, Some(1), true, 0));
+        dir.publish(feed, entry(7, Some(2), true, 10));
+        let hit = dir.query(feed, 12, |_| true, &mut rng).unwrap();
+        assert_eq!(hit.delay, Some(2));
+    }
+
+    #[test]
+    fn retract_removes_from_all_replicas() {
+        let mut rng = SimRng::seed_from(13);
+        let config = DirectoryConfig {
+            replication: 3,
+            entry_ttl: 100,
+        };
+        let mut dir = Directory::bootstrap(16, config, &mut rng);
+        let feed = Key::hash_str("feed");
+        dir.publish(feed, entry(5, None, true, 0));
+        assert!(dir.stored_records() >= 2, "replication happened");
+        dir.retract(feed, 5);
+        assert_eq!(dir.stored_records(), 0);
+        assert!(dir.query(feed, 0, |_| true, &mut rng).is_none());
+    }
+
+    #[test]
+    fn primary_crash_loses_records_until_republish() {
+        let mut rng = SimRng::seed_from(14);
+        let config = DirectoryConfig {
+            replication: 1,
+            entry_ttl: 100,
+        };
+        let mut dir = Directory::bootstrap(16, config, &mut rng);
+        let feed = Key::hash_str("feed");
+        dir.publish(feed, entry(3, Some(1), true, 0));
+        let primary = dir.ring().lookup(feed).unwrap();
+        dir.node_crash(primary);
+        for _ in 0..40 {
+            dir.stabilize();
+        }
+        // Record was only on the crashed primary.
+        assert!(dir.query(feed, 0, |_| true, &mut rng).is_none());
+        // A republish lands on the new responsible node and is served.
+        dir.publish(feed, entry(3, Some(1), true, 1));
+        assert!(dir.query(feed, 1, |_| true, &mut rng).is_some());
+    }
+
+    #[test]
+    fn replication_survives_primary_crash() {
+        let mut rng = SimRng::seed_from(15);
+        let config = DirectoryConfig {
+            replication: 3,
+            entry_ttl: 100,
+        };
+        let mut dir = Directory::bootstrap(32, config, &mut rng);
+        let feed = Key::hash_str("feed");
+        dir.publish(feed, entry(9, Some(2), false, 0));
+        let primary = dir.ring().lookup(feed).unwrap();
+        dir.node_crash(primary);
+        for _ in 0..40 {
+            dir.stabilize();
+        }
+        // The new responsible node is the old first replica, which holds
+        // a copy.
+        let hit = dir.query(feed, 0, |_| true, &mut rng);
+        assert_eq!(hit.map(|e| e.peer), Some(9));
+    }
+
+    #[test]
+    fn query_filters_by_predicate() {
+        let mut rng = SimRng::seed_from(16);
+        let mut dir = Directory::bootstrap(8, DirectoryConfig::default(), &mut rng);
+        let feed = Key::hash_str("feed");
+        for p in 0..10 {
+            dir.publish(feed, entry(p, Some(p as u32), p % 2 == 0, 0));
+        }
+        for _ in 0..50 {
+            let hit = dir
+                .query(feed, 0, |e| e.delay < Some(5) && e.free_capacity, &mut rng)
+                .unwrap();
+            assert!(hit.peer % 2 == 0 && hit.delay < Some(5));
+        }
+    }
+
+    #[test]
+    fn feeds_are_isolated() {
+        let mut rng = SimRng::seed_from(17);
+        let mut dir = Directory::bootstrap(8, DirectoryConfig::default(), &mut rng);
+        dir.publish(Key::hash_str("a"), entry(1, None, true, 0));
+        assert!(dir
+            .query(Key::hash_str("b"), 0, |_| true, &mut rng)
+            .is_none());
+    }
+}
+
+impl Directory {
+    /// Re-replicates stored records onto the *current* responsible node
+    /// and its successors — the repair a deployment runs after ring
+    /// churn so crashes do not slowly erode the replication factor.
+    ///
+    /// Records whose every replica crashed are gone (only a publisher
+    /// refresh can restore them); records held by surviving replicas
+    /// are copied to the current replica set. Returns the number of
+    /// record copies written.
+    pub fn repair_replication(&mut self) -> usize {
+        // Snapshot all surviving records (newest refresh wins per key).
+        let mut newest: HashMap<(u64, usize), DirectoryEntry> = HashMap::new();
+        for records in self.store.values() {
+            for (&key, &entry) in records {
+                let keep = newest
+                    .get(&key)
+                    .map(|e| entry.refreshed_at > e.refreshed_at)
+                    .unwrap_or(true);
+                if keep {
+                    newest.insert(key, entry);
+                }
+            }
+        }
+        let mut written = 0usize;
+        for ((feed, _), entry) in newest {
+            let before = self.stored_records();
+            self.publish(Key::new(feed), entry);
+            written += self.stored_records().saturating_sub(before);
+        }
+        written
+    }
+}
+
+#[cfg(test)]
+mod repair_tests {
+    use super::*;
+
+    #[test]
+    fn repair_restores_replication_after_crashes() {
+        let mut rng = SimRng::seed_from(31);
+        let config = DirectoryConfig {
+            replication: 3,
+            entry_ttl: 1_000,
+        };
+        let mut dir = Directory::bootstrap(32, config, &mut rng);
+        let feed = Key::hash_str("repair-me");
+        dir.publish(
+            feed,
+            DirectoryEntry {
+                peer: 7,
+                delay: Some(2),
+                free_capacity: true,
+                latency_constraint: 4,
+                refreshed_at: 0,
+            },
+        );
+        assert_eq!(dir.stored_records(), 3);
+
+        // Crash the primary; one replica is gone for good.
+        let primary = dir.ring().lookup(feed).unwrap();
+        dir.node_crash(primary);
+        for _ in 0..40 {
+            dir.stabilize();
+        }
+        assert!(dir.stored_records() < 3);
+
+        let written = dir.repair_replication();
+        assert!(written > 0, "repair wrote nothing");
+        assert_eq!(dir.stored_records(), 3, "replication factor not restored");
+        // And the record is still served.
+        assert_eq!(
+            dir.query(feed, 0, |_| true, &mut rng).map(|e| e.peer),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn repair_keeps_the_freshest_version() {
+        let mut rng = SimRng::seed_from(32);
+        let config = DirectoryConfig {
+            replication: 2,
+            entry_ttl: 1_000,
+        };
+        let mut dir = Directory::bootstrap(16, config, &mut rng);
+        let feed = Key::hash_str("versions");
+        let entry = |at: u64, delay: u32| DirectoryEntry {
+            peer: 3,
+            delay: Some(delay),
+            free_capacity: false,
+            latency_constraint: 9,
+            refreshed_at: at,
+        };
+        dir.publish(feed, entry(1, 5));
+        dir.publish(feed, entry(8, 2));
+        dir.repair_replication();
+        let served = dir.query(feed, 10, |_| true, &mut rng).unwrap();
+        assert_eq!(served.refreshed_at, 8);
+        assert_eq!(served.delay, Some(2));
+    }
+
+    #[test]
+    fn repair_on_empty_directory_is_a_noop() {
+        let mut rng = SimRng::seed_from(33);
+        let mut dir = Directory::bootstrap(8, DirectoryConfig::default(), &mut rng);
+        assert_eq!(dir.repair_replication(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Ring identifiers and wrap-around interval arithmetic.
+
+use std::fmt;
+
+use lagover_sim::SimRng;
+use rand::RngCore;
+
+/// A 64-bit identifier on the Chord ring.
+///
+/// # Example
+///
+/// ```
+/// use lagover_dht::id::Key;
+/// let a = Key::new(10);
+/// let b = Key::new(20);
+/// assert!(Key::new(15).in_half_open(a, b));
+/// assert!(!Key::new(25).in_half_open(a, b));
+/// // Intervals wrap around the ring.
+/// assert!(Key::new(5).in_half_open(b, a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(u64);
+
+impl Key {
+    /// Number of bits in the identifier space.
+    pub const BITS: u32 = 64;
+
+    /// Creates a key from a raw value.
+    pub fn new(value: u64) -> Self {
+        Key(value)
+    }
+
+    /// Draws a uniformly random key.
+    pub fn random(rng: &mut SimRng) -> Self {
+        Key(rng.next_u64())
+    }
+
+    /// Hashes a string into the key space (FNV-1a; adequate and
+    /// dependency-free for a simulated ring).
+    pub fn hash_str(s: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Key(h)
+    }
+
+    /// The raw identifier value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Whether `self` lies in the half-open wrap-around interval
+    /// `(from, to]`. When `from == to` the interval covers the whole
+    /// ring (Chord's single-node convention).
+    pub fn in_half_open(self, from: Key, to: Key) -> bool {
+        if from == to {
+            return true;
+        }
+        if from < to {
+            from < self && self <= to
+        } else {
+            self > from || self <= to
+        }
+    }
+
+    /// Whether `self` lies strictly between `from` and `to` on the ring.
+    pub fn in_open(self, from: Key, to: Key) -> bool {
+        if from == to {
+            return self != from;
+        }
+        if from < to {
+            from < self && self < to
+        } else {
+            self > from || self < to
+        }
+    }
+
+    /// The key exactly `2^i` past `self` on the ring (finger targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn finger_target(self, i: u32) -> Key {
+        assert!(i < Self::BITS, "finger index out of range");
+        Key(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// Clockwise distance from `self` to `other`.
+    pub fn distance_to(self, other: Key) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_no_wrap() {
+        let a = Key::new(100);
+        let b = Key::new(200);
+        assert!(Key::new(150).in_half_open(a, b));
+        assert!(Key::new(200).in_half_open(a, b));
+        assert!(!Key::new(100).in_half_open(a, b));
+        assert!(!Key::new(250).in_half_open(a, b));
+    }
+
+    #[test]
+    fn half_open_wraps() {
+        let a = Key::new(u64::MAX - 10);
+        let b = Key::new(10);
+        assert!(Key::new(u64::MAX).in_half_open(a, b));
+        assert!(Key::new(5).in_half_open(a, b));
+        assert!(Key::new(10).in_half_open(a, b));
+        assert!(!Key::new(u64::MAX - 10).in_half_open(a, b));
+        assert!(!Key::new(500).in_half_open(a, b));
+    }
+
+    #[test]
+    fn degenerate_interval_covers_ring() {
+        let a = Key::new(42);
+        assert!(Key::new(0).in_half_open(a, a));
+        assert!(Key::new(42).in_half_open(a, a));
+    }
+
+    #[test]
+    fn open_interval_excludes_endpoints() {
+        let a = Key::new(10);
+        let b = Key::new(20);
+        assert!(!Key::new(10).in_open(a, b));
+        assert!(!Key::new(20).in_open(a, b));
+        assert!(Key::new(15).in_open(a, b));
+    }
+
+    #[test]
+    fn finger_targets_wrap() {
+        let k = Key::new(u64::MAX);
+        assert_eq!(k.finger_target(0), Key::new(0));
+        assert_eq!(Key::new(0).finger_target(63).get(), 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn finger_index_bounds_checked() {
+        Key::new(0).finger_target(64);
+    }
+
+    #[test]
+    fn distance_is_clockwise() {
+        assert_eq!(Key::new(10).distance_to(Key::new(15)), 5);
+        assert_eq!(Key::new(15).distance_to(Key::new(10)), u64::MAX - 4);
+    }
+
+    #[test]
+    fn hash_str_is_stable_and_spread() {
+        let a = Key::hash_str("feed-a");
+        let b = Key::hash_str("feed-b");
+        assert_eq!(a, Key::hash_str("feed-a"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_keys_differ() {
+        let mut rng = SimRng::seed_from(6);
+        assert_ne!(Key::random(&mut rng), Key::random(&mut rng));
+    }
+}

@@ -1,0 +1,462 @@
+//! A simulated Chord ring with successor lists, finger tables,
+//! iterative lookup, and incremental stabilization.
+//!
+//! The simulation keeps global membership in one structure (we are not
+//! testing Chord's networking, only its *behaviour as a directory
+//! substrate*), but routing is honest: every hop consults only the
+//! current node's possibly-stale local pointers, dead pointers cost a
+//! timeout, and lookups can fail while stabilization lags churn.
+
+use std::collections::BTreeMap;
+
+use lagover_sim::SimRng;
+
+use crate::id::Key;
+
+/// Number of successors each node tracks (Chord's `r`).
+const SUCCESSOR_LIST_LEN: usize = 4;
+/// Number of finger-table entries maintained (top bits of the key
+/// space dominate routing; 32 fingers route 2^64 comfortably).
+const FINGER_COUNT: u32 = 32;
+/// Routing gives up after this many hops.
+const MAX_HOPS: usize = 128;
+
+/// Local routing state of one ring member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeState {
+    /// Immediate successors, nearest first. May contain dead keys until
+    /// stabilization prunes them.
+    successors: Vec<Key>,
+    /// `fingers[i]` is this node's belief of `lookup(self + 2^(64-1-i))`
+    /// for `i` in `0..FINGER_COUNT` — i.e. finger 0 is the farthest.
+    fingers: Vec<Key>,
+    /// Round-robin cursor over the finger table for incremental repair.
+    next_finger_to_fix: u32,
+}
+
+/// Telemetry for a single lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupStats {
+    /// Overlay hops taken (contacted nodes).
+    pub hops: usize,
+    /// Dead pointers encountered (each costs a timeout in a deployment).
+    pub timeouts: usize,
+}
+
+/// A simulated Chord ring.
+///
+/// # Example
+///
+/// ```
+/// use lagover_dht::{Key, Ring};
+/// use lagover_sim::SimRng;
+///
+/// let mut rng = SimRng::seed_from(2);
+/// let ring = Ring::bootstrap(16, &mut rng);
+/// let owner = ring.lookup(Key::new(42)).unwrap();
+/// assert!(ring.contains(owner));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ring {
+    nodes: BTreeMap<u64, NodeState>,
+}
+
+impl Ring {
+    /// Creates an empty ring.
+    pub fn new() -> Self {
+        Ring {
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a ring of `n` random nodes with *correct* initial state
+    /// (as after full stabilization).
+    pub fn bootstrap(n: usize, rng: &mut SimRng) -> Self {
+        let mut ring = Ring::new();
+        for _ in 0..n {
+            let mut key = Key::random(rng);
+            while ring.nodes.contains_key(&key.get()) {
+                key = Key::random(rng);
+            }
+            ring.nodes.insert(
+                key.get(),
+                NodeState {
+                    successors: Vec::new(),
+                    fingers: Vec::new(),
+                    next_finger_to_fix: 0,
+                },
+            );
+        }
+        let keys: Vec<Key> = ring.member_keys();
+        for key in keys {
+            ring.refresh_node_fully(key);
+        }
+        ring
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `key` is a current member.
+    pub fn contains(&self, key: Key) -> bool {
+        self.nodes.contains_key(&key.get())
+    }
+
+    /// All member keys in ring order.
+    pub fn member_keys(&self) -> Vec<Key> {
+        self.nodes.keys().map(|&k| Key::new(k)).collect()
+    }
+
+    /// Ground-truth successor of `key`: the first member at or clockwise
+    /// after it. Used by tests and by joins (a joining node is assumed to
+    /// know one live contact).
+    pub fn true_successor(&self, key: Key) -> Option<Key> {
+        self.nodes
+            .range(key.get()..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&k, _)| Key::new(k))
+    }
+
+    /// Whether member `node` is responsible for `key` (i.e. `node` is the
+    /// first member at or after `key`).
+    pub fn is_responsible(&self, node: Key, key: Key) -> bool {
+        self.true_successor(key) == Some(node)
+    }
+
+    /// Joins a new node. Its own pointers are initialized by lookups
+    /// through the existing ring; *other* nodes' pointers to it appear
+    /// only through later [`Ring::stabilize_step`] calls, as in Chord.
+    ///
+    /// Returns `false` (no-op) if the key is already a member.
+    pub fn join(&mut self, key: Key) -> bool {
+        if self.nodes.contains_key(&key.get()) {
+            return false;
+        }
+        self.nodes.insert(
+            key.get(),
+            NodeState {
+                successors: Vec::new(),
+                fingers: Vec::new(),
+                next_finger_to_fix: 0,
+            },
+        );
+        self.refresh_node_fully(key);
+        true
+    }
+
+    /// Removes a node without notice (a crash). Pointers at other nodes
+    /// dangle until stabilization prunes them.
+    ///
+    /// Returns `false` if the key was not a member.
+    pub fn leave(&mut self, key: Key) -> bool {
+        self.nodes.remove(&key.get()).is_some()
+    }
+
+    /// Iterative lookup of the node responsible for `key`, starting from
+    /// a random live member, using only local (possibly stale) pointers.
+    ///
+    /// Returns `None` on an empty ring or if routing fails within
+    /// the routing hop cap (128).
+    pub fn lookup(&self, key: Key) -> Option<Key> {
+        self.lookup_with_stats(key).map(|(k, _)| k)
+    }
+
+    /// [`Ring::lookup`] with hop/timeout telemetry, starting at the
+    /// first member (deterministic; use [`Ring::lookup_from`] to choose).
+    pub fn lookup_with_stats(&self, key: Key) -> Option<(Key, LookupStats)> {
+        let start = self.nodes.keys().next().map(|&k| Key::new(k))?;
+        self.lookup_from(start, key)
+    }
+
+    /// Iterative lookup starting from a specific member.
+    pub fn lookup_from(&self, start: Key, key: Key) -> Option<(Key, LookupStats)> {
+        let mut stats = LookupStats::default();
+        let mut current = start;
+        if !self.contains(current) {
+            return None;
+        }
+        while stats.hops < MAX_HOPS {
+            stats.hops += 1;
+            let state = self.nodes.get(&current.get())?;
+            // Am I done? key in (current, successor] means the first live
+            // successor is responsible.
+            let mut live_succ = None;
+            for s in &state.successors {
+                if self.contains(*s) {
+                    live_succ = Some(*s);
+                    break;
+                } else {
+                    stats.timeouts += 1;
+                }
+            }
+            let succ = match live_succ {
+                Some(s) => s,
+                // Total successor-list death: routing is stuck.
+                None => return None,
+            };
+            if key.in_half_open(current, succ) {
+                return Some((succ, stats));
+            }
+            // Otherwise forward through the closest preceding live finger.
+            let next = self.closest_preceding_live(current, key, &mut stats);
+            if next == current {
+                // No finger helps; fall through the successor.
+                current = succ;
+            } else {
+                current = next;
+            }
+        }
+        None
+    }
+
+    /// The closest live pointer (finger or successor) of `node` strictly
+    /// between `node` and `key` on the ring; returns `node` if none.
+    fn closest_preceding_live(&self, node: Key, key: Key, stats: &mut LookupStats) -> Key {
+        let state = &self.nodes[&node.get()];
+        // Fingers are stored farthest-first; scan for the farthest live
+        // pointer that still precedes the key.
+        for f in state.fingers.iter().chain(state.successors.iter()) {
+            if f.in_open(node, key) {
+                if self.contains(*f) {
+                    return *f;
+                }
+                stats.timeouts += 1;
+            }
+        }
+        node
+    }
+
+    /// Runs one incremental stabilization step at `node`: prune dead
+    /// successors, re-extend the successor list from ground truth of the
+    /// first live successor (models `notify`/successor-list gossip), and
+    /// repair one finger (round-robin), as Chord's periodic tasks do.
+    ///
+    /// Returns `false` if `node` is not a member.
+    pub fn stabilize_step(&mut self, node: Key) -> bool {
+        if !self.nodes.contains_key(&node.get()) {
+            return false;
+        }
+        // Rebuild successor list from current membership, starting just
+        // past the node. (A real node learns this from its successor's
+        // list; membership here is the oracle for that exchange.)
+        let successors = self.successors_after(node, SUCCESSOR_LIST_LEN);
+        // Repair one finger via a fresh lookup through the current state.
+        let state = &self.nodes[&node.get()];
+        let finger_idx = state.next_finger_to_fix;
+        let bit = Key::BITS - 1 - finger_idx;
+        let target = node.finger_target(bit);
+        let repaired = self
+            .lookup_from(node, target)
+            .map(|(k, _)| k)
+            .or_else(|| self.true_successor(target));
+        let state = self.nodes.get_mut(&node.get()).expect("checked above");
+        state.successors = successors;
+        if let Some(f) = repaired {
+            let idx = finger_idx as usize;
+            if state.fingers.len() <= idx {
+                state.fingers.resize(idx + 1, f);
+            }
+            state.fingers[idx] = f;
+        }
+        state.next_finger_to_fix = (finger_idx + 1) % FINGER_COUNT;
+        true
+    }
+
+    /// Runs one stabilization step at every member, in ring order.
+    pub fn stabilize_all(&mut self) {
+        for key in self.member_keys() {
+            self.stabilize_step(key);
+        }
+    }
+
+    /// Runs stabilization at `count` random members.
+    pub fn stabilize_random(&mut self, count: usize, rng: &mut SimRng) {
+        let keys = self.member_keys();
+        if keys.is_empty() {
+            return;
+        }
+        for _ in 0..count {
+            let k = keys[rng.index(keys.len())];
+            self.stabilize_step(k);
+        }
+    }
+
+    /// Ground-truth list of the `count` members clockwise after `node`.
+    fn successors_after(&self, node: Key, count: usize) -> Vec<Key> {
+        let mut out = Vec::with_capacity(count);
+        let mut iter = self
+            .nodes
+            .range(node.get().wrapping_add(1)..)
+            .chain(self.nodes.range(..=node.get()))
+            .map(|(&k, _)| Key::new(k));
+        for _ in 0..count.min(self.nodes.len().saturating_sub(1).max(1)) {
+            match iter.next() {
+                Some(k) if k != node => out.push(k),
+                Some(_) | None => break,
+            }
+        }
+        if out.is_empty() {
+            out.push(node); // single-node ring: own successor
+        }
+        out
+    }
+
+    /// Fully (re)builds `node`'s successor list and finger table from
+    /// ground truth — what a completed join plus full stabilization
+    /// would produce.
+    fn refresh_node_fully(&mut self, node: Key) {
+        let successors = self.successors_after(node, SUCCESSOR_LIST_LEN);
+        let mut fingers = Vec::with_capacity(FINGER_COUNT as usize);
+        for i in 0..FINGER_COUNT {
+            let bit = Key::BITS - 1 - i;
+            let target = node.finger_target(bit);
+            if let Some(s) = self.true_successor(target) {
+                fingers.push(s);
+            }
+        }
+        if let Some(state) = self.nodes.get_mut(&node.get()) {
+            state.successors = successors;
+            state.fingers = fingers;
+        }
+    }
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_lookup_finds_true_successor() {
+        let mut rng = SimRng::seed_from(1);
+        let ring = Ring::bootstrap(64, &mut rng);
+        for _ in 0..200 {
+            let key = Key::random(&mut rng);
+            let found = ring.lookup(key).expect("lookup succeeds");
+            assert_eq!(Some(found), ring.true_successor(key));
+        }
+    }
+
+    #[test]
+    fn lookup_hop_count_is_logarithmic() {
+        let mut rng = SimRng::seed_from(2);
+        let ring = Ring::bootstrap(256, &mut rng);
+        let mut max_hops = 0;
+        for _ in 0..100 {
+            let key = Key::random(&mut rng);
+            let (_, stats) = ring.lookup_with_stats(key).unwrap();
+            max_hops = max_hops.max(stats.hops);
+        }
+        // log2(256) = 8; allow slack for the iterative variant.
+        assert!(max_hops <= 24, "max hops {max_hops}");
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let mut ring = Ring::new();
+        ring.join(Key::new(7));
+        assert_eq!(ring.lookup(Key::new(0)), Some(Key::new(7)));
+        assert_eq!(ring.lookup(Key::new(u64::MAX)), Some(Key::new(7)));
+    }
+
+    #[test]
+    fn join_is_routable_after_stabilization() {
+        let mut rng = SimRng::seed_from(3);
+        let mut ring = Ring::bootstrap(32, &mut rng);
+        let newcomer = Key::new(0x8000_0000_0000_0001);
+        assert!(ring.join(newcomer));
+        assert!(!ring.join(newcomer), "duplicate join is a no-op");
+        for _ in 0..8 {
+            ring.stabilize_all();
+        }
+        let probe = Key::new(0x8000_0000_0000_0000);
+        assert_eq!(ring.true_successor(probe), Some(newcomer));
+        assert_eq!(ring.lookup(probe), Some(newcomer));
+    }
+
+    #[test]
+    fn lookups_survive_crashes_after_stabilization() {
+        let mut rng = SimRng::seed_from(4);
+        let mut ring = Ring::bootstrap(64, &mut rng);
+        let members = ring.member_keys();
+        // Crash 10 random nodes.
+        for i in 0..10 {
+            ring.leave(members[i * 6]);
+        }
+        for _ in 0..FINGER_COUNT {
+            ring.stabilize_all();
+        }
+        for _ in 0..100 {
+            let key = Key::random(&mut rng);
+            let found = ring.lookup(key).expect("post-churn lookup");
+            assert_eq!(Some(found), ring.true_successor(key));
+        }
+    }
+
+    #[test]
+    fn lookups_degrade_but_often_survive_before_stabilization() {
+        let mut rng = SimRng::seed_from(5);
+        let mut ring = Ring::bootstrap(64, &mut rng);
+        let members = ring.member_keys();
+        for i in 0..8 {
+            ring.leave(members[i * 8]);
+        }
+        // No stabilization: timeouts should appear, successor lists keep
+        // most lookups alive.
+        let mut successes = 0;
+        let mut timeouts = 0;
+        for _ in 0..100 {
+            let key = Key::random(&mut rng);
+            if let Some((found, stats)) = ring.lookup_with_stats(key) {
+                timeouts += stats.timeouts;
+                if Some(found) == ring.true_successor(key) {
+                    successes += 1;
+                }
+            }
+        }
+        assert!(successes >= 80, "successes {successes}");
+        assert!(timeouts > 0, "expected dead-pointer timeouts");
+    }
+
+    #[test]
+    fn leave_unknown_key_is_false() {
+        let mut ring = Ring::new();
+        assert!(!ring.leave(Key::new(1)));
+    }
+
+    #[test]
+    fn empty_ring_lookup_is_none() {
+        let ring = Ring::new();
+        assert_eq!(ring.lookup(Key::new(5)), None);
+    }
+
+    #[test]
+    fn stabilize_on_nonmember_is_false() {
+        let mut rng = SimRng::seed_from(6);
+        let mut ring = Ring::bootstrap(4, &mut rng);
+        assert!(!ring.stabilize_step(Key::new(12345)));
+        ring.stabilize_random(10, &mut rng);
+    }
+
+    #[test]
+    fn is_responsible_matches_true_successor() {
+        let mut rng = SimRng::seed_from(7);
+        let ring = Ring::bootstrap(16, &mut rng);
+        let key = Key::random(&mut rng);
+        let owner = ring.true_successor(key).unwrap();
+        assert!(ring.is_responsible(owner, key));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the Chord substrate.
+
+use proptest::prelude::*;
+
+use lagover_dht::{Directory, DirectoryConfig, DirectoryEntry, Key, Ring};
+use lagover_sim::SimRng;
+
+proptest! {
+    /// Interval membership on the ring: for distinct a, b every key is
+    /// in exactly one of (a, b] and (b, a].
+    #[test]
+    fn half_open_intervals_partition_the_ring(a in any::<u64>(), b in any::<u64>(), x in any::<u64>()) {
+        prop_assume!(a != b);
+        let (a, b, x) = (Key::new(a), Key::new(b), Key::new(x));
+        let in_ab = x.in_half_open(a, b);
+        let in_ba = x.in_half_open(b, a);
+        prop_assert!(in_ab != in_ba, "{x} must be in exactly one arc");
+    }
+
+    /// The open interval is contained in the half-open one.
+    #[test]
+    fn open_interval_is_contained(a in any::<u64>(), b in any::<u64>(), x in any::<u64>()) {
+        let (a, b, x) = (Key::new(a), Key::new(b), Key::new(x));
+        if x.in_open(a, b) {
+            prop_assert!(x.in_half_open(a, b) || x == b);
+        }
+    }
+
+    /// Clockwise distances around the full circle sum to 0 (mod 2^64).
+    #[test]
+    fn distances_compose(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (Key::new(a), Key::new(b));
+        let ab = a.distance_to(b);
+        let ba = b.distance_to(a);
+        prop_assert_eq!(ab.wrapping_add(ba), 0);
+    }
+
+    /// On a freshly bootstrapped ring, routing always agrees with
+    /// ground truth.
+    #[test]
+    fn bootstrap_lookup_agrees_with_truth(
+        seed in any::<u64>(),
+        n in 1usize..80,
+        probes in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let ring = Ring::bootstrap(n, &mut rng);
+        for probe in probes {
+            let key = Key::new(probe);
+            prop_assert_eq!(ring.lookup(key), ring.true_successor(key));
+        }
+    }
+
+    /// After enough stabilization following arbitrary crashes, routing
+    /// self-heals (as long as at least one node survives).
+    #[test]
+    fn stabilization_heals_routing(
+        seed in any::<u64>(),
+        n in 8usize..48,
+        crash_fraction in 0.0f64..0.45,
+        probe in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut ring = Ring::bootstrap(n, &mut rng);
+        let members = ring.member_keys();
+        let crashes = ((n as f64) * crash_fraction) as usize;
+        for key in members.into_iter().take(crashes) {
+            ring.leave(key);
+        }
+        for _ in 0..40 {
+            ring.stabilize_all();
+        }
+        let key = Key::new(probe);
+        prop_assert_eq!(ring.lookup(key), ring.true_successor(key));
+    }
+
+    /// Directory round trip: a published record is served to a matching
+    /// query while fresh, and never after its TTL.
+    #[test]
+    fn directory_ttl_semantics(
+        seed in any::<u64>(),
+        ttl in 1u64..20,
+        age in 0u64..40,
+        peer in 0usize..1000,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let config = DirectoryConfig { replication: 2, entry_ttl: ttl };
+        let mut dir = Directory::bootstrap(16, config, &mut rng);
+        let feed = Key::hash_str("prop-feed");
+        dir.publish(feed, DirectoryEntry {
+            peer,
+            delay: Some(1),
+            free_capacity: true,
+            latency_constraint: 3,
+            refreshed_at: 0,
+        });
+        let hit = dir.query(feed, age, |_| true, &mut rng);
+        if age <= ttl {
+            prop_assert_eq!(hit.map(|e| e.peer), Some(peer));
+        } else {
+            prop_assert_eq!(hit, None);
+        }
+    }
+
+    /// Joins never make routing return a non-member.
+    #[test]
+    fn lookup_returns_members_across_joins(
+        seed in any::<u64>(),
+        joins in prop::collection::vec(any::<u64>(), 1..20),
+        probe in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut ring = Ring::bootstrap(8, &mut rng);
+        for j in joins {
+            ring.join(Key::new(j));
+            ring.stabilize_all();
+            if let Some(found) = ring.lookup(Key::new(probe)) {
+                prop_assert!(ring.contains(found));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! §3.3.1 — the adversarial counter-example (experiment E5).
+//!
+//! Instances that *are* feasible but fail the sufficiency condition and
+//! defeat latency-only placement: a high-fanout hub shares its latency
+//! constraint with zero-fanout leaves, so greedy cannot tell that the
+//! hub must sit above them. This runner measures, per family size, the
+//! fraction of seeds for which each algorithm converges — the paper's
+//! claim is that greedy "simply can not achieve the desirable
+//! configuration" once a leaf takes the hub's slot, while hybrid
+//! recovers via fanout-preferring swaps.
+
+use serde::{Deserialize, Serialize};
+
+use lagover_core::{check_sufficiency, construct, exact_feasibility, Algorithm, ConstructionConfig, OracleKind};
+use lagover_workload::adversarial_population;
+
+use crate::table::TextTable;
+use crate::Params;
+
+/// One family size's convergence rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyRow {
+    /// Chain length parameter.
+    pub chain: u32,
+    /// Hub fanout (= number of leaves).
+    pub hub_fanout: u32,
+    /// Whether the §3.3 sufficiency condition holds (it must not).
+    pub sufficiency_holds: bool,
+    /// Whether a LagOver exists (it must).
+    pub feasible: bool,
+    /// Greedy convergence rate over the seeds.
+    pub greedy_rate: f64,
+    /// Hybrid convergence rate over the seeds.
+    pub hybrid_rate: f64,
+    /// Median greedy latency over *converged* runs only.
+    pub greedy_median_when_converged: Option<f64>,
+    /// Median hybrid latency over converged runs.
+    pub hybrid_median_when_converged: Option<f64>,
+}
+
+/// The E5 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterexampleReport {
+    /// Parameters used.
+    pub params: Params,
+    /// Seeds per (family, algorithm).
+    pub seeds: usize,
+    /// One row per family size.
+    pub rows: Vec<FamilyRow>,
+}
+
+impl CounterexampleReport {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "family".into(),
+            "sufficient?".into(),
+            "feasible?".into(),
+            "greedy conv".into(),
+            "hybrid conv".into(),
+            "greedy med".into(),
+            "hybrid med".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("chain={},hub={}", r.chain, r.hub_fanout),
+                r.sufficiency_holds.to_string(),
+                r.feasible.to_string(),
+                format!("{:.0}%", r.greedy_rate * 100.0),
+                format!("{:.0}%", r.hybrid_rate * 100.0),
+                r.greedy_median_when_converged
+                    .map(|m| format!("{m:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.hybrid_median_when_converged
+                    .map(|m| format!("{m:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        format!(
+            "§3.3.1 counter-example — convergence rate over {} seeds (Oracle Random-Delay)\n{}",
+            self.seeds,
+            t.render()
+        )
+    }
+}
+
+/// Runs the experiment over the default family sizes.
+pub fn run(params: &Params, seeds: usize) -> CounterexampleReport {
+    run_families(params, seeds, &[(2, 2), (2, 4), (3, 3), (4, 2)])
+}
+
+/// Runs the experiment over explicit `(chain, hub_fanout)` sizes.
+pub fn run_families(
+    params: &Params,
+    seeds: usize,
+    families: &[(u32, u32)],
+) -> CounterexampleReport {
+    let mut rows = Vec::new();
+    for &(chain, hub_fanout) in families {
+        let population = adversarial_population(chain, hub_fanout).expect("non-degenerate");
+        let sufficiency_holds = check_sufficiency(&population).satisfied;
+        let feasible = exact_feasibility(&population).is_some();
+        let mut rates = [0usize; 2];
+        let mut medians: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        for (ai, algorithm) in [Algorithm::Greedy, Algorithm::Hybrid].into_iter().enumerate() {
+            for s in 0..seeds {
+                let seed = params.run_seed(u64::from(chain) * 31 + u64::from(hub_fanout), s as u64);
+                let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
+                    .with_max_rounds(params.max_rounds);
+                let outcome = construct(&population, &config, seed);
+                if let Some(at) = outcome.converged_at {
+                    rates[ai] += 1;
+                    medians[ai].push(at as f64);
+                }
+            }
+        }
+        rows.push(FamilyRow {
+            chain,
+            hub_fanout,
+            sufficiency_holds,
+            feasible,
+            greedy_rate: rates[0] as f64 / seeds as f64,
+            hybrid_rate: rates[1] as f64 / seeds as f64,
+            greedy_median_when_converged: lagover_sim::stats::median(&medians[0]),
+            hybrid_median_when_converged: lagover_sim::stats::median(&medians[1]),
+        });
+    }
+    CounterexampleReport {
+        params: *params,
+        seeds,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_dominates_greedy_on_every_family() {
+        let mut params = Params::quick();
+        params.max_rounds = 800;
+        let report = run(&params, 12);
+        for row in &report.rows {
+            assert!(!row.sufficiency_holds, "family must violate sufficiency");
+            assert!(row.feasible, "family must stay feasible");
+            assert!(
+                row.hybrid_rate >= row.greedy_rate,
+                "hybrid ({}) below greedy ({}) on chain={},hub={}",
+                row.hybrid_rate,
+                row.greedy_rate,
+                row.chain,
+                row.hub_fanout
+            );
+        }
+        // On the paper-shaped instance, the gap is decisive.
+        let paper_row = &report.rows[0];
+        assert!(paper_row.hybrid_rate >= 0.9);
+        assert!(paper_row.greedy_rate <= 0.6);
+        assert!(report.render().contains("chain=2,hub=2"));
+    }
+}

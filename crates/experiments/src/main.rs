@@ -1,0 +1,168 @@
+//! The `lagover-experiments` binary: regenerates every table and figure
+//! of the paper.
+//!
+//! ```text
+//! lagover-experiments run <fig2|fig3|fig4|counterexample|async|sufficiency|serverload|realizations|all>
+//!                       [--quick] [--peers N] [--runs N] [--seed N] [--max-rounds N] [--json DIR]
+//! ```
+
+use std::process::ExitCode;
+
+use lagover_experiments::{
+    ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, multifeed_exp,
+    realizations, scaling, serverload, sufficiency, Params,
+};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig4",
+    "counterexample",
+    "async",
+    "sufficiency",
+    "serverload",
+    "realizations",
+    "locality",
+    "multifeed",
+    "ablations",
+    "scaling",
+    "liveness",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lagover-experiments run <{}|all> [--quick] [--peers N] [--runs N] [--seed N] [--max-rounds N] [--json DIR]",
+        EXPERIMENTS.join("|")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return usage();
+    };
+    if cmd != "run" {
+        return usage();
+    }
+    let Some(which) = it.next().cloned() else {
+        return usage();
+    };
+
+    let mut params = Params::paper();
+    let mut json_dir: Option<String> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => params = Params::quick(),
+            "--peers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.peers = v,
+                None => return usage(),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.runs = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.seed = v,
+                None => return usage(),
+            },
+            "--max-rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.max_rounds = v,
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_dir = Some(v.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let selected: Vec<&str> = if which == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&which.as_str()) {
+        vec![which.as_str()]
+    } else {
+        return usage();
+    };
+
+    for name in selected {
+        let (text, json) = run_one(name, &params);
+        println!("{text}");
+        if let Some(dir) = &json_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let path = format!("{dir}/{name}.json");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one experiment, returning (rendered text, JSON).
+fn run_one(name: &str, params: &Params) -> (String, String) {
+    match name {
+        "fig2" => {
+            // The variance figure wants more repetitions than the
+            // median-of-5 protocol.
+            let report = fig2::run(params, params.runs.max(5) * 6);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "fig3" => {
+            let report = fig3::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "fig4" => {
+            let report = fig4::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "counterexample" => {
+            let report = counterexample::run(params, params.runs.max(5) * 10);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "async" => {
+            let report = asynchrony::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "sufficiency" => {
+            let report = sufficiency::run(params, 500);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "serverload" => {
+            let report = serverload::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "realizations" => {
+            let report = realizations::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "locality" => {
+            let report = locality::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "multifeed" => {
+            let report = multifeed_exp::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "ablations" => {
+            let report = ablations::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "scaling" => {
+            let report = scaling::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        "liveness" => {
+            let report = liveness::run(params);
+            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+        }
+        other => unreachable!("unknown experiment {other} filtered by main"),
+    }
+}

@@ -1,0 +1,140 @@
+//! §3.3 — the sufficiency condition (experiment E7).
+//!
+//! Two empirical checks on random small populations:
+//!
+//! 1. **Soundness** — every population satisfying the condition is
+//!    actually feasible (exact search finds a tree), and the hybrid
+//!    algorithm constructs it;
+//! 2. **Non-necessity** — populations exist that are feasible but fail
+//!    the condition (the §3.3.1 family, plus randomly found ones).
+
+use serde::{Deserialize, Serialize};
+
+use lagover_core::node::{Constraints, Population};
+use lagover_core::{check_sufficiency, construct, exact_feasibility, Algorithm, ConstructionConfig, OracleKind};
+use lagover_sim::SimRng;
+
+use crate::table::TextTable;
+use crate::Params;
+
+/// Aggregate counts over the sampled instances.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SufficiencyReportE7 {
+    /// Instances sampled.
+    pub sampled: usize,
+    /// Instances satisfying the condition.
+    pub sufficient: usize,
+    /// Sufficient instances that were exactly feasible (must equal
+    /// `sufficient`).
+    pub sufficient_and_feasible: usize,
+    /// Sufficient instances on which hybrid construction converged
+    /// (should equal `sufficient`).
+    pub sufficient_and_constructed: usize,
+    /// Instances failing the condition.
+    pub insufficient: usize,
+    /// Insufficient instances that were nonetheless feasible —
+    /// witnesses that the condition is not necessary.
+    pub insufficient_but_feasible: usize,
+}
+
+impl SufficiencyReportE7 {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["measure".into(), "count".into()]);
+        t.row(vec!["instances sampled".into(), self.sampled.to_string()]);
+        t.row(vec!["sufficient".into(), self.sufficient.to_string()]);
+        t.row(vec![
+            "sufficient & exactly feasible".into(),
+            self.sufficient_and_feasible.to_string(),
+        ]);
+        t.row(vec![
+            "sufficient & hybrid-constructed".into(),
+            self.sufficient_and_constructed.to_string(),
+        ]);
+        t.row(vec!["insufficient".into(), self.insufficient.to_string()]);
+        t.row(vec![
+            "insufficient but feasible (non-necessity witnesses)".into(),
+            self.insufficient_but_feasible.to_string(),
+        ]);
+        format!("§3.3 sufficiency condition — empirical check\n{}", t.render())
+    }
+}
+
+/// Samples `instances` random populations of up to 10 peers and tallies
+/// the four-way contingency of {sufficient, feasible}.
+pub fn run(params: &Params, instances: usize) -> SufficiencyReportE7 {
+    let mut rng = SimRng::seed_from(params.seed ^ 0x51FF);
+    let mut report = SufficiencyReportE7 {
+        sampled: instances,
+        sufficient: 0,
+        sufficient_and_feasible: 0,
+        sufficient_and_constructed: 0,
+        insufficient: 0,
+        insufficient_but_feasible: 0,
+    };
+    for i in 0..instances {
+        let n = 3 + rng.index(8); // 3..=10 peers
+        let source_fanout = rng.range_u32(1, 3);
+        let peers: Vec<Constraints> = (0..n)
+            .map(|_| Constraints::new(rng.range_u32(0, 3), rng.range_u32(1, 6)))
+            .collect();
+        let population = Population::new(source_fanout, peers);
+        let sufficient = check_sufficiency(&population).satisfied;
+        let feasible = exact_feasibility(&population).is_some();
+        if sufficient {
+            report.sufficient += 1;
+            if feasible {
+                report.sufficient_and_feasible += 1;
+            }
+            let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+                .with_max_rounds(params.max_rounds);
+            if construct(&population, &config, params.run_seed(300, i as u64)).converged() {
+                report.sufficient_and_constructed += 1;
+            }
+        } else {
+            report.insufficient += 1;
+            if feasible {
+                report.insufficient_but_feasible += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sufficiency_implies_feasibility_on_samples() {
+        let report = run(&Params::quick(), 150);
+        assert_eq!(
+            report.sufficient, report.sufficient_and_feasible,
+            "found a sufficient but infeasible instance — the lemma is violated"
+        );
+        assert!(report.sufficient > 0, "sampler never produced a sufficient instance");
+        assert!(report.insufficient > 0);
+        assert!(report.render().contains("witnesses"));
+    }
+
+    #[test]
+    fn non_necessity_witnesses_exist() {
+        let report = run(&Params::quick(), 400);
+        assert!(
+            report.insufficient_but_feasible > 0,
+            "no feasible-but-insufficient instance found in 400 samples"
+        );
+    }
+
+    #[test]
+    fn hybrid_constructs_most_sufficient_instances() {
+        let report = run(&Params::quick(), 100);
+        // Hybrid should construct essentially all sufficient instances.
+        assert!(
+            report.sufficient_and_constructed * 10 >= report.sufficient * 9,
+            "hybrid constructed only {}/{}",
+            report.sufficient_and_constructed,
+            report.sufficient
+        );
+    }
+}

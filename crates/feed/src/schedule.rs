@@ -1,0 +1,109 @@
+//! Feed publication schedules.
+//!
+//! RSS updates are *"irregular and small content updates occurring at
+//! possibly unpredictable times"* (§6). The periodic schedule models
+//! regular publishers (news tickers); the Poisson schedule models the
+//! unpredictable ones (blogs).
+
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::SimRng;
+
+/// When the source publishes new items.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PublishSchedule {
+    /// A new item every `interval` rounds, starting at `interval`.
+    Periodic {
+        /// Rounds between items (>= 1).
+        interval: u64,
+    },
+    /// Items arrive as a Poisson process with the given mean
+    /// inter-arrival time in rounds.
+    Poisson {
+        /// Mean rounds between items (> 0).
+        mean_interval: f64,
+    },
+}
+
+impl PublishSchedule {
+    /// Publication rounds within `(0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero periodic interval or non-positive Poisson mean.
+    pub fn publication_rounds(&self, horizon: u64, rng: &mut SimRng) -> Vec<u64> {
+        match *self {
+            PublishSchedule::Periodic { interval } => {
+                assert!(interval >= 1, "publication interval must be positive");
+                (1..=horizon / interval).map(|k| k * interval).collect()
+            }
+            PublishSchedule::Poisson { mean_interval } => {
+                assert!(mean_interval > 0.0, "mean interval must be positive");
+                let mut out = Vec::new();
+                let mut t = 0.0_f64;
+                loop {
+                    t += rng.exponential(mean_interval);
+                    let round = t.ceil() as u64;
+                    if round > horizon {
+                        break;
+                    }
+                    out.push(round);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PublishSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishSchedule::Periodic { interval } => write!(f, "periodic({interval})"),
+            PublishSchedule::Poisson { mean_interval } => write!(f, "poisson({mean_interval})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_rounds_are_multiples() {
+        let mut rng = SimRng::seed_from(1);
+        let s = PublishSchedule::Periodic { interval: 5 };
+        assert_eq!(s.publication_rounds(22, &mut rng), vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn periodic_every_round() {
+        let mut rng = SimRng::seed_from(1);
+        let s = PublishSchedule::Periodic { interval: 1 };
+        assert_eq!(s.publication_rounds(4, &mut rng), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn poisson_rate_matches_mean() {
+        let mut rng = SimRng::seed_from(2);
+        let s = PublishSchedule::Poisson { mean_interval: 4.0 };
+        let rounds = s.publication_rounds(100_000, &mut rng);
+        let rate = rounds.len() as f64 / 100_000.0;
+        assert!((0.23..=0.27).contains(&rate), "rate {rate}");
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(rounds.iter().all(|&r| r >= 1 && r <= 100_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let mut rng = SimRng::seed_from(3);
+        PublishSchedule::Periodic { interval: 0 }.publication_rounds(10, &mut rng);
+    }
+
+    #[test]
+    fn empty_horizon_yields_nothing() {
+        let mut rng = SimRng::seed_from(4);
+        let s = PublishSchedule::Periodic { interval: 3 };
+        assert!(s.publication_rounds(2, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Source request-rate accounting: LagOver versus direct polling.
+//!
+//! The Boston Globe quote that opens the paper: *"If a million people
+//! subscribe to a data feed … their constant hits on the site could
+//! overwhelm our servers."* Under plain RSS every consumer polls the
+//! source; to actually meet its own freshness requirement `l_i`, a
+//! consumer must poll at least every `l_i` rounds. Under a LagOver the
+//! source sees only its direct children, each pulling every
+//! `pull_interval` rounds. The ratio of the two rates is the headline
+//! motivation number (experiment E8).
+
+use serde::{Deserialize, Serialize};
+
+use lagover_core::node::Population;
+use lagover_core::overlay::Overlay;
+
+/// Source request rates under both regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerLoadReport {
+    /// Consumers in the population.
+    pub consumers: usize,
+    /// Consumers directly attached to the source.
+    pub direct_children: usize,
+    /// Requests per round if every consumer polls at interval `l_i`.
+    pub direct_polling_rate: f64,
+    /// Requests per round with only direct children pulling at the
+    /// given interval.
+    pub lagover_rate: f64,
+    /// `direct_polling_rate / lagover_rate` (infinite when the overlay
+    /// rate is zero; reported as `f64::INFINITY`).
+    pub reduction_factor: f64,
+}
+
+/// Computes the comparison for a constructed overlay.
+///
+/// # Panics
+///
+/// Panics if `pull_interval == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lagover_core::node::{Constraints, Member, PeerId, Population};
+/// use lagover_core::overlay::Overlay;
+/// use lagover_feed::compare_server_load;
+///
+/// let population = Population::new(1, vec![
+///     Constraints::new(1, 1),
+///     Constraints::new(0, 2),
+/// ]);
+/// let mut overlay = Overlay::new(&population);
+/// overlay.attach(PeerId::new(0), Member::Source)?;
+/// overlay.attach(PeerId::new(1), Member::Peer(PeerId::new(0)))?;
+///
+/// let report = compare_server_load(&overlay, &population, 1);
+/// // Direct polling: 1/1 + 1/2 = 1.5 req/round; LagOver: 1 req/round.
+/// assert_eq!(report.direct_polling_rate, 1.5);
+/// assert_eq!(report.lagover_rate, 1.0);
+/// # Ok::<(), lagover_core::overlay::OverlayError>(())
+/// ```
+pub fn compare_server_load(
+    overlay: &Overlay,
+    population: &Population,
+    pull_interval: u64,
+) -> ServerLoadReport {
+    assert!(pull_interval >= 1, "pull interval must be positive");
+    let direct_polling_rate: f64 = population
+        .iter()
+        .map(|(_, c)| 1.0 / f64::from(c.latency))
+        .sum();
+    let direct_children = overlay.source_children().len();
+    let lagover_rate = direct_children as f64 / pull_interval as f64;
+    let reduction_factor = if lagover_rate == 0.0 {
+        f64::INFINITY
+    } else {
+        direct_polling_rate / lagover_rate
+    };
+    ServerLoadReport {
+        consumers: population.len(),
+        direct_children,
+        direct_polling_rate,
+        lagover_rate,
+        reduction_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagover_core::node::{Constraints, Member, PeerId};
+
+    #[test]
+    fn reduction_grows_with_population() {
+        // 1 direct child serving a 40-peer chain-of-trees: reduction is
+        // roughly the sum of poll rates.
+        let mut specs = vec![Constraints::new(39, 1)];
+        for _ in 0..39 {
+            specs.push(Constraints::new(0, 2));
+        }
+        let population = Population::new(1, specs);
+        let mut overlay = Overlay::new(&population);
+        overlay.attach(PeerId::new(0), Member::Source).unwrap();
+        for i in 1..40 {
+            overlay
+                .attach(PeerId::new(i), Member::Peer(PeerId::new(0)))
+                .unwrap();
+        }
+        let report = compare_server_load(&overlay, &population, 1);
+        assert_eq!(report.direct_children, 1);
+        assert!(report.direct_polling_rate > 20.0);
+        assert!(report.reduction_factor > 20.0);
+    }
+
+    #[test]
+    fn empty_overlay_reports_infinite_reduction() {
+        let population = Population::new(1, vec![Constraints::new(0, 5)]);
+        let overlay = Overlay::new(&population);
+        let report = compare_server_load(&overlay, &population, 1);
+        assert_eq!(report.lagover_rate, 0.0);
+        assert!(report.reduction_factor.is_infinite());
+    }
+
+    #[test]
+    fn slower_pull_reduces_lagover_rate() {
+        let population = Population::new(2, vec![Constraints::new(0, 4), Constraints::new(0, 4)]);
+        let mut overlay = Overlay::new(&population);
+        overlay.attach(PeerId::new(0), Member::Source).unwrap();
+        overlay.attach(PeerId::new(1), Member::Source).unwrap();
+        let fast = compare_server_load(&overlay, &population, 1);
+        let slow = compare_server_load(&overlay, &population, 4);
+        assert_eq!(fast.lagover_rate, 2.0);
+        assert_eq!(slow.lagover_rate, 0.5);
+        assert!(slow.reduction_factor > fast.reduction_factor);
+    }
+}

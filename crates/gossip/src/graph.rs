@@ -1,0 +1,192 @@
+//! Random membership graphs for the unstructured overlay.
+
+use lagover_sim::SimRng;
+
+/// An undirected membership graph over peers `0..n`.
+///
+/// Construction guarantees connectivity: a uniformly random spanning
+/// backbone (random-permutation tree) is laid down first, then extra
+/// random edges are added until the average degree target is met. The
+/// result approximates an Erdős–Rényi graph conditioned on connectivity —
+/// the standard model for gossip-membership overlays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipGraph {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl MembershipGraph {
+    /// Builds a connected random graph over `n` peers with roughly
+    /// `avg_degree` average degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `avg_degree < 1`.
+    pub fn random_connected(n: usize, avg_degree: usize, rng: &mut SimRng) -> Self {
+        assert!(n >= 2, "need at least two peers");
+        assert!(avg_degree >= 1, "need positive average degree");
+        let mut g = MembershipGraph {
+            adjacency: vec![Vec::new(); n],
+        };
+        // Random spanning tree: attach each node (in random order) to a
+        // uniformly random predecessor.
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        for i in 1..n {
+            let parent = order[rng.index(i)];
+            g.add_edge(order[i], parent);
+        }
+        // Top up with random edges to hit the degree target. The target
+        // edge count is n * avg_degree / 2; cap attempts to avoid an
+        // unbounded loop on dense requests.
+        let target_edges = n * avg_degree / 2;
+        let mut attempts = 0;
+        while g.edge_count() < target_edges && attempts < 20 * target_edges {
+            attempts += 1;
+            let a = rng.index(n);
+            let b = rng.index(n);
+            if a != b && !g.adjacency[a].contains(&b) {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Builds a graph from an explicit edge list (used in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = MembershipGraph {
+            adjacency: vec![Vec::new(); n],
+        };
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop");
+            assert!(a < n && b < n, "endpoint out of range");
+            assert!(!g.adjacency[a].contains(&b), "duplicate edge");
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    fn add_edge(&mut self, a: usize, b: usize) {
+        self.adjacency[a].push(b);
+        self.adjacency[b].push(a);
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbors of `peer`.
+    pub fn neighbors(&self, peer: usize) -> &[usize] {
+        &self.adjacency[peer]
+    }
+
+    /// Degree of `peer`.
+    pub fn degree(&self, peer: usize) -> usize {
+        self.adjacency[peer].len()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether every peer can reach every other peer.
+    pub fn is_connected(&self) -> bool {
+        if self.adjacency.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adjacency.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &self.adjacency[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.adjacency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_connected() {
+        let mut rng = SimRng::seed_from(1);
+        for n in [2, 3, 10, 100, 500] {
+            let g = MembershipGraph::random_connected(n, 4, &mut rng);
+            assert!(g.is_connected(), "n={n} not connected");
+            assert_eq!(g.len(), n);
+        }
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 400;
+        let g = MembershipGraph::random_connected(n, 6, &mut rng);
+        let avg = 2.0 * g.edge_count() as f64 / n as f64;
+        assert!((5.0..=7.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mut rng = SimRng::seed_from(3);
+        let g = MembershipGraph::random_connected(50, 4, &mut rng);
+        for v in 0..g.len() {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v), "edge {v}-{w} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = SimRng::seed_from(4);
+        let g = MembershipGraph::random_connected(100, 5, &mut rng);
+        for v in 0..g.len() {
+            let mut ns = g.neighbors(v).to_vec();
+            assert!(!ns.contains(&v), "self loop at {v}");
+            let before = ns.len();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), before, "duplicate edge at {v}");
+        }
+    }
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let g = MembershipGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.is_connected());
+        let g2 = MembershipGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g2.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_edges_rejects_self_loop() {
+        MembershipGraph::from_edges(3, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn random_graph_needs_two_peers() {
+        MembershipGraph::random_connected(1, 2, &mut SimRng::seed_from(0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Random-walk peer sampling.
+//!
+//! Oracle *Random* needs (approximately) uniform samples of the consumer
+//! population without any directory. A simple random walk converges to a
+//! degree-proportional distribution; the Metropolis–Hastings walk
+//! corrects the transition probabilities so the stationary distribution
+//! is uniform regardless of the degree sequence.
+
+use lagover_sim::SimRng;
+
+use crate::graph::MembershipGraph;
+
+/// Anything that can produce a random peer for an enquiring peer.
+pub trait PeerSampler {
+    /// Samples a peer on behalf of `enquirer`; never returns the
+    /// enquirer itself. Returns `None` only if no other peer is
+    /// reachable.
+    fn sample_peer(&mut self, enquirer: usize, rng: &mut SimRng) -> Option<usize>;
+}
+
+/// Simple random walk of fixed length (degree-biased stationary
+/// distribution; kept as the baseline the MH walk is compared against).
+#[derive(Debug, Clone)]
+pub struct SimpleWalkSampler {
+    graph: MembershipGraph,
+    walk_length: usize,
+}
+
+impl SimpleWalkSampler {
+    /// Creates a sampler walking `walk_length` hops per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walk_length == 0`.
+    pub fn new(graph: MembershipGraph, walk_length: usize) -> Self {
+        assert!(walk_length > 0, "walk length must be positive");
+        SimpleWalkSampler { graph, walk_length }
+    }
+
+    /// The membership graph being walked.
+    pub fn graph(&self) -> &MembershipGraph {
+        &self.graph
+    }
+}
+
+impl PeerSampler for SimpleWalkSampler {
+    fn sample_peer(&mut self, enquirer: usize, rng: &mut SimRng) -> Option<usize> {
+        let mut current = enquirer;
+        for _ in 0..self.walk_length {
+            let ns = self.graph.neighbors(current);
+            if ns.is_empty() {
+                return None;
+            }
+            current = ns[rng.index(ns.len())];
+        }
+        if current == enquirer {
+            // One bounce-off step; the walk ending at the enquirer would
+            // waste the round otherwise.
+            let ns = self.graph.neighbors(current);
+            if ns.is_empty() {
+                return None;
+            }
+            current = ns[rng.index(ns.len())];
+        }
+        (current != enquirer).then_some(current)
+    }
+}
+
+/// Metropolis–Hastings random walk with uniform stationary distribution.
+///
+/// At peer `u`, a neighbor `v` is proposed uniformly; the move is
+/// accepted with probability `min(1, deg(u) / deg(v))`, otherwise the
+/// walk stays at `u`. This is the textbook degree correction and is what
+/// a deployed Oracle *Random* realization would run.
+#[derive(Debug, Clone)]
+pub struct MhWalkSampler {
+    graph: MembershipGraph,
+    walk_length: usize,
+}
+
+impl MhWalkSampler {
+    /// Creates a sampler walking `walk_length` (proposal) steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walk_length == 0`.
+    pub fn new(graph: MembershipGraph, walk_length: usize) -> Self {
+        assert!(walk_length > 0, "walk length must be positive");
+        MhWalkSampler { graph, walk_length }
+    }
+
+    /// The membership graph being walked.
+    pub fn graph(&self) -> &MembershipGraph {
+        &self.graph
+    }
+}
+
+impl PeerSampler for MhWalkSampler {
+    fn sample_peer(&mut self, enquirer: usize, rng: &mut SimRng) -> Option<usize> {
+        let mut current = enquirer;
+        let mut moved = false;
+        let mut steps = self.walk_length;
+        // Allow a few extra steps so the sample is not the enquirer;
+        // bounded to keep the walk O(walk_length).
+        let max_steps = self.walk_length + 8;
+        let mut taken = 0;
+        while taken < max_steps && (steps > 0 || current == enquirer) {
+            taken += 1;
+            if steps > 0 {
+                steps -= 1;
+            }
+            let ns = self.graph.neighbors(current);
+            if ns.is_empty() {
+                return None;
+            }
+            let proposal = ns[rng.index(ns.len())];
+            let accept = self.graph.degree(current) as f64 / self.graph.degree(proposal) as f64;
+            if rng.chance(accept.min(1.0)) {
+                current = proposal;
+                moved = true;
+            }
+        }
+        (moved && current != enquirer).then_some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chi-square-style uniformity check: every peer should be sampled
+    /// with frequency within a factor-of-two band of uniform.
+    fn uniformity_band(counts: &[usize], total: usize) -> (f64, f64) {
+        let uniform = total as f64 / counts.len() as f64;
+        let min = counts.iter().copied().min().unwrap() as f64 / uniform;
+        let max = counts.iter().copied().max().unwrap() as f64 / uniform;
+        (min, max)
+    }
+
+    #[test]
+    fn mh_walk_is_close_to_uniform_on_irregular_graph() {
+        let mut rng = SimRng::seed_from(42);
+        // Star-plus-ring: node 0 has a very high degree.
+        let n = 40;
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        for i in 1..n {
+            let j = if i + 1 < n { i + 1 } else { 1 };
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+        let graph = MembershipGraph::from_edges(n, &edges);
+        let mut sampler = MhWalkSampler::new(graph, 60);
+        let mut counts = vec![0usize; n];
+        let total = 40_000;
+        for _ in 0..total {
+            let s = sampler.sample_peer(5, &mut rng).unwrap();
+            counts[s] += 1;
+        }
+        counts[5] = total / n; // the enquirer is excluded by design
+        let (lo, hi) = uniformity_band(&counts, total);
+        assert!(lo > 0.4, "most-undersampled ratio {lo}");
+        assert!(hi < 2.5, "most-oversampled ratio {hi}");
+    }
+
+    #[test]
+    fn simple_walk_is_degree_biased_on_star() {
+        let mut rng = SimRng::seed_from(43);
+        let n = 20;
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        for i in 1..n - 1 {
+            edges.push((i, i + 1));
+        }
+        let graph = MembershipGraph::from_edges(n, &edges);
+        let mut sampler = SimpleWalkSampler::new(graph, 15);
+        let mut hub_hits = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if sampler.sample_peer(7, &mut rng) == Some(0) {
+                hub_hits += 1;
+            }
+        }
+        // Uniform would give 1/19 ≈ 5.3%; the hub should be visibly
+        // oversampled by the uncorrected walk.
+        let frac = hub_hits as f64 / total as f64;
+        assert!(frac > 0.10, "hub fraction {frac} not degree-biased");
+    }
+
+    #[test]
+    fn samplers_never_return_the_enquirer() {
+        let mut rng = SimRng::seed_from(44);
+        let graph = MembershipGraph::random_connected(30, 4, &mut rng);
+        let mut simple = SimpleWalkSampler::new(graph.clone(), 5);
+        let mut mh = MhWalkSampler::new(graph, 5);
+        for _ in 0..2000 {
+            if let Some(s) = simple.sample_peer(3, &mut rng) {
+                assert_ne!(s, 3);
+            }
+            if let Some(s) = mh.sample_peer(3, &mut rng) {
+                assert_ne!(s, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_on_two_node_graph_reaches_the_other_node() {
+        let graph = MembershipGraph::from_edges(2, &[(0, 1)]);
+        let mut rng = SimRng::seed_from(45);
+        let mut mh = MhWalkSampler::new(graph.clone(), 3);
+        let mut simple = SimpleWalkSampler::new(graph, 3);
+        assert_eq!(mh.sample_peer(0, &mut rng), Some(1));
+        assert_eq!(simple.sample_peer(0, &mut rng), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_walk_rejected() {
+        let graph = MembershipGraph::from_edges(2, &[(0, 1)]);
+        MhWalkSampler::new(graph, 0);
+    }
+}

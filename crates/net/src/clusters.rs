@@ -1,0 +1,193 @@
+//! Clustered synthetic topologies: peers grouped into "domains"
+//! (ISPs / timezones, the locality contexts of the paper's §7), with
+//! cheap intra-cluster and expensive inter-cluster RTTs.
+//!
+//! The uniform unit-square placement of [`crate::latency`] spreads RTTs
+//! smoothly; real populations are lumpy. [`ClusteredSpace`] places
+//! cluster centers uniformly and scatters members tightly around them,
+//! which makes locality-aware construction measurably more valuable —
+//! the E10 experiment's hard mode.
+
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::SimRng;
+
+use crate::coords::Coord;
+use crate::latency::{LatencyConfig, LatencySpace};
+
+/// Parameters of a clustered placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of clusters (>= 1).
+    pub clusters: usize,
+    /// Standard scatter radius of members around their center, as a
+    /// fraction of the unit square (members are placed uniformly in a
+    /// square of this half-width around the center).
+    pub scatter: f64,
+    /// The RTT model applied on top of the coordinates.
+    pub latency: LatencyConfig,
+}
+
+impl Default for ClusterConfig {
+    /// Four tight clusters with the default RTT model.
+    fn default() -> Self {
+        ClusterConfig {
+            clusters: 4,
+            scatter: 0.03,
+            latency: LatencyConfig::default(),
+        }
+    }
+}
+
+/// A latency space with known cluster membership.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredSpace {
+    space: LatencySpace,
+    membership: Vec<usize>,
+}
+
+impl ClusteredSpace {
+    /// Places `n` peers round-robin across clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.clusters == 0` or `n == 0`.
+    pub fn generate(n: usize, config: &ClusterConfig, rng: &mut SimRng) -> Self {
+        assert!(config.clusters >= 1, "need at least one cluster");
+        assert!(n >= 1, "need at least one peer");
+        let centers: Vec<Coord> = (0..config.clusters)
+            .map(|_| Coord::sample_unit(rng))
+            .collect();
+        let mut coords = Vec::with_capacity(n);
+        let mut membership = Vec::with_capacity(n);
+        for i in 0..n {
+            let cluster = i % config.clusters;
+            let c = centers[cluster];
+            let dx = (rng.f64() - 0.5) * 2.0 * config.scatter;
+            let dy = (rng.f64() - 0.5) * 2.0 * config.scatter;
+            coords.push(Coord::new(c.x + dx, c.y + dy));
+            membership.push(cluster);
+        }
+        ClusteredSpace {
+            space: LatencySpace::from_coords(coords, config.latency),
+            membership,
+        }
+    }
+
+    /// The underlying latency space.
+    pub fn space(&self) -> &LatencySpace {
+        &self.space
+    }
+
+    /// Cluster of peer `i`.
+    pub fn cluster_of(&self, i: usize) -> usize {
+        self.membership[i]
+    }
+
+    /// Whether two peers share a cluster.
+    pub fn same_cluster(&self, a: usize, b: usize) -> bool {
+        self.membership[a] == self.membership[b]
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Whether the space is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+
+    /// Mean intra-cluster and inter-cluster RTTs, measured over all
+    /// pairs (O(n²); intended for analysis, not hot paths). Either is
+    /// `None` when no such pair exists.
+    pub fn rtt_split(&self) -> (Option<f64>, Option<f64>) {
+        let n = self.len();
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let rtt = self.space.rtt(a, b);
+                if self.same_cluster(a, b) {
+                    intra.0 += rtt;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += rtt;
+                    inter.1 += 1;
+                }
+            }
+        }
+        (
+            (intra.1 > 0).then(|| intra.0 / intra.1 as f64),
+            (inter.1 > 0).then(|| inter.0 / inter.1 as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_membership() {
+        let mut rng = SimRng::seed_from(1);
+        let cs = ClusteredSpace::generate(10, &ClusterConfig::default(), &mut rng);
+        assert_eq!(cs.len(), 10);
+        assert_eq!(cs.cluster_of(0), 0);
+        assert_eq!(cs.cluster_of(5), 1);
+        assert!(cs.same_cluster(0, 4));
+        assert!(!cs.same_cluster(0, 1));
+    }
+
+    #[test]
+    fn intra_cluster_rtts_are_much_cheaper() {
+        let mut rng = SimRng::seed_from(2);
+        let config = ClusterConfig {
+            clusters: 4,
+            scatter: 0.02,
+            latency: LatencyConfig {
+                base_rtt: 0.0,
+                rtt_per_unit: 1.0,
+                jitter: 0.0,
+            },
+        };
+        let cs = ClusteredSpace::generate(80, &config, &mut rng);
+        let (intra, inter) = cs.rtt_split();
+        let (intra, inter) = (intra.unwrap(), inter.unwrap());
+        assert!(
+            intra * 3.0 < inter,
+            "clusters not separated: intra {intra} vs inter {inter}"
+        );
+    }
+
+    #[test]
+    fn single_cluster_has_no_inter_pairs() {
+        let mut rng = SimRng::seed_from(3);
+        let config = ClusterConfig {
+            clusters: 1,
+            ..ClusterConfig::default()
+        };
+        let cs = ClusteredSpace::generate(6, &config, &mut rng);
+        let (intra, inter) = cs.rtt_split();
+        assert!(intra.is_some());
+        assert!(inter.is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ClusterConfig::default();
+        let a = ClusteredSpace::generate(20, &config, &mut SimRng::seed_from(9));
+        let b = ClusteredSpace::generate(20, &config, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        ClusteredSpace::generate(5, &ClusterConfig {
+            clusters: 0,
+            ..ClusterConfig::default()
+        }, &mut SimRng::seed_from(0));
+    }
+}

@@ -1,0 +1,77 @@
+//! 2-D synthetic network coordinates.
+
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::SimRng;
+
+/// A point in the unit-square coordinate space.
+///
+/// # Example
+///
+/// ```
+/// use lagover_net::coords::Coord;
+/// let a = Coord::new(0.0, 0.0);
+/// let b = Coord::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// Horizontal position.
+    pub x: f64,
+    /// Vertical position.
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: f64, y: f64) -> Self {
+        Coord { x, y }
+    }
+
+    /// Samples a uniform coordinate in the unit square.
+    pub fn sample_unit(rng: &mut SimRng) -> Self {
+        Coord {
+            x: rng.f64(),
+            y: rng.f64(),
+        }
+    }
+
+    /// Euclidean distance to another coordinate.
+    pub fn distance(self, other: Coord) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(0.25, 0.75);
+        let b = Coord::new(0.5, 0.1);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn sample_unit_stays_in_square() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let c = Coord::sample_unit(&mut rng);
+            assert!((0.0..1.0).contains(&c.x));
+            assert!((0.0..1.0).contains(&c.y));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..200 {
+            let a = Coord::sample_unit(&mut rng);
+            let b = Coord::sample_unit(&mut rng);
+            let c = Coord::sample_unit(&mut rng);
+            assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+        }
+    }
+}

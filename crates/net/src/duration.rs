@@ -1,0 +1,129 @@
+//! Interaction-duration models for asynchronous construction.
+//!
+//! The synchronous (round-based) simulator charges every interaction one
+//! round. The asynchronous experiments replace that with a per-peer
+//! duration drawn from a [`DurationModel`]; `lagover-core` stays
+//! decoupled from this crate by accepting any implementation of the
+//! trait.
+
+use lagover_sim::SimRng;
+
+use crate::latency::LatencySpace;
+
+/// Supplies the wall-clock cost of one interaction initiated by `peer`.
+pub trait DurationModel {
+    /// Duration (in virtual time units) of the next interaction initiated
+    /// by `peer`. Must be strictly positive.
+    fn interaction_duration(&self, peer: usize, rng: &mut SimRng) -> f64;
+}
+
+/// Every interaction takes exactly `duration` time units — the lockstep
+/// baseline expressed in the asynchronous machinery (useful for
+/// validating that the event-driven engine reproduces the round-based
+/// one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedDuration {
+    /// The constant interaction duration.
+    pub duration: f64,
+}
+
+impl FixedDuration {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not strictly positive.
+    pub fn new(duration: f64) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        FixedDuration { duration }
+    }
+}
+
+impl DurationModel for FixedDuration {
+    fn interaction_duration(&self, _peer: usize, _rng: &mut SimRng) -> f64 {
+        self.duration
+    }
+}
+
+/// Interaction duration proportional to the initiating peer's RTT to a
+/// random partner in the latency space: an interaction is a handful of
+/// message exchanges, so its cost scales with the peer's typical RTT.
+#[derive(Debug, Clone)]
+pub struct RttInteractionModel {
+    space: LatencySpace,
+    /// Number of round trips per interaction (enquiry, negotiation,
+    /// reconfiguration acknowledgements).
+    pub round_trips: f64,
+}
+
+impl RttInteractionModel {
+    /// Creates the model over a latency space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_trips` is not strictly positive or the space is
+    /// empty.
+    pub fn new(space: LatencySpace, round_trips: f64) -> Self {
+        assert!(round_trips > 0.0, "round_trips must be positive");
+        assert!(!space.is_empty(), "latency space must be non-empty");
+        RttInteractionModel { space, round_trips }
+    }
+
+    /// The underlying latency space.
+    pub fn space(&self) -> &LatencySpace {
+        &self.space
+    }
+}
+
+impl DurationModel for RttInteractionModel {
+    fn interaction_duration(&self, peer: usize, rng: &mut SimRng) -> f64 {
+        let partner = rng.index(self.space.len());
+        let rtt = self.space.rtt_jittered(peer % self.space.len(), partner, rng);
+        rtt * self.round_trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyConfig;
+
+    #[test]
+    fn fixed_duration_is_constant() {
+        let m = FixedDuration::new(1.0);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(m.interaction_duration(0, &mut rng), 1.0);
+        assert_eq!(m.interaction_duration(5, &mut rng), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fixed_duration_rejects_zero() {
+        FixedDuration::new(0.0);
+    }
+
+    #[test]
+    fn rtt_model_durations_are_positive_and_heterogeneous() {
+        let mut rng = SimRng::seed_from(8);
+        let space = LatencySpace::generate(40, &LatencyConfig::default(), &mut rng);
+        let model = RttInteractionModel::new(space, 3.0);
+        let d: Vec<f64> = (0..40)
+            .map(|p| model.interaction_duration(p, &mut rng))
+            .collect();
+        assert!(d.iter().all(|&x| x > 0.0));
+        let min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = d.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "expected heterogeneous durations");
+    }
+
+    #[test]
+    fn rtt_model_out_of_range_peer_wraps() {
+        let mut rng = SimRng::seed_from(9);
+        let space = LatencySpace::generate(4, &LatencyConfig::default(), &mut rng);
+        let model = RttInteractionModel::new(space, 1.0);
+        // Peer index beyond the space is wrapped rather than panicking,
+        // since the source (node 0) shares the space with consumers.
+        let d = model.interaction_duration(10, &mut rng);
+        assert!(d > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Pairwise round-trip-time model over synthetic coordinates.
+
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::SimRng;
+
+use crate::coords::Coord;
+
+/// Parameters of the affine RTT model
+/// `rtt(a, b) = base_rtt + distance(a, b) * rtt_per_unit (+ jitter)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Fixed per-pair floor (propagation + processing), in time units.
+    pub base_rtt: f64,
+    /// RTT contributed per unit of coordinate distance.
+    pub rtt_per_unit: f64,
+    /// Maximum multiplicative jitter: each sampled RTT is scaled by a
+    /// uniform factor in `[1, 1 + jitter]`. Zero disables jitter.
+    pub jitter: f64,
+}
+
+impl Default for LatencyConfig {
+    /// Unit-square space spanning one order of magnitude of RTTs: floor
+    /// 0.1, diagonal ≈ 1.5 time units, 20% jitter.
+    fn default() -> Self {
+        LatencyConfig {
+            base_rtt: 0.1,
+            rtt_per_unit: 1.0,
+            jitter: 0.2,
+        }
+    }
+}
+
+/// Coordinates for a peer population plus the RTT model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySpace {
+    coords: Vec<Coord>,
+    config: LatencyConfig,
+}
+
+impl LatencySpace {
+    /// Places `n` peers uniformly in the unit square.
+    pub fn generate(n: usize, config: &LatencyConfig, rng: &mut SimRng) -> Self {
+        let coords = (0..n).map(|_| Coord::sample_unit(rng)).collect();
+        LatencySpace {
+            coords,
+            config: *config,
+        }
+    }
+
+    /// Builds a space from explicit coordinates (used in tests and for
+    /// locality-aware experiments).
+    pub fn from_coords(coords: Vec<Coord>, config: LatencyConfig) -> Self {
+        LatencySpace { coords, config }
+    }
+
+    /// Number of peers in the space.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Deterministic (jitter-free) RTT between two peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn rtt(&self, a: usize, b: usize) -> f64 {
+        let d = self.coords[a].distance(self.coords[b]);
+        self.config.base_rtt + d * self.config.rtt_per_unit
+    }
+
+    /// RTT with multiplicative jitter applied.
+    pub fn rtt_jittered(&self, a: usize, b: usize, rng: &mut SimRng) -> f64 {
+        let factor = 1.0 + rng.f64() * self.config.jitter;
+        self.rtt(a, b) * factor
+    }
+
+    /// Coordinate of a peer.
+    pub fn coord(&self, i: usize) -> Coord {
+        self.coords[i]
+    }
+
+    /// The model parameters.
+    pub fn config(&self) -> &LatencyConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> LatencySpace {
+        LatencySpace::from_coords(
+            vec![Coord::new(0.0, 0.0), Coord::new(1.0, 0.0), Coord::new(0.0, 1.0)],
+            LatencyConfig {
+                base_rtt: 0.5,
+                rtt_per_unit: 2.0,
+                jitter: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn rtt_is_affine_in_distance() {
+        let s = space();
+        assert_eq!(s.rtt(0, 1), 0.5 + 2.0);
+        assert_eq!(s.rtt(0, 0), 0.5);
+    }
+
+    #[test]
+    fn rtt_symmetric() {
+        let s = space();
+        assert_eq!(s.rtt(1, 2), s.rtt(2, 1));
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let s = LatencySpace::from_coords(
+            vec![Coord::new(0.0, 0.0), Coord::new(1.0, 0.0)],
+            LatencyConfig {
+                base_rtt: 1.0,
+                rtt_per_unit: 1.0,
+                jitter: 0.5,
+            },
+        );
+        let base = s.rtt(0, 1);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let j = s.rtt_jittered(0, 1, &mut rng);
+            assert!(j >= base && j <= base * 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn generate_has_requested_size() {
+        let mut rng = SimRng::seed_from(6);
+        let s = LatencySpace::generate(17, &LatencyConfig::default(), &mut rng);
+        assert_eq!(s.len(), 17);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let cfg = LatencyConfig::default();
+        let a = LatencySpace::generate(10, &cfg, &mut SimRng::seed_from(9));
+        let b = LatencySpace::generate(10, &cfg, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,319 @@
+//! Membership-dynamics (churn) processes.
+//!
+//! The paper's churn model (§5.3): *"it is assumed that initially all
+//! peers are online. In each time step, online peers leave the network
+//! with a probability 0.01, while offline peers re-join with a
+//! probability 0.2."* [`BernoulliChurn`] implements exactly that.
+//! [`SessionChurn`] is a session-length extension (exponential or
+//! Pareto-distributed on/off periods) used by the ablation experiments to
+//! probe sensitivity to the churn model.
+
+use crate::rng::SimRng;
+
+/// Counts of membership transitions applied in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Transitions {
+    /// Peers that went from online to offline this step.
+    pub departures: usize,
+    /// Peers that went from offline to online this step.
+    pub arrivals: usize,
+}
+
+impl Transitions {
+    /// Total number of state changes.
+    pub fn total(&self) -> usize {
+        self.departures + self.arrivals
+    }
+}
+
+/// A process that flips peers between online and offline each round.
+pub trait ChurnProcess {
+    /// Applies one round of churn to the `online` bitmap, returning the
+    /// transition counts. Index `i` of the bitmap is peer `i`.
+    fn step(&mut self, online: &mut [bool], rng: &mut SimRng) -> Transitions;
+}
+
+/// No membership dynamics: every peer stays online.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::churn::{ChurnProcess, NoChurn};
+/// use lagover_sim::rng::SimRng;
+///
+/// let mut online = vec![true; 8];
+/// let t = NoChurn.step(&mut online, &mut SimRng::seed_from(1));
+/// assert_eq!(t.total(), 0);
+/// assert!(online.iter().all(|&o| o));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoChurn;
+
+impl ChurnProcess for NoChurn {
+    fn step(&mut self, _online: &mut [bool], _rng: &mut SimRng) -> Transitions {
+        Transitions::default()
+    }
+}
+
+/// The paper's per-round Bernoulli churn model.
+///
+/// Each online peer departs with probability `p_off`; each offline peer
+/// rejoins with probability `p_on`. The stationary online fraction is
+/// `p_on / (p_on + p_off)` — about 95% for the paper's (0.01, 0.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliChurn {
+    p_off: f64,
+    p_on: f64,
+}
+
+impl BernoulliChurn {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p_off: f64, p_on: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_off), "p_off must be a probability");
+        assert!((0.0..=1.0).contains(&p_on), "p_on must be a probability");
+        BernoulliChurn { p_off, p_on }
+    }
+
+    /// The paper's evaluation setting: `p_off = 0.01`, `p_on = 0.2`.
+    pub fn paper() -> Self {
+        BernoulliChurn::new(0.01, 0.2)
+    }
+
+    /// Expected long-run fraction of peers online.
+    pub fn stationary_online_fraction(&self) -> f64 {
+        if self.p_on + self.p_off == 0.0 {
+            1.0
+        } else {
+            self.p_on / (self.p_on + self.p_off)
+        }
+    }
+
+    /// Probability that an online peer departs in one round.
+    pub fn p_off(&self) -> f64 {
+        self.p_off
+    }
+
+    /// Probability that an offline peer rejoins in one round.
+    pub fn p_on(&self) -> f64 {
+        self.p_on
+    }
+}
+
+impl ChurnProcess for BernoulliChurn {
+    fn step(&mut self, online: &mut [bool], rng: &mut SimRng) -> Transitions {
+        let mut t = Transitions::default();
+        for state in online.iter_mut() {
+            if *state {
+                if rng.chance(self.p_off) {
+                    *state = false;
+                    t.departures += 1;
+                }
+            } else if rng.chance(self.p_on) {
+                *state = true;
+                t.arrivals += 1;
+            }
+        }
+        t
+    }
+}
+
+/// Session-length distribution for [`SessionChurn`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionDistribution {
+    /// Exponential with the given mean (memoryless sessions).
+    Exponential {
+        /// Mean session length in rounds.
+        mean: f64,
+    },
+    /// Pareto with scale `x_min` and shape `alpha` (heavy-tailed
+    /// sessions, as commonly measured in deployed P2P systems).
+    Pareto {
+        /// Minimum session length in rounds.
+        x_min: f64,
+        /// Tail index; smaller values give heavier tails.
+        alpha: f64,
+    },
+}
+
+impl SessionDistribution {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            SessionDistribution::Exponential { mean } => rng.exponential(mean),
+            SessionDistribution::Pareto { x_min, alpha } => rng.pareto(x_min, alpha),
+        }
+    }
+}
+
+/// Churn with explicit on/off session lengths.
+///
+/// Every peer alternates between online sessions (drawn from
+/// `on_sessions`) and offline periods (drawn from `off_sessions`). The
+/// per-peer timers are initialized lazily on first step so the struct can
+/// be constructed before the population size is known.
+#[derive(Debug, Clone)]
+pub struct SessionChurn {
+    on_sessions: SessionDistribution,
+    off_sessions: SessionDistribution,
+    /// Rounds remaining in the current session, per peer.
+    timers: Vec<f64>,
+}
+
+impl SessionChurn {
+    /// Creates a session-based churn process.
+    pub fn new(on_sessions: SessionDistribution, off_sessions: SessionDistribution) -> Self {
+        SessionChurn {
+            on_sessions,
+            off_sessions,
+            timers: Vec::new(),
+        }
+    }
+}
+
+impl ChurnProcess for SessionChurn {
+    fn step(&mut self, online: &mut [bool], rng: &mut SimRng) -> Transitions {
+        if self.timers.len() != online.len() {
+            self.timers = online
+                .iter()
+                .map(|&on| {
+                    if on {
+                        self.on_sessions.sample(rng)
+                    } else {
+                        self.off_sessions.sample(rng)
+                    }
+                })
+                .collect();
+        }
+        let mut t = Transitions::default();
+        for (state, timer) in online.iter_mut().zip(self.timers.iter_mut()) {
+            *timer -= 1.0;
+            if *timer <= 0.0 {
+                if *state {
+                    *state = false;
+                    t.departures += 1;
+                    *timer = self.off_sessions.sample(rng);
+                } else {
+                    *state = true;
+                    t.arrivals += 1;
+                    *timer = self.on_sessions.sample(rng);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_churn_never_changes_state() {
+        let mut online = vec![true, false, true];
+        let before = online.clone();
+        let t = NoChurn.step(&mut online, &mut SimRng::seed_from(3));
+        assert_eq!(t.total(), 0);
+        assert_eq!(online, before);
+    }
+
+    #[test]
+    fn bernoulli_stationary_fraction_matches_theory() {
+        let churn = BernoulliChurn::paper();
+        let expected = churn.stationary_online_fraction();
+        assert!((expected - 0.2 / 0.21).abs() < 1e-12);
+
+        let mut online = vec![true; 2_000];
+        let mut rng = SimRng::seed_from(99);
+        let mut churn = churn;
+        // Burn in, then measure.
+        for _ in 0..500 {
+            churn.step(&mut online, &mut rng);
+        }
+        let mut total_online = 0usize;
+        let rounds = 500;
+        for _ in 0..rounds {
+            churn.step(&mut online, &mut rng);
+            total_online += online.iter().filter(|&&o| o).count();
+        }
+        let measured = total_online as f64 / (rounds * online.len()) as f64;
+        assert!(
+            (measured - expected).abs() < 0.02,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_zero_rates_freeze_membership() {
+        let mut churn = BernoulliChurn::new(0.0, 0.0);
+        let mut online = vec![true, false];
+        let t = churn.step(&mut online, &mut SimRng::seed_from(7));
+        assert_eq!(t.total(), 0);
+        assert_eq!(online, vec![true, false]);
+        assert_eq!(churn.stationary_online_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_rejects_invalid_probability() {
+        BernoulliChurn::new(1.5, 0.1);
+    }
+
+    #[test]
+    fn bernoulli_transition_counts_are_consistent() {
+        let mut churn = BernoulliChurn::new(0.5, 0.5);
+        let mut online = vec![true; 100];
+        let mut rng = SimRng::seed_from(21);
+        let before: usize = online.iter().filter(|&&o| o).count();
+        let t = churn.step(&mut online, &mut rng);
+        let after: usize = online.iter().filter(|&&o| o).count();
+        assert_eq!(after, before - t.departures + t.arrivals);
+        // With p_off = 0.5 on 100 online peers, departures should be ~50.
+        assert!((25..=75).contains(&t.departures));
+    }
+
+    #[test]
+    fn session_churn_alternates_states() {
+        let mut churn = SessionChurn::new(
+            SessionDistribution::Exponential { mean: 5.0 },
+            SessionDistribution::Exponential { mean: 5.0 },
+        );
+        let mut online = vec![true; 500];
+        let mut rng = SimRng::seed_from(33);
+        let mut arrivals = 0;
+        let mut departures = 0;
+        for _ in 0..200 {
+            let t = churn.step(&mut online, &mut rng);
+            arrivals += t.arrivals;
+            departures += t.departures;
+        }
+        assert!(arrivals > 0, "expected some rejoins");
+        assert!(departures > 0, "expected some departures");
+        // Symmetric sessions => roughly half online.
+        let frac = online.iter().filter(|&&o| o).count() as f64 / 500.0;
+        assert!((0.35..=0.65).contains(&frac), "online fraction {frac}");
+    }
+
+    #[test]
+    fn session_churn_pareto_sessions_are_heavy_tailed() {
+        let mut churn = SessionChurn::new(
+            SessionDistribution::Pareto {
+                x_min: 2.0,
+                alpha: 1.2,
+            },
+            SessionDistribution::Exponential { mean: 2.0 },
+        );
+        let mut online = vec![true; 100];
+        let mut rng = SimRng::seed_from(55);
+        // Just exercise the path and confirm states change eventually.
+        let mut changed = false;
+        for _ in 0..500 {
+            if churn.step(&mut online, &mut rng).total() > 0 {
+                changed = true;
+            }
+        }
+        assert!(changed);
+    }
+}

@@ -1,0 +1,206 @@
+//! A monotonic discrete-event queue.
+//!
+//! Drives the asynchronous construction experiments (§5.3): each peer's
+//! next interaction completes at `now + duration(peer)`, so peers fall
+//! out of lockstep. Ties are broken by insertion order (FIFO), which
+//! keeps runs deterministic for a fixed seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::VirtualTime;
+
+/// An event scheduled at a virtual timestamp.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: VirtualTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event, with
+        // FIFO tie-breaking on the sequence number.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::event::EventQueue;
+/// use lagover_sim::time::VirtualTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(VirtualTime::new(2.0).unwrap(), "later");
+/// q.schedule(VirtualTime::new(1.0).unwrap(), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t.get(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: VirtualTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (events may not be
+    /// scheduled in the past).
+    pub fn schedule(&mut self, at: VirtualTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({at} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` after a non-negative delay from now.
+    pub fn schedule_after(&mut self, delay: f64, payload: E) {
+        let at = self.now.after(delay);
+        self.schedule(at, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue time went backwards");
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Peeks at the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> VirtualTime {
+        VirtualTime::new(v).unwrap()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), 3);
+        q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "a");
+        q.schedule(t(1.0), "b");
+        q.schedule(t(1.0), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), ());
+        q.schedule(t(2.0), ());
+        assert_eq!(q.now(), VirtualTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(2.0));
+        q.pop();
+        assert_eq!(q.now(), t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), ());
+        q.pop();
+        q.schedule(t(1.0), ());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), "first");
+        q.pop();
+        q.schedule_after(1.5, "second");
+        let (at, _) = q.pop().unwrap();
+        assert!((at.get() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1.0), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! Measurement primitives: counters, time series, histograms.
+//!
+//! Every experiment in the harness records a per-round time series of the
+//! *satisfied fraction* (online peers whose latency constraint is met and
+//! whose chain reaches the source), counters of interactions /
+//! reconfigurations / oracle queries, and histograms of convergence
+//! times. These types are deliberately simple, allocation-light, and
+//! serializable so the experiment runners can emit them as JSON/CSV.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::metrics::Counter;
+/// let mut c = Counter::new("interactions");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A sequence of `(x, y)` samples, typically `(round, value)`.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::metrics::TimeSeries;
+/// let mut s = TimeSeries::new("satisfied_fraction");
+/// s.push(0.0, 0.0);
+/// s.push(1.0, 0.5);
+/// assert_eq!(s.last(), Some((1.0, 0.5)));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        match (self.xs.last(), self.ys.last()) {
+            (Some(&x), Some(&y)) => Some((x, y)),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(x, y)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ys.iter().copied())
+    }
+
+    /// The x-values.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y-values.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mean of the y-values over the final `window` samples (useful for
+    /// steady-state summaries of churn runs). Returns `None` when the
+    /// series has fewer than `window` samples or `window` is zero.
+    pub fn tail_mean(&self, window: usize) -> Option<f64> {
+        if window == 0 || self.ys.len() < window {
+            return None;
+        }
+        let tail = &self.ys[self.ys.len() - window..];
+        Some(tail.iter().sum::<f64>() / window as f64)
+    }
+}
+
+/// A histogram over non-negative integer samples (e.g. convergence
+/// rounds), retaining raw samples for exact quantiles.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::metrics::Histogram;
+/// let mut h = Histogram::new("convergence_rounds");
+/// for v in [3, 1, 2, 5, 4] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.quantile(0.5), Some(3));
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        if let Some(&last) = self.samples.last() {
+            if value < last {
+                self.sorted = false;
+            }
+        }
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Exact `q`-quantile using the nearest-rank method.
+    ///
+    /// Returns `None` on an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Raw samples in insertion order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn time_series_round_trip() {
+        let mut s = TimeSeries::new("frac");
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        for i in 0..5 {
+            s.push(i as f64, i as f64 * 0.1);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.last(), Some((4.0, 0.4)));
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected[2], (2.0, 0.2));
+        assert_eq!(s.xs().len(), s.ys().len());
+    }
+
+    #[test]
+    fn time_series_tail_mean() {
+        let mut s = TimeSeries::new("v");
+        for i in 0..10 {
+            s.push(i as f64, if i < 5 { 0.0 } else { 1.0 });
+        }
+        assert_eq!(s.tail_mean(5), Some(1.0));
+        assert_eq!(s.tail_mean(10), Some(0.5));
+        assert_eq!(s.tail_mean(11), None);
+        assert_eq!(s.tail_mean(0), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_nearest_rank() {
+        let mut h = Histogram::new("h");
+        for v in [10, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.5), Some(30));
+        assert_eq!(h.quantile(1.0), Some(50));
+        assert_eq!(h.quantile(0.25), Some(20));
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn histogram_stats_on_unsorted_input() {
+        let mut h = Histogram::new("h");
+        for v in [5, 1, 9, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.mean(), Some(4.5));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new("h");
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = TimeSeries::new("frac");
+        s.push(1.0, 2.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,367 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Reproducibility is a first-class requirement for this reproduction:
+//! every figure must be regenerable bit-for-bit from a master seed. The
+//! `rand` crate's `StdRng` does not guarantee a stable algorithm across
+//! versions, so [`SimRng`] implements **xoshiro256\*\*** (Blackman &
+//! Vigna) directly, seeded through a SplitMix64 expansion of a single
+//! `u64`. `SimRng` implements [`rand::RngCore`] so all `rand`
+//! distributions compose with it.
+//!
+//! Per-actor determinism is obtained by *splitting*: [`SimRng::split`]
+//! derives an independent child stream, so the behaviour of peer `i` does
+//! not depend on how many random draws peer `j` made.
+
+use rand::{Error, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step; used to expand seeds and derive split streams.
+///
+/// This is the canonical public-domain constant set from Vigna's
+/// reference implementation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256\*\* generator with stream splitting.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::rng::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a single `u64` master seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not be seeded with all zeros; splitmix64 of any
+        // seed cannot produce four zero outputs in a row, but guard
+        // against it defensively.
+        if s == [0, 0, 0, 0] {
+            return SimRng { s: [1, 2, 3, 4] };
+        }
+        SimRng { s }
+    }
+
+    /// Derives an independent child stream identified by `stream`.
+    ///
+    /// Two children with different `stream` values — or derived from
+    /// generators in different states — produce statistically independent
+    /// sequences. The parent generator is *not* advanced, so splitting is
+    /// itself deterministic.
+    pub fn split(&self, stream: u64) -> SimRng {
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47)
+            ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        if s == [0, 0, 0, 0] {
+            return SimRng { s: [1, 2, 3, 4] };
+        }
+        SimRng { s }
+    }
+
+    /// Draws a uniform index in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        // Lemire-style rejection-free-enough sampling; bound is tiny
+        // relative to 2^64 in every caller, so modulo bias is negligible,
+        // but use widening multiply to avoid it entirely.
+        let x = self.next_u64();
+        (((x as u128) * (bound as u128)) >> 64) as usize
+    }
+
+    /// Draws a Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.f64() < p
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws a uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "invalid range");
+        let span = (hi - lo) as usize + 1;
+        lo + self.index(span) as u32
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws from an exponential distribution with the given `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Draws from a Pareto distribution with scale `x_min` and shape
+    /// `alpha` (heavy-tailed session lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not strictly positive.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        let u = 1.0 - self.f64(); // in (0, 1]
+        x_min / u.powf(1.0 / alpha)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        if s == [0, 0, 0, 0] {
+            s = [1, 2, 3, 4];
+        }
+        SimRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_draws() {
+        let parent = SimRng::seed_from(9);
+        let child_before = parent.split(5);
+        let mut parent2 = parent.clone();
+        let _ = parent2.next_u64();
+        // Splitting does not consume parent state, and the child stream
+        // only depends on (parent state, stream id).
+        let child_after = parent.split(5);
+        assert_eq!(child_before, child_after);
+        assert_ne!(child_before, parent.split(6));
+    }
+
+    #[test]
+    fn index_is_in_bounds_and_roughly_uniform() {
+        let mut rng = SimRng::seed_from(77);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.index(10)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 each; allow generous slack.
+            assert!((8_500..=11_500).contains(&c), "count {c} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn index_zero_bound_panics() {
+        SimRng::seed_from(0).index(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn chance_rate_close_to_p() {
+        let mut rng = SimRng::seed_from(5);
+        let hits = (0..100_000).filter(|_| rng.chance(0.2)).count();
+        assert!((18_000..=22_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_u32_inclusive() {
+        let mut rng = SimRng::seed_from(8);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let x = rng.range_u32(3, 7);
+            assert!((3..=7).contains(&x));
+            saw_lo |= x == 3;
+            saw_hi |= x == 7;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((4.8..=5.2).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::seed_from(12);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = SimRng::seed_from(13);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // All-zero 13 bytes is astronomically unlikely.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seedable_from_seed_stable() {
+        let seed = [7u8; 32];
+        let mut a = SimRng::from_seed(seed);
+        let mut b = SimRng::from_seed(seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::seed_from(1);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+    }
+}

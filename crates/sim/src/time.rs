@@ -1,0 +1,198 @@
+//! Strongly-typed simulation time.
+//!
+//! The paper uses two *decoupled* notions of time (§2.1.1): the
+//! construction process advances in **rounds** (one interaction attempt
+//! per peer per round), while feed staleness is measured in **time
+//! units** along the dissemination chain. [`Round`] models the former;
+//! [`VirtualTime`] models the continuous clock of the asynchronous
+//! experiments (§5.3), where interactions have heterogeneous durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete construction round.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::time::Round;
+/// let r = Round::ZERO + 3;
+/// assert_eq!(r.get(), 3);
+/// assert_eq!((r + 2) - r, 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round from a raw counter value.
+    pub fn new(value: u64) -> Self {
+        Round(value)
+    }
+
+    /// Returns the raw counter value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Round {
+    type Output = Round;
+
+    fn add(self, rhs: u64) -> Round {
+        Round(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Round {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Round> for Round {
+    type Output = u64;
+
+    /// Number of rounds elapsed between two rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: Round) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("round subtraction underflow")
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+/// A continuous virtual timestamp for event-driven (asynchronous) runs.
+///
+/// Wraps an `f64` with a total order (NaN is rejected at construction),
+/// so it can key the event queue.
+///
+/// # Example
+///
+/// ```
+/// use lagover_sim::time::VirtualTime;
+/// let t = VirtualTime::new(1.5).unwrap();
+/// assert!(t < VirtualTime::new(2.0).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// Time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// Creates a timestamp; returns `None` for NaN or negative values.
+    pub fn new(value: f64) -> Option<Self> {
+        if value.is_nan() || value < 0.0 {
+            None
+        } else {
+            Some(VirtualTime(value))
+        }
+    }
+
+    /// Returns the timestamp as a plain `f64`.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Advances the timestamp by a non-negative duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or NaN.
+    #[must_use]
+    pub fn after(self, duration: f64) -> VirtualTime {
+        assert!(
+            duration >= 0.0 && !duration.is_nan(),
+            "duration must be non-negative"
+        );
+        VirtualTime(self.0 + duration)
+    }
+}
+
+impl Eq for VirtualTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN is excluded at construction, so partial_cmp never fails.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("VirtualTime cannot be NaN")
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_arithmetic() {
+        let r = Round::new(10);
+        assert_eq!(r + 5, Round::new(15));
+        assert_eq!(Round::new(15) - r, 5);
+        assert_eq!(r.next(), Round::new(11));
+        let mut m = r;
+        m += 2;
+        assert_eq!(m.get(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn round_subtraction_underflow_panics() {
+        let _ = Round::new(1) - Round::new(2);
+    }
+
+    #[test]
+    fn round_display() {
+        assert_eq!(Round::new(3).to_string(), "round 3");
+    }
+
+    #[test]
+    fn virtual_time_rejects_nan_and_negative() {
+        assert!(VirtualTime::new(f64::NAN).is_none());
+        assert!(VirtualTime::new(-0.1).is_none());
+        assert!(VirtualTime::new(0.0).is_some());
+    }
+
+    #[test]
+    fn virtual_time_ordering() {
+        let a = VirtualTime::new(1.0).unwrap();
+        let b = VirtualTime::new(2.0).unwrap();
+        assert!(a < b);
+        assert_eq!(a.after(1.0), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn virtual_time_negative_duration_panics() {
+        let _ = VirtualTime::ZERO.after(-1.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The §3.3.1 adversarial family.
+//!
+//! The paper's counter-example shows an instance where a LagOver exists
+//! but the greedy algorithm cannot find it, because the node that must
+//! sit *closer* to the source than some others does not have the
+//! strictest latency constraint — it has the largest *fanout*. The
+//! literal instance printed in the paper (`4_1^3`, `5_0^3` at depth 4)
+//! is off by one under the paper's own delay accounting (see DESIGN.md
+//! §2), so this module generates the same *structure* with consistent
+//! latencies:
+//!
+//! * the source with fanout 1,
+//! * a chain prefix of `chain` nodes, node `i` with `(f=1, l=i+1)`,
+//! * a **hub** with `(f=hub_fanout, l=chain+2)`,
+//! * `hub_fanout` **leaves** with `(f=0, l=chain+2)`.
+//!
+//! The unique feasible tree is `source -> chain -> hub -> leaves`. The
+//! hub and the leaves share the same latency constraint, so latency-only
+//! (greedy) placement cannot tell that the hub must take the
+//! depth-`chain+1` slot: if any leaf grabs it first, the instance wedges
+//! permanently for greedy — while the hybrid algorithm's fanout
+//! preference and `j ← i ← k` swaps recover. For `chain = 2`,
+//! `hub_fanout = 2` this is exactly the shape of the paper's 5-node
+//! example.
+
+use lagover_core::node::{Constraints, Population};
+
+use crate::GenerateError;
+
+/// Builds the adversarial instance; see the module docs.
+///
+/// # Errors
+///
+/// [`GenerateError::DegenerateAdversarial`] when `chain == 0` or
+/// `hub_fanout == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lagover_workload::adversarial_population;
+/// use lagover_core::{check_sufficiency, exact_feasibility};
+///
+/// let population = adversarial_population(2, 2).unwrap();
+/// // Feasible, yet fails the §3.3 sufficiency condition:
+/// assert!(exact_feasibility(&population).is_some());
+/// assert!(!check_sufficiency(&population).satisfied);
+/// ```
+pub fn adversarial_population(chain: u32, hub_fanout: u32) -> Result<Population, GenerateError> {
+    if chain == 0 || hub_fanout == 0 {
+        return Err(GenerateError::DegenerateAdversarial);
+    }
+    let leaf_latency = chain + 2;
+    let mut peers = Vec::with_capacity(chain as usize + 1 + hub_fanout as usize);
+    for i in 0..chain {
+        peers.push(Constraints::new(1, i + 1));
+    }
+    peers.push(Constraints::new(hub_fanout, leaf_latency)); // the hub
+    for _ in 0..hub_fanout {
+        peers.push(Constraints::new(0, leaf_latency));
+    }
+    Ok(Population::new(1, peers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagover_core::sufficiency::{exact_feasibility, validate_assignment};
+    use lagover_core::{check_sufficiency, Algorithm, ConstructionConfig, OracleKind};
+
+    #[test]
+    fn family_is_feasible_but_not_sufficient() {
+        for (chain, hub) in [(1, 1), (2, 2), (3, 4), (2, 5)] {
+            let population = adversarial_population(chain, hub).unwrap();
+            assert!(
+                !check_sufficiency(&population).satisfied,
+                "({chain},{hub}) unexpectedly sufficient"
+            );
+            let depths = exact_feasibility(&population)
+                .unwrap_or_else(|| panic!("({chain},{hub}) should be feasible"));
+            validate_assignment(&population, &depths).unwrap();
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert_eq!(
+            adversarial_population(0, 2),
+            Err(GenerateError::DegenerateAdversarial)
+        );
+        assert_eq!(
+            adversarial_population(2, 0),
+            Err(GenerateError::DegenerateAdversarial)
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_greedy_on_the_family() {
+        // The headline §3.3.1 behaviour: hybrid converges on (2,2) for
+        // every seed we try; greedy wedges on a substantial fraction.
+        let population = adversarial_population(2, 2).unwrap();
+        const SEEDS: u64 = 30;
+        let mut greedy_ok = 0;
+        let mut hybrid_ok = 0;
+        for seed in 0..SEEDS {
+            let g = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+                .with_max_rounds(1_500);
+            let h = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+                .with_max_rounds(1_500);
+            if lagover_core::construct(&population, &g, seed).converged() {
+                greedy_ok += 1;
+            }
+            if lagover_core::construct(&population, &h, seed).converged() {
+                hybrid_ok += 1;
+            }
+        }
+        assert_eq!(hybrid_ok, SEEDS, "hybrid must always converge");
+        assert!(
+            greedy_ok < SEEDS / 2,
+            "greedy converged {greedy_ok}/{SEEDS} times — adversarial structure lost"
+        );
+    }
+
+    #[test]
+    fn paper_shape_has_five_nodes() {
+        let population = adversarial_population(2, 2).unwrap();
+        assert_eq!(population.len(), 5);
+        assert_eq!(population.source_fanout(), 1);
+        let specs: Vec<(u32, u32)> = population.iter().map(|(_, c)| (c.fanout, c.latency)).collect();
+        assert_eq!(specs, vec![(1, 1), (1, 2), (2, 4), (0, 4), (0, 4)]);
+    }
+}

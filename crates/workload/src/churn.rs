@@ -1,0 +1,114 @@
+//! Churn specifications (serializable descriptions of the membership
+//! process used by a run).
+
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::churn::{BernoulliChurn, ChurnProcess, NoChurn};
+
+/// A reproducible churn description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnSpec {
+    /// No membership dynamics.
+    None,
+    /// The paper's §5.3 setting: depart w.p. 0.01, rejoin w.p. 0.2.
+    Paper,
+    /// Custom per-round Bernoulli rates.
+    Bernoulli {
+        /// Per-round departure probability for online peers.
+        p_off: f64,
+        /// Per-round rejoin probability for offline peers.
+        p_on: f64,
+    },
+}
+
+impl ChurnSpec {
+    /// Instantiates the process.
+    pub fn build(&self) -> Box<dyn ChurnProcess> {
+        match *self {
+            ChurnSpec::None => Box::new(NoChurn),
+            ChurnSpec::Paper => Box::new(BernoulliChurn::paper()),
+            ChurnSpec::Bernoulli { p_off, p_on } => Box::new(BernoulliChurn::new(p_off, p_on)),
+        }
+    }
+
+    /// Whether the spec describes any membership dynamics at all.
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(
+            self,
+            ChurnSpec::None
+                | ChurnSpec::Bernoulli {
+                    p_off: 0.0,
+                    p_on: _
+                }
+        )
+    }
+}
+
+impl std::fmt::Display for ChurnSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnSpec::None => write!(f, "no churn"),
+            ChurnSpec::Paper => write!(f, "churn(0.01/0.2)"),
+            ChurnSpec::Bernoulli { p_off, p_on } => write!(f, "churn({p_off}/{p_on})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagover_sim::SimRng;
+
+    #[test]
+    fn build_none_is_inert() {
+        let mut churn = ChurnSpec::None.build();
+        let mut online = vec![true; 10];
+        let t = churn.step(&mut online, &mut SimRng::seed_from(1));
+        assert_eq!(t.total(), 0);
+        assert!(!ChurnSpec::None.is_dynamic());
+    }
+
+    #[test]
+    fn paper_spec_is_dynamic() {
+        assert!(ChurnSpec::Paper.is_dynamic());
+        let mut churn = ChurnSpec::Paper.build();
+        let mut online = vec![true; 5_000];
+        let t = churn.step(&mut online, &mut SimRng::seed_from(2));
+        // ~1% of 5000 should depart.
+        assert!((10..=120).contains(&t.departures), "{}", t.departures);
+    }
+
+    #[test]
+    fn custom_rates_apply() {
+        let spec = ChurnSpec::Bernoulli {
+            p_off: 1.0,
+            p_on: 0.0,
+        };
+        let mut churn = spec.build();
+        let mut online = vec![true; 10];
+        churn.step(&mut online, &mut SimRng::seed_from(3));
+        assert!(online.iter().all(|&o| !o));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for spec in [
+            ChurnSpec::None,
+            ChurnSpec::Paper,
+            ChurnSpec::Bernoulli {
+                p_off: 0.05,
+                p_on: 0.5,
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ChurnSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(ChurnSpec::Paper.to_string(), "churn(0.01/0.2)");
+        assert_eq!(ChurnSpec::None.to_string(), "no churn");
+    }
+}

@@ -1,0 +1,89 @@
+//! The §3.2 toy system (Figure 1): source `0_3` with consumers
+//! `a_2^1, b_2^3, c_2^3, d_2^1, e_2^2, f_2^3, g_2^3, h_2^3, i_2^3,
+//! j_2^4` — all fanout 2, latencies (1,3,3,1,2,3,3,3,3,4).
+
+use lagover::core::node::{Constraints, Member, Population};
+use lagover::core::{check_sufficiency, Algorithm, ConstructionConfig, Engine, OracleKind, PeerId};
+
+/// The Figure 1 population; index 0 = a, 1 = b, …, 9 = j.
+fn figure1_population() -> Population {
+    let latencies = [1u32, 3, 3, 1, 2, 3, 3, 3, 3, 4];
+    Population::new(
+        3,
+        latencies.iter().map(|&l| Constraints::new(2, l)).collect(),
+    )
+}
+
+#[test]
+fn figure1_population_is_exactly_sufficient_at_level_three() {
+    let population = figure1_population();
+    let report = check_sufficiency(&population);
+    assert!(report.satisfied);
+    // Level 3 consumes all capacity: 6 nodes vs f(N2) + surplus = 2 + 4.
+    let level3 = report.levels.iter().find(|l| l.level == 3).unwrap();
+    assert_eq!(level3.demand, 6);
+    assert_eq!(level3.available, 6);
+}
+
+#[test]
+fn greedy_constructs_the_figure1_system_for_many_seeds() {
+    let population = figure1_population();
+    for seed in 0..25 {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(3_000);
+        let mut engine = Engine::new(&population, &config, seed);
+        let converged = engine.run_to_convergence();
+        assert!(converged.is_some(), "greedy failed on Figure 1, seed {seed}");
+        // The strict nodes a and d (l = 1) always end up pulling
+        // directly from the source.
+        for strict in [PeerId::new(0), PeerId::new(3)] {
+            assert_eq!(
+                engine.overlay().parent(strict),
+                Some(Member::Source),
+                "seed {seed}: strict node not at the source"
+            );
+        }
+        // The greedy latency order holds on every edge.
+        for p in population.peer_ids() {
+            if let Some(Member::Peer(q)) = engine.overlay().parent(p) {
+                assert!(population.latency(q) <= population.latency(p));
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_constructs_the_figure1_system_for_many_seeds() {
+    let population = figure1_population();
+    for seed in 0..25 {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(3_000);
+        let mut engine = Engine::new(&population, &config, seed);
+        assert!(
+            engine.run_to_convergence().is_some(),
+            "hybrid failed on Figure 1, seed {seed}"
+        );
+        engine.overlay().validate().unwrap();
+    }
+}
+
+#[test]
+fn maintenance_fires_during_figure1_style_construction() {
+    // Over many seeds, the opportunistic cluster formation must
+    // sometimes produce configurations whose latency constraints are
+    // later discovered to be violated — exactly the `g !<- f`, `i !<- h`
+    // events Figure 1 illustrates.
+    let population = figure1_population();
+    let mut any_maintenance = false;
+    for seed in 0..40 {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random)
+            .with_max_rounds(3_000);
+        let outcome = lagover::core::construct(&population, &config, seed);
+        assert!(outcome.converged(), "seed {seed}");
+        any_maintenance |= outcome.counters.maintenance_detaches > 0;
+    }
+    assert!(
+        any_maintenance,
+        "maintenance never fired across 40 seeds — the opportunistic path is dead"
+    );
+}
