@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lagover_bench::bench_population;
-use lagover_core::{run_async, run_async_lockstep, Algorithm, ConstructionConfig, OracleKind, PeerId};
+use lagover_core::{
+    run_async, run_async_lockstep, Algorithm, ConstructionConfig, OracleKind, PeerId,
+};
 use lagover_net::{DurationModel, LatencyConfig, LatencySpace, RttInteractionModel};
 use lagover_sim::SimRng;
 use lagover_workload::TopologicalConstraint;
@@ -13,8 +15,8 @@ fn async_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("async_construction");
     group.sample_size(10);
     let population = bench_population(TopologicalConstraint::Rand);
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(3_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(3_000);
 
     let mut seed = 0u64;
     group.bench_function(BenchmarkId::new("mode", "lockstep"), |b| {

@@ -13,8 +13,8 @@ fn counterexample(c: &mut Criterion) {
     for (chain, hub) in [(2u32, 2u32), (3, 3)] {
         let population = adversarial_population(chain, hub).expect("non-degenerate");
         for algorithm in [Algorithm::Greedy, Algorithm::Hybrid] {
-            let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
-                .with_max_rounds(500);
+            let config =
+                ConstructionConfig::new(algorithm, OracleKind::RandomDelay).with_max_rounds(500);
             let mut seed = 0u64;
             group.bench_with_input(
                 BenchmarkId::new(format!("chain{chain}_hub{hub}"), algorithm.to_string()),

@@ -13,8 +13,8 @@ fn fig4(c: &mut Criterion) {
     group.sample_size(10);
     let population = bench_population(TopologicalConstraint::BiCorr);
     for algorithm in [Algorithm::Greedy, Algorithm::Hybrid] {
-        let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
-            .with_max_rounds(3_000);
+        let config =
+            ConstructionConfig::new(algorithm, OracleKind::RandomDelay).with_max_rounds(3_000);
         let mut seed = 0u64;
         group.bench_with_input(
             BenchmarkId::new("no_churn", algorithm.to_string()),
@@ -34,8 +34,7 @@ fn fig4(c: &mut Criterion) {
                 b.iter(|| {
                     seed2 += 1;
                     let mut churn = ChurnSpec::Paper.build();
-                    let outcome =
-                        run_with_churn(population, &config, churn.as_mut(), 400, seed2);
+                    let outcome = run_with_churn(population, &config, churn.as_mut(), 400, seed2);
                     std::hint::black_box(outcome.steady_state_fraction)
                 })
             },

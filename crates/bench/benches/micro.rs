@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lagover_bench::bench_population;
-use lagover_core::node::{Member, PeerId};
+use lagover_core::node::{Constraints, Member, PeerId, Population};
 use lagover_core::oracle::OracleView;
 use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind, Overlay};
 use lagover_dht::{Key, Ring};
@@ -15,8 +15,8 @@ use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 /// A converged 120-peer engine to query against.
 fn converged_engine() -> Engine {
     let population = bench_population(TopologicalConstraint::Rand);
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut engine = Engine::new(&population, &config, 1);
     engine.run_to_convergence().expect("converges");
     engine
@@ -128,12 +128,107 @@ fn workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// A worst-case 10k-peer overlay: one chain hanging off the source, so
+/// chain walks are O(N) deep while cached queries stay O(1).
+fn chain_overlay_10k() -> (Overlay, Population) {
+    let n = 10_000usize;
+    let population = Population::new(1, vec![Constraints::new(1, 2 * n as u32); n]);
+    let mut overlay = Overlay::new(&population);
+    overlay.attach(PeerId::new(0), Member::Source).unwrap();
+    for i in 1..n as u32 {
+        overlay
+            .attach(PeerId::new(i), Member::Peer(PeerId::new(i - 1)))
+            .unwrap();
+    }
+    (overlay, population)
+}
+
+/// The tentpole before/after pair at N=10k: cached O(1) delay queries
+/// vs the O(depth) chain walk they replaced.
+fn delay_cache_10k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_10k");
+    group.sample_size(20);
+    let (overlay, _population) = chain_overlay_10k();
+    // Sample every 97th peer so one iteration stays bounded while still
+    // touching all depths of the chain.
+    let probes: Vec<PeerId> = (0..10_000u32).step_by(97).map(PeerId::new).collect();
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let total: u64 = probes
+                .iter()
+                .filter_map(|&p| overlay.delay(p))
+                .map(u64::from)
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("chain_walk", |b| {
+        b.iter(|| {
+            let total: u64 = probes
+                .iter()
+                .filter_map(|&p| overlay.walk_delay(p))
+                .map(u64::from)
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+/// The pre-PR `sample_filtered`: collect an O(N) candidate vector, with
+/// the delay predicate walking the chain per candidate (delay queries
+/// were O(depth) then). Kept here as the benchmark baseline.
+fn legacy_delay_sample(
+    enquirer: PeerId,
+    view: &OracleView<'_>,
+    rng: &mut SimRng,
+    l: u32,
+) -> Option<PeerId> {
+    let candidates: Vec<PeerId> = (0..view.len() as u32)
+        .map(PeerId::new)
+        .filter(|&p| {
+            p != enquirer
+                && view.is_online(p)
+                && matches!(view.overlay().walk_delay(p), Some(d) if d < l)
+        })
+        .collect();
+    rng.choose(&candidates).copied()
+}
+
+/// The before/after oracle-sampling pair at N=10k (Random-Delay, the
+/// paper's recommended O3).
+fn oracle_sampling_10k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_sample_10k");
+    group.sample_size(10);
+    let (overlay, population) = chain_overlay_10k();
+    let online = vec![true; population.len()];
+    let enquirer = PeerId::new(5);
+    let l = population.latency(enquirer);
+    let mut rng = SimRng::seed_from(17);
+    group.bench_function("allocation_free", |b| {
+        let mut oracle = OracleKind::RandomDelay.build();
+        b.iter(|| {
+            let view = OracleView::new(&overlay, &population, &online);
+            std::hint::black_box(oracle.sample(enquirer, &view, &mut rng))
+        })
+    });
+    group.bench_function("legacy_collect", |b| {
+        b.iter(|| {
+            let view = OracleView::new(&overlay, &population, &online);
+            std::hint::black_box(legacy_delay_sample(enquirer, &view, &mut rng, l))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     overlay_ops,
     oracle_sampling,
     dht_lookup,
     gossip_walk,
-    workload_generation
+    workload_generation,
+    delay_cache_10k,
+    oracle_sampling_10k
 );
 criterion_main!(benches);

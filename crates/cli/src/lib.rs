@@ -182,10 +182,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
 /// from the workload flags.
 pub fn resolve_population(opts: &Options) -> Result<Population, CliError> {
     if let Some(path) = &opts.spec_path {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
-        return serde_json::from_str(&text)
-            .map_err(|e| err(format!("cannot parse {path}: {e}")));
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        return serde_json::from_str(&text).map_err(|e| err(format!("cannot parse {path}: {e}")));
     }
     let constraint = match opts.workload.as_str() {
         "tf1" => TopologicalConstraint::Tf1,
@@ -233,7 +232,11 @@ fn cmd_check(opts: &Options) -> Result<String, CliError> {
         "{} peers, source fanout {}\nsufficiency condition: {}\n",
         population.len(),
         population.source_fanout(),
-        if report.satisfied { "SATISFIED" } else { "violated" },
+        if report.satisfied {
+            "SATISFIED"
+        } else {
+            "violated"
+        },
     );
     if let Some(level) = report.first_violation {
         out += &format!("first overloaded level: {level}\n");
@@ -299,8 +302,8 @@ fn render_tree(engine: &Engine, population: &Population) -> String {
 }
 
 fn build(opts: &Options, population: &Population) -> Engine {
-    let config = ConstructionConfig::new(opts.algorithm, opts.oracle)
-        .with_max_rounds(opts.max_rounds);
+    let config =
+        ConstructionConfig::new(opts.algorithm, opts.oracle).with_max_rounds(opts.max_rounds);
     Engine::new(population, &config, opts.seed)
 }
 
@@ -321,7 +324,11 @@ fn cmd_construct(opts: &Options) -> Result<String, CliError> {
     let slack = analysis::slack_profile(engine.overlay(), &population);
     out += &format!(
         "depth: max {}, mean {:.2}; slack: min {:?}, mean {:.2} ({} tight, {} violated)\n",
-        depth.max_depth, depth.mean_depth, slack.min_slack, slack.mean_slack, slack.tight,
+        depth.max_depth,
+        depth.mean_depth,
+        slack.min_slack,
+        slack.mean_slack,
+        slack.tight,
         slack.violated,
     );
     if let Some(g) = analysis::gradation_coefficient(engine.overlay(), &population) {
@@ -374,7 +381,11 @@ fn cmd_evolve(opts: &Options) -> Result<String, CliError> {
         out += &format!("… {} more events (raise --trace)\n", total - opts.trace);
     }
     out += &match converged {
-        Some(round) => format!("converged in {} rounds, {} structural events\n", round.get(), total),
+        Some(round) => format!(
+            "converged in {} rounds, {} structural events\n",
+            round.get(),
+            total
+        ),
         None => format!("not converged after {} rounds\n", opts.max_rounds),
     };
     Ok(out)
@@ -433,8 +444,7 @@ mod tests {
 
     #[test]
     fn construct_prints_tree_and_analysis() {
-        let opts =
-            parse_args(&args("construct --workload rand --peers 25 --seed 4")).unwrap();
+        let opts = parse_args(&args("construct --workload rand --peers 25 --seed 4")).unwrap();
         let out = run(&opts).unwrap();
         assert!(out.contains("converged in"), "{out}");
         assert!(out.contains("source\n"), "{out}");

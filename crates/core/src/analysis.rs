@@ -219,10 +219,7 @@ mod tests {
 
     #[test]
     fn slack_profile_detects_violation() {
-        let population = Population::new(
-            1,
-            vec![Constraints::new(1, 1), Constraints::new(0, 1)],
-        );
+        let population = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(0, 1)]);
         let mut o = Overlay::new(&population);
         o.attach(p(0), Member::Source).unwrap();
         o.attach(p(1), Member::Peer(p(0))).unwrap(); // delay 2 > l 1

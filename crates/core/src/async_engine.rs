@@ -95,7 +95,7 @@ pub fn run_async<D: InteractionDurations>(
 ) -> AsyncOutcome {
     let mut engine = Engine::new(population, config, seed);
     let mut schedule_rng = SimRng::seed_from(seed).split(0x5EED_A57C);
-    let mut queue: EventQueue<PeerId> = EventQueue::new();
+    let mut queue: EventQueue<PeerId> = EventQueue::with_capacity(population.len() + 1);
     for p in population.peer_ids() {
         let offset = schedule_rng.f64();
         queue.schedule(VirtualTime::new(offset).expect("offset in [0,1)"), p);
@@ -295,7 +295,7 @@ pub fn run_async_with_churn<D: InteractionDurations>(
 ) -> AsyncChurnOutcome {
     let mut engine = Engine::new(population, config, seed);
     let mut schedule_rng = SimRng::seed_from(seed).split(0x5EED_A57D);
-    let mut queue: EventQueue<AsyncEvent> = EventQueue::new();
+    let mut queue: EventQueue<AsyncEvent> = EventQueue::with_capacity(population.len() + 1);
     for p in population.peer_ids() {
         let offset = schedule_rng.f64();
         queue.schedule(
@@ -303,7 +303,10 @@ pub fn run_async_with_churn<D: InteractionDurations>(
             AsyncEvent::Act(p),
         );
     }
-    queue.schedule(VirtualTime::new(1.0).expect("positive"), AsyncEvent::ChurnTick);
+    queue.schedule(
+        VirtualTime::new(1.0).expect("positive"),
+        AsyncEvent::ChurnTick,
+    );
 
     let mut series = TimeSeries::new("satisfied_fraction");
     series.push(0.0, engine.satisfied_fraction());

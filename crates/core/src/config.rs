@@ -111,7 +111,10 @@ impl ConstructionConfig {
     /// Panics if `rounds == 0`.
     #[must_use]
     pub fn with_maintenance_timeout(mut self, rounds: u32) -> Self {
-        assert!(rounds >= 1, "maintenance timeout must be at least one round");
+        assert!(
+            rounds >= 1,
+            "maintenance timeout must be at least one round"
+        );
         self.maintenance_timeout = rounds;
         self
     }
@@ -153,8 +156,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_timeout_rejected() {
-        let _ = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random)
-            .with_timeout_rounds(0);
+        let _ =
+            ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random).with_timeout_rounds(0);
     }
 
     #[test]

@@ -132,6 +132,11 @@ pub struct Engine {
     pub(crate) rng: SimRng,
     round: Round,
     trace: Option<TraceLog>,
+    /// Reusable per-round action-order buffer; always drained by
+    /// [`Engine::step`], kept only for its capacity.
+    order_scratch: Vec<PeerId>,
+    /// Reusable online-bitmap copy for [`Engine::apply_churn`].
+    churn_scratch: Vec<bool>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -171,6 +176,8 @@ impl Engine {
             rng: SimRng::seed_from(seed),
             round: Round::ZERO,
             trace: None,
+            order_scratch: Vec::new(),
+            churn_scratch: Vec::new(),
         }
     }
 
@@ -238,6 +245,8 @@ impl Engine {
             rng: snapshot.rng,
             round: snapshot.round,
             trace: None,
+            order_scratch: Vec::new(),
+            churn_scratch: Vec::new(),
         }
     }
 
@@ -334,17 +343,20 @@ impl Engine {
     /// Runs one construction round: every online peer acts once, in a
     /// shuffled order.
     pub fn step(&mut self) {
-        let mut order: Vec<PeerId> = self
-            .population
-            .peer_ids()
-            .filter(|p| self.online[p.index()])
-            .collect();
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.extend(
+            self.population
+                .peer_ids()
+                .filter(|p| self.online[p.index()]),
+        );
         self.rng.shuffle(&mut order);
-        for p in order {
+        for &p in &order {
             if self.online[p.index()] {
                 self.act_on(p);
             }
         }
+        self.order_scratch = order; // capacity reused next round
         self.round = self.round.next();
         debug_assert_eq!(self.overlay.validate(), Ok(()));
     }
@@ -642,7 +654,7 @@ impl Engine {
         if slot_delay > l_i {
             return false;
         }
-        let can_adopt = self.population.fanout(i) > 0 && slot_delay + 1 <= l_j;
+        let can_adopt = self.population.fanout(i) > 0 && slot_delay < l_j;
         if !can_adopt && !orphan_if_unadoptable {
             return false;
         }
@@ -709,7 +721,10 @@ impl Engine {
     /// Detaches `p` from its parent as a maintenance action and resets
     /// its protocol state so construction restarts next round.
     pub(crate) fn maintenance_detach(&mut self, p: PeerId) {
-        let parent = self.overlay.detach(p).expect("maintenance on parented peer");
+        let parent = self
+            .overlay
+            .detach(p)
+            .expect("maintenance on parented peer");
         self.counters.detaches += 1;
         self.counters.maintenance_detaches += 1;
         self.emit_detach(p, parent, DetachCause::Maintenance);
@@ -720,12 +735,13 @@ impl Engine {
     /// (children become fragment roots, §3.2); arriving peers come back
     /// fresh.
     pub fn apply_churn(&mut self, churn: &mut dyn ChurnProcess) {
-        let mut bitmap = self.online.clone();
+        let mut bitmap = std::mem::take(&mut self.churn_scratch);
+        bitmap.clear();
+        bitmap.extend_from_slice(&self.online);
         churn.step(&mut bitmap, &mut self.rng);
-        let peers: Vec<PeerId> = self.population.peer_ids().collect();
-        for p in peers {
-            let was = self.online[p.index()];
-            let now = bitmap[p.index()];
+        for (i, &now) in bitmap.iter().enumerate() {
+            let p = PeerId::new(i as u32);
+            let was = self.online[i];
             if was && !now {
                 self.counters.churn_departures += 1;
                 self.online[p.index()] = false;
@@ -743,6 +759,7 @@ impl Engine {
                 self.proto[p.index()].reset();
             }
         }
+        self.churn_scratch = bitmap; // capacity reused next round
         debug_assert_eq!(self.overlay.validate(), Ok(()));
     }
 
@@ -790,10 +807,7 @@ mod tests {
                 let config = ConstructionConfig::new(algorithm, oracle).with_max_rounds(2_000);
                 let mut engine = Engine::new(&chain_population(), &config, 7);
                 let at = engine.run_to_convergence();
-                assert!(
-                    at.is_some(),
-                    "{algorithm} with {oracle} failed to converge"
-                );
+                assert!(at.is_some(), "{algorithm} with {oracle} failed to converge");
                 assert!(engine.is_converged());
                 assert_eq!(engine.satisfied_fraction(), 1.0);
                 engine.overlay().validate().unwrap();
@@ -839,10 +853,7 @@ mod tests {
 
     #[test]
     fn try_attach_enforces_latency() {
-        let pop = Population::new(
-            2,
-            vec![Constraints::new(2, 1), Constraints::new(0, 1)],
-        );
+        let pop = Population::new(2, vec![Constraints::new(2, 1), Constraints::new(0, 1)]);
         let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
         let mut engine = Engine::new(&pop, &config, 1);
         assert!(engine.try_attach(p(0), Member::Source));
@@ -878,10 +889,7 @@ mod tests {
     #[test]
     fn replace_and_adopt_refuses_when_old_child_would_break() {
         // j has l=1; being adopted at delay 2 would violate it.
-        let pop = Population::new(
-            1,
-            vec![Constraints::new(1, 1), Constraints::new(2, 1)],
-        );
+        let pop = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(2, 1)]);
         let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::Random);
         let mut engine = Engine::new(&pop, &config, 1);
         engine.overlay.attach(p(0), Member::Source).unwrap();
@@ -900,11 +908,7 @@ mod tests {
         // Force peer 0 (the source child) offline.
         struct KillPeer0;
         impl ChurnProcess for KillPeer0 {
-            fn step(
-                &mut self,
-                online: &mut [bool],
-                _rng: &mut SimRng,
-            ) -> lagover_sim::Transitions {
+            fn step(&mut self, online: &mut [bool], _rng: &mut SimRng) -> lagover_sim::Transitions {
                 online[0] = false;
                 lagover_sim::Transitions {
                     departures: 1,
@@ -930,11 +934,7 @@ mod tests {
         let mut engine = Engine::new(&chain_population(), &config, 5);
         struct KillAll;
         impl ChurnProcess for KillAll {
-            fn step(
-                &mut self,
-                online: &mut [bool],
-                _rng: &mut SimRng,
-            ) -> lagover_sim::Transitions {
+            fn step(&mut self, online: &mut [bool], _rng: &mut SimRng) -> lagover_sim::Transitions {
                 let n = online.len();
                 online.iter_mut().for_each(|o| *o = false);
                 lagover_sim::Transitions {

@@ -29,27 +29,21 @@ pub(crate) fn interact(engine: &mut Engine, i: PeerId, j: PeerId) {
     match engine.overlay.parent(j) {
         None => {
             // Two fragments meet; merge respecting the latency order.
+            // If no configuration works, next round consults the oracle.
             if l_j < l_i {
-                if engine.try_attach(i, Member::Peer(j)) {
-                    return;
-                }
-                // j's slots are full: displace a strictly laxer child.
-                if engine.displace_into(i, j, DisplacePolicy::Greedy) {
-                    return;
+                if !engine.try_attach(i, Member::Peer(j)) {
+                    // j's slots are full: displace a strictly laxer child.
+                    let _ = engine.displace_into(i, j, DisplacePolicy::Greedy);
                 }
             } else if l_i < l_j {
-                if engine.try_attach(j, Member::Peer(i)) {
-                    return;
-                }
+                let _ = engine.try_attach(j, Member::Peer(i));
             } else {
                 // Equal constraints: either direction preserves the
                 // invariant; prefer j (the contacted peer) as parent so
                 // the enquirer makes progress, then the reverse.
-                if engine.try_attach(i, Member::Peer(j)) || engine.try_attach(j, Member::Peer(i)) {
-                    return;
-                }
+                let _ =
+                    engine.try_attach(i, Member::Peer(j)) || engine.try_attach(j, Member::Peer(i));
             }
-            // No configuration possible; next round consults the oracle.
         }
         Some(parent) => {
             if l_j <= l_i {
@@ -81,10 +75,7 @@ mod tests {
     fn engine(specs: &[(u32, u32)], source_fanout: u32) -> Engine {
         let pop = Population::new(
             source_fanout,
-            specs
-                .iter()
-                .map(|&(f, l)| Constraints::new(f, l))
-                .collect(),
+            specs.iter().map(|&(f, l)| Constraints::new(f, l)).collect(),
         );
         let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
         Engine::new(&pop, &config, 99)
@@ -192,15 +183,13 @@ mod tests {
         ];
         let pop = Population::new(
             2,
-            specs
-                .iter()
-                .map(|&(f, l)| Constraints::new(f, l))
-                .collect(),
+            specs.iter().map(|&(f, l)| Constraints::new(f, l)).collect(),
         );
         let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
             .with_max_rounds(5_000);
         let mut e = Engine::new(&pop, &config, 11);
-        e.run_to_convergence().expect("feasible population converges");
+        e.run_to_convergence()
+            .expect("feasible population converges");
         for peer in pop.peer_ids() {
             if let Some(Member::Peer(q)) = e.overlay().parent(peer) {
                 assert!(

@@ -41,11 +41,9 @@ pub(crate) fn interact(engine: &mut Engine, i: PeerId, j: PeerId) {
                 std::cmp::Ordering::Less => false,
                 std::cmp::Ordering::Equal => l_j <= l_i,
             };
-            if j_first {
-                let _ = engine.try_attach(i, Member::Peer(j)) || engine.try_attach(j, Member::Peer(i));
-            } else {
-                let _ = engine.try_attach(j, Member::Peer(i)) || engine.try_attach(i, Member::Peer(j));
-            }
+            let (child, parent) = if j_first { (i, j) } else { (j, i) };
+            let _ = engine.try_attach(child, Member::Peer(parent))
+                || engine.try_attach(parent, Member::Peer(child));
         }
         Some(Member::Source) => {
             // Lines 22–33.
@@ -106,10 +104,7 @@ mod tests {
     fn engine(specs: &[(u32, u32)], source_fanout: u32) -> Engine {
         let pop = Population::new(
             source_fanout,
-            specs
-                .iter()
-                .map(|&(f, l)| Constraints::new(f, l))
-                .collect(),
+            specs.iter().map(|&(f, l)| Constraints::new(f, l)).collect(),
         );
         let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::Random);
         Engine::new(&pop, &config, 17)

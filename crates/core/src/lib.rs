@@ -61,14 +61,17 @@ mod hybrid;
 mod maintenance;
 
 pub use async_engine::{
-    as_construction_outcome, run_async, run_async_lockstep, run_async_with_churn, AsyncChurnOutcome,
-    AsyncOutcome,
+    as_construction_outcome, run_async, run_async_lockstep, run_async_with_churn,
+    AsyncChurnOutcome, AsyncOutcome,
 };
 pub use config::{Algorithm, ConstructionConfig, SourceMode};
 pub use engine::{Engine, EngineCounters, EngineSnapshot};
 pub use node::{Constraints, Member, PeerId, Population};
 pub use oracle::{Oracle, OracleKind, OracleView};
 pub use overlay::{ChainRoot, Overlay, OverlayError};
-pub use runner::{construct, construct_with_oracle, run_with_churn, ChurnOutcome, ConstructionOutcome};
+pub use runner::{
+    construct, construct_many, construct_with_oracle, parallel_runs, parallel_runs_with,
+    run_with_churn, ChurnOutcome, ConstructionOutcome,
+};
 pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
 pub use trace::{DetachCause, TraceEvent, TraceLog};

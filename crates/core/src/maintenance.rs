@@ -86,8 +86,8 @@ mod tests {
                 Constraints::new(0, 3),
             ],
         );
-        let config = ConstructionConfig::new(algorithm, OracleKind::Random)
-            .with_maintenance_timeout(2);
+        let config =
+            ConstructionConfig::new(algorithm, OracleKind::Random).with_maintenance_timeout(2);
         let mut e = Engine::new(&pop, &config, 1);
         e.overlay.attach(p(0), Member::Source).unwrap();
         e.overlay.attach(p(1), Member::Peer(p(0))).unwrap();
@@ -144,7 +144,7 @@ mod tests {
     fn hybrid_waits_for_the_timeout() {
         let mut e = violated_engine(Algorithm::Hybrid);
         maintain(&mut e, p(1));
-        assert_eq!(e.overlay.parent(p(1)).is_some(), true, "damped");
+        assert!(e.overlay.parent(p(1)).is_some(), "damped");
         maintain(&mut e, p(1));
         assert_eq!(e.overlay.parent(p(1)), None, "timeout of 2 reached");
         assert_eq!(e.counters.maintenance_detaches, 1);
@@ -163,10 +163,7 @@ mod tests {
 
     #[test]
     fn unrooted_fragments_never_trigger_maintenance() {
-        let pop = Population::new(
-            1,
-            vec![Constraints::new(1, 1), Constraints::new(0, 1)],
-        );
+        let pop = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(0, 1)]);
         let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
         let mut e = Engine::new(&pop, &config, 1);
         e.overlay.attach(p(1), Member::Peer(p(0))).unwrap();

@@ -11,9 +11,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a consumer peer (dense index into the population).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PeerId(u32);
 
 impl PeerId {
@@ -41,9 +39,7 @@ impl fmt::Display for PeerId {
 
 /// A participant in the overlay: the feed source (the paper's node 0) or
 /// a consumer peer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Member {
     /// The feed source.
     Source,

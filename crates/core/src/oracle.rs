@@ -92,8 +92,12 @@ pub trait Oracle {
     /// Returns a random peer for `enquirer` matching this oracle's
     /// filter, or `None` if no peer qualifies right now (the enquirer
     /// waits and retries next round).
-    fn sample(&mut self, enquirer: PeerId, view: &OracleView<'_>, rng: &mut SimRng)
-        -> Option<PeerId>;
+    fn sample(
+        &mut self,
+        enquirer: PeerId,
+        view: &OracleView<'_>,
+        rng: &mut SimRng,
+    ) -> Option<PeerId>;
 
     /// Short display name (used in experiment tables).
     fn name(&self) -> &'static str;
@@ -156,6 +160,13 @@ impl fmt::Display for OracleKind {
 
 /// Uniform sampling over candidates that pass `filter`, excluding the
 /// enquirer and offline peers. Shared by all reference oracles.
+///
+/// Allocation-free two-pass counting selection: the first pass counts
+/// eligible peers, a single RNG draw picks an index, and the second
+/// pass walks to it. This consumes *exactly* the same RNG stream as the
+/// original collect-then-`choose` implementation (one `index(count)`
+/// draw when any candidate exists, none otherwise), so experiment
+/// outputs stay bit-identical while the per-query `Vec` disappears.
 fn sample_filtered<F>(
     enquirer: PeerId,
     view: &OracleView<'_>,
@@ -165,11 +176,19 @@ fn sample_filtered<F>(
 where
     F: Fn(PeerId) -> bool,
 {
-    let candidates: Vec<PeerId> = (0..view.len() as u32)
+    let eligible = |p: PeerId| p != enquirer && view.is_online(p) && filter(p);
+    let count = (0..view.len() as u32)
         .map(PeerId::new)
-        .filter(|&p| p != enquirer && view.is_online(p) && filter(p))
-        .collect();
-    rng.choose(&candidates).copied()
+        .filter(|&p| eligible(p))
+        .count();
+    if count == 0 {
+        return None;
+    }
+    let k = rng.index(count);
+    (0..view.len() as u32)
+        .map(PeerId::new)
+        .filter(|&p| eligible(p))
+        .nth(k)
 }
 
 /// Oracle O1: any other online peer interested in the feed.
@@ -247,9 +266,12 @@ impl Oracle for RandomDelayOracle {
         rng: &mut SimRng,
     ) -> Option<PeerId> {
         let l = view.latency(enquirer);
-        sample_filtered(enquirer, view, rng, |p| {
-            matches!(view.delay(p), Some(d) if d < l)
-        })
+        sample_filtered(
+            enquirer,
+            view,
+            rng,
+            |p| matches!(view.delay(p), Some(d) if d < l),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -349,10 +371,7 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         // Enquirer 1 (l=2): only delay < 2 qualifies => peer 0 alone.
         for _ in 0..50 {
-            assert_eq!(
-                RandomDelayOracle.sample(p(1), &view, &mut rng),
-                Some(p(0))
-            );
+            assert_eq!(RandomDelayOracle.sample(p(1), &view, &mut rng), Some(p(0)));
         }
         // Enquirer 0 (l=1): needs delay < 1 — impossible.
         assert_eq!(RandomDelayOracle.sample(p(0), &view, &mut rng), None);

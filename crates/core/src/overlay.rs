@@ -19,7 +19,7 @@ use crate::node::{Member, PeerId, Population};
 
 /// Root of a peer's chain: either the source (the chain can actually
 /// receive the feed) or the topmost parent-less peer of a fragment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChainRoot {
     /// The chain reaches node 0; `DelayAt` is real.
     Source,
@@ -81,6 +81,18 @@ pub struct Overlay {
     parent: Vec<Option<Member>>,
     children: Vec<Vec<PeerId>>,
     source_children: Vec<PeerId>,
+    /// Cached chain root per peer, maintained incrementally on every
+    /// mutation so [`Overlay::root`] and friends are O(1) instead of
+    /// O(depth). A parent-less peer is its own fragment root.
+    root: Vec<ChainRoot>,
+    /// Cached hops-to-root per peer (0 for a fragment root; depth for a
+    /// peer rooted at the source), kept in lockstep with `root`.
+    hops: Vec<u32>,
+    /// Reusable traversal stack for subtree cache updates. Always left
+    /// empty between calls, so the derived `PartialEq` stays purely
+    /// structural and serialization carries no transient state.
+    #[serde(skip)]
+    scratch: Vec<PeerId>,
 }
 
 impl Overlay {
@@ -93,7 +105,28 @@ impl Overlay {
             parent: vec![None; n],
             children: vec![Vec::new(); n],
             source_children: Vec::new(),
+            root: (0..n)
+                .map(|i| ChainRoot::Fragment(PeerId::new(i as u32)))
+                .collect(),
+            hops: vec![0; n],
+            scratch: Vec::new(),
         }
+    }
+
+    /// Rewrites the cached root and shifts the cached hop count by
+    /// `delta` for every peer in the subtree of `top` (including `top`).
+    /// O(subtree size); this is the *only* place the caches change.
+    fn update_subtree_cache(&mut self, top: PeerId, new_root: ChainRoot, delta: i64) {
+        let mut stack = std::mem::take(&mut self.scratch);
+        debug_assert!(stack.is_empty());
+        stack.push(top);
+        while let Some(s) = stack.pop() {
+            let i = s.index();
+            self.root[i] = new_root;
+            self.hops[i] = (i64::from(self.hops[i]) + delta) as u32;
+            stack.extend(self.children[i].iter().copied());
+        }
+        self.scratch = stack; // drained by the loop; capacity retained
     }
 
     /// Number of peers the forest was sized for.
@@ -134,9 +167,49 @@ impl Overlay {
         self.free_fanout(m) > 0
     }
 
-    /// `Root(p)`: walks the chain upstream to the source or the
-    /// fragment root.
+    /// `Root(p)`: the source or the fragment root of `p`'s chain. O(1)
+    /// via the incrementally maintained cache.
     pub fn root(&self, p: PeerId) -> ChainRoot {
+        self.root[p.index()]
+    }
+
+    /// Whether `p`'s chain reaches the source. O(1).
+    pub fn is_rooted(&self, p: PeerId) -> bool {
+        matches!(self.root[p.index()], ChainRoot::Source)
+    }
+
+    /// Number of edges between `p` and its chain root (0 when `p` *is*
+    /// the fragment root; depth when rooted at the source). O(1).
+    pub fn hops_to_root(&self, p: PeerId) -> u32 {
+        self.hops[p.index()]
+    }
+
+    /// `DelayAt(p)`: the actual observed delay, defined only when the
+    /// chain reaches the source. A direct child of the source observes
+    /// delay 1 (§3.2 worked example); each hop adds one time unit. O(1).
+    pub fn delay(&self, p: PeerId) -> Option<u32> {
+        match self.root[p.index()] {
+            ChainRoot::Source => Some(self.hops[p.index()]),
+            ChainRoot::Fragment(_) => None,
+        }
+    }
+
+    /// The delay `p` *would* observe if its fragment root attached
+    /// directly to the source — the optimistic estimate peers use when
+    /// negotiating inside unrooted fragments. Equals [`Overlay::delay`]
+    /// for rooted peers. O(1).
+    pub fn speculative_delay(&self, p: PeerId) -> u32 {
+        match self.root[p.index()] {
+            ChainRoot::Source => self.hops[p.index()],
+            ChainRoot::Fragment(_) => self.hops[p.index()] + 1,
+        }
+    }
+
+    /// [`Overlay::root`] recomputed by walking the parent chain —
+    /// O(depth). The reference implementation the cache is checked
+    /// against (see [`Overlay::validate`] and the cache-coherence
+    /// proptests/benchmarks); production code wants [`Overlay::root`].
+    pub fn walk_root(&self, p: PeerId) -> ChainRoot {
         let mut current = p;
         loop {
             match self.parent[current.index()] {
@@ -147,14 +220,9 @@ impl Overlay {
         }
     }
 
-    /// Whether `p`'s chain reaches the source.
-    pub fn is_rooted(&self, p: PeerId) -> bool {
-        matches!(self.root(p), ChainRoot::Source)
-    }
-
-    /// Number of edges between `p` and its chain root (0 when `p` *is*
-    /// the fragment root; depth when rooted at the source).
-    pub fn hops_to_root(&self, p: PeerId) -> u32 {
+    /// [`Overlay::hops_to_root`] recomputed by walking the parent chain —
+    /// O(depth). Reference implementation for cache-coherence checks.
+    pub fn walk_hops_to_root(&self, p: PeerId) -> u32 {
         let mut hops = 0;
         let mut current = p;
         loop {
@@ -169,24 +237,12 @@ impl Overlay {
         }
     }
 
-    /// `DelayAt(p)`: the actual observed delay, defined only when the
-    /// chain reaches the source. A direct child of the source observes
-    /// delay 1 (§3.2 worked example); each hop adds one time unit.
-    pub fn delay(&self, p: PeerId) -> Option<u32> {
-        match self.root(p) {
-            ChainRoot::Source => Some(self.hops_to_root(p)),
+    /// [`Overlay::delay`] recomputed by walking the parent chain —
+    /// O(depth). Reference implementation for cache-coherence checks.
+    pub fn walk_delay(&self, p: PeerId) -> Option<u32> {
+        match self.walk_root(p) {
+            ChainRoot::Source => Some(self.walk_hops_to_root(p)),
             ChainRoot::Fragment(_) => None,
-        }
-    }
-
-    /// The delay `p` *would* observe if its fragment root attached
-    /// directly to the source — the optimistic estimate peers use when
-    /// negotiating inside unrooted fragments. Equals [`Overlay::delay`]
-    /// for rooted peers.
-    pub fn speculative_delay(&self, p: PeerId) -> u32 {
-        match self.root(p) {
-            ChainRoot::Source => self.hops_to_root(p),
-            ChainRoot::Fragment(_) => self.hops_to_root(p) + 1,
         }
     }
 
@@ -209,25 +265,27 @@ impl Overlay {
         if !self.has_free_fanout(parent) {
             return Err(OverlayError::ParentFull);
         }
-        if let Member::Peer(p) = parent {
-            // Reject if child is an ancestor of parent (or parent itself,
-            // covered above): walking up from parent must not meet child.
-            let mut cur = p;
-            loop {
-                if cur == child {
+        // A parent-less child is the root of its own fragment, so the
+        // prospective parent descends from it iff the parent's cached
+        // chain root *is* the child — an O(1) cycle check.
+        let (new_root, base) = match parent {
+            Member::Source => (ChainRoot::Source, 1),
+            Member::Peer(p) => {
+                if self.root[p.index()] == ChainRoot::Fragment(child) {
                     return Err(OverlayError::WouldCycle);
                 }
-                match self.parent[cur.index()] {
-                    Some(Member::Peer(q)) => cur = q,
-                    Some(Member::Source) | None => break,
-                }
+                (self.root[p.index()], self.hops[p.index()] + 1)
             }
-        }
+        };
         self.parent[child.index()] = Some(parent);
         match parent {
             Member::Source => self.source_children.push(child),
             Member::Peer(p) => self.children[p.index()].push(child),
         }
+        // The child was a fragment root (hops 0), so its whole subtree
+        // shifts down by the child's new depth and adopts the new root.
+        debug_assert_eq!(self.hops[child.index()], 0);
+        self.update_subtree_cache(child, new_root, i64::from(base));
         Ok(())
     }
 
@@ -249,6 +307,10 @@ impl Overlay {
             .position(|&c| c == child)
             .expect("parent/child link consistency");
         list.swap_remove(pos);
+        // The detached subtree keeps its internal shape: every member's
+        // depth drops by the child's old depth, rooted at the child.
+        let old_hops = self.hops[child.index()];
+        self.update_subtree_cache(child, ChainRoot::Fragment(child), -i64::from(old_hops));
         Ok(parent)
     }
 
@@ -265,6 +327,10 @@ impl Overlay {
         let orphans = std::mem::take(&mut self.children[p.index()]);
         for &c in &orphans {
             self.parent[c.index()] = None;
+            // After the detach above `c` sits at depth 1 under the
+            // fragment root `p`; it now becomes its own fragment root.
+            debug_assert_eq!(self.hops[c.index()], 1);
+            self.update_subtree_cache(c, ChainRoot::Fragment(c), -1);
         }
         orphans
     }
@@ -319,33 +385,40 @@ impl Overlay {
         for (i, par) in self.parent.iter().enumerate() {
             let p = PeerId::new(i as u32);
             match par {
-                Some(Member::Source) => {
-                    if !self.source_children.contains(&p) {
-                        return Err(format!("{p} missing from source children"));
-                    }
+                Some(Member::Source) if !self.source_children.contains(&p) => {
+                    return Err(format!("{p} missing from source children"));
                 }
-                Some(Member::Peer(q)) => {
-                    if !self.children[q.index()].contains(&p) {
-                        return Err(format!("{p} missing from children of {q}"));
-                    }
+                Some(Member::Peer(q)) if !self.children[q.index()].contains(&p) => {
+                    return Err(format!("{p} missing from children of {q}"));
                 }
-                None => {}
+                _ => {}
             }
             // Cycle check: walking up from p must terminate within n
             // steps.
             let mut cur = p;
             let mut steps = 0;
-            loop {
-                match self.parent[cur.index()] {
-                    Some(Member::Peer(q)) => {
-                        cur = q;
-                        steps += 1;
-                        if steps > self.parent.len() {
-                            return Err(format!("cycle through {p}"));
-                        }
-                    }
-                    Some(Member::Source) | None => break,
+            while let Some(Member::Peer(q)) = self.parent[cur.index()] {
+                cur = q;
+                steps += 1;
+                if steps > self.parent.len() {
+                    return Err(format!("cycle through {p}"));
                 }
+            }
+            // Cache coherence: the incrementally maintained root/hops
+            // must match a fresh chain walk.
+            if self.root[i] != self.walk_root(p) {
+                return Err(format!(
+                    "cached root of {p} is {:?}, walk says {:?}",
+                    self.root[i],
+                    self.walk_root(p)
+                ));
+            }
+            if self.hops[i] != self.walk_hops_to_root(p) {
+                return Err(format!(
+                    "cached hops of {p} is {}, walk says {}",
+                    self.hops[i],
+                    self.walk_hops_to_root(p)
+                ));
             }
         }
         Ok(())
@@ -360,10 +433,7 @@ mod tests {
     fn pop(source_fanout: u32, specs: &[(u32, u32)]) -> Population {
         Population::new(
             source_fanout,
-            specs
-                .iter()
-                .map(|&(f, l)| Constraints::new(f, l))
-                .collect(),
+            specs.iter().map(|&(f, l)| Constraints::new(f, l)).collect(),
         )
     }
 
@@ -397,7 +467,10 @@ mod tests {
         let population = pop(1, &[(0, 1), (0, 1)]);
         let mut o = Overlay::new(&population);
         o.attach(p(0), Member::Source).unwrap();
-        assert_eq!(o.attach(p(1), Member::Source), Err(OverlayError::ParentFull));
+        assert_eq!(
+            o.attach(p(1), Member::Source),
+            Err(OverlayError::ParentFull)
+        );
         assert_eq!(
             o.attach(p(1), Member::Peer(p(0))),
             Err(OverlayError::ParentFull)

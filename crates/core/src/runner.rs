@@ -101,6 +101,83 @@ fn construct_with_engine(mut engine: Engine) -> ConstructionOutcome {
     }
 }
 
+/// Runs `job(i)` for every index in `0..count` across worker threads,
+/// returning results in index order.
+///
+/// Determinism: each job must derive all of its randomness from its own
+/// index (the drivers map the index to an independent `SimRng` seed), so
+/// the result vector is **bit-identical** to the sequential
+/// `(0..count).map(job)` loop — only the wall-clock changes. This is
+/// what lets the median-of-k experiment drivers parallelize without
+/// perturbing any published figure.
+///
+/// Indices are split into contiguous chunks, one scoped thread per
+/// chunk, capped at the machine's available parallelism (overridable
+/// via the `LAGOVER_THREADS` environment variable). Falls back to the
+/// plain sequential loop when only one worker would run.
+pub fn parallel_runs<T, F>(count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_runs_with(count, default_threads(), job)
+}
+
+/// Worker count for [`parallel_runs`]: `LAGOVER_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("LAGOVER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// [`parallel_runs`] with an explicit worker count. The result is
+/// bit-identical for every `threads` value; the knob only controls how
+/// the index range is chunked across scoped threads.
+pub fn parallel_runs_with<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(count);
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let chunk = count.div_ceil(threads);
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(count, || None);
+    let job = &job;
+    std::thread::scope(|scope| {
+        for (start, slots) in (0..count).step_by(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(job(start + offset));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index filled by its chunk thread"))
+        .collect()
+}
+
+/// One construction run per seed, in parallel, results in seed order —
+/// the common inner loop of the figure drivers.
+pub fn construct_many(
+    population: &Population,
+    config: &ConstructionConfig,
+    seeds: &[u64],
+) -> Vec<ConstructionOutcome> {
+    parallel_runs(seeds.len(), |i| construct(population, config, seeds[i]))
+}
+
 /// Everything recorded about a run under churn.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChurnOutcome {
@@ -193,10 +270,7 @@ mod tests {
         let outcome = construct(&population(), &config, 5);
         assert!(outcome.converged());
         assert_eq!(outcome.final_satisfied_fraction, 1.0);
-        assert_eq!(
-            outcome.satisfied_series.last().map(|(_, y)| y),
-            Some(1.0)
-        );
+        assert_eq!(outcome.satisfied_series.last().map(|(_, y)| y), Some(1.0));
         assert_eq!(outcome.rounds_run, outcome.converged_at.unwrap());
         assert!(outcome.counters.attaches >= 6);
     }
@@ -236,6 +310,40 @@ mod tests {
             outcome.steady_state_fraction
         );
         assert!(outcome.counters.churn_departures > 0);
+    }
+
+    #[test]
+    fn parallel_runs_matches_sequential_order() {
+        let sequential: Vec<u64> = (0..37).map(|i| (i as u64) * 3 + 1).collect();
+        let parallel = parallel_runs(37, |i| (i as u64) * 3 + 1);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel_runs(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_runs(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        // Forces the scoped-thread path even on single-CPU machines,
+        // including ragged final chunks (37 is not divisible by 4).
+        let sequential: Vec<u64> = (0..37)
+            .map(|i| (i as u64).wrapping_mul(0x9E37) ^ 7)
+            .collect();
+        for threads in [2, 4, 16, 64] {
+            let parallel = parallel_runs_with(37, threads, |i| (i as u64).wrapping_mul(0x9E37) ^ 7);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn construct_many_is_bit_identical_to_sequential_construct() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let pop = population();
+        let seeds = [5u64, 6, 7, 8, 9];
+        let parallel = construct_many(&pop, &config, &seeds);
+        for (seed, outcome) in seeds.iter().zip(&parallel) {
+            assert_eq!(outcome, &construct(&pop, &config, *seed), "seed {seed}");
+        }
     }
 
     #[test]

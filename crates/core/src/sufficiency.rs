@@ -291,10 +291,7 @@ mod tests {
     fn pop(source_fanout: u32, specs: &[(u32, u32)]) -> Population {
         Population::new(
             source_fanout,
-            specs
-                .iter()
-                .map(|&(f, l)| Constraints::new(f, l))
-                .collect(),
+            specs.iter().map(|&(f, l)| Constraints::new(f, l)).collect(),
         )
     }
 
@@ -377,13 +374,19 @@ mod tests {
     fn validate_assignment_rejects_bad_depths() {
         let population = pop(1, &[(1, 1), (0, 2)]);
         assert!(validate_assignment(&population, &[1, 2]).is_ok());
-        assert!(validate_assignment(&population, &[2, 2]).is_err(), "deadline");
+        assert!(
+            validate_assignment(&population, &[2, 2]).is_err(),
+            "deadline"
+        );
         assert!(validate_assignment(&population, &[1]).is_err(), "length");
         assert!(
             validate_assignment(&population, &[1, 1]).is_err(),
             "level capacity"
         );
-        assert!(validate_assignment(&population, &[0, 1]).is_err(), "depth 0");
+        assert!(
+            validate_assignment(&population, &[0, 1]).is_err(),
+            "depth 0"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Attach { round, child, parent } => {
+            TraceEvent::Attach {
+                round,
+                child,
+                parent,
+            } => {
                 write!(f, "r{round}: {child} <- {parent}")
             }
             TraceEvent::Detach {

@@ -53,8 +53,8 @@ fn construction_survives_an_oracle_returning_the_enquirer() {
     // Peer 0's own id is returned to everyone, including peer 0: the
     // engine must treat self-answers as misses and still converge via
     // timeouts (the population is a feasible two-level tree).
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(2_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(2_000);
     let mut engine = Engine::with_oracle(
         &population(),
         &config,
@@ -94,8 +94,7 @@ fn silent_oracle_cannot_build_depth() {
     let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
         .with_timeout_rounds(2)
         .with_max_rounds(500);
-    let mut engine =
-        Engine::with_oracle(&population(), &config, Box::new(SilentOracle), 2);
+    let mut engine = Engine::with_oracle(&population(), &config, Box::new(SilentOracle), 2);
     assert!(engine.run_to_convergence().is_none());
     engine.overlay().validate().unwrap();
     // The source itself still fills up.
@@ -119,8 +118,8 @@ fn oracle_answers_pointing_at_offline_peers_are_misses() {
             }
         }
     }
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(2_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(2_000);
     let mut engine = Engine::with_oracle(
         &population(),
         &config,
@@ -136,14 +135,12 @@ fn oracle_answers_pointing_at_offline_peers_are_misses() {
 
 #[test]
 fn trace_replay_reconstructs_the_final_overlay() {
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(5_000);
-    let population = lagover_workload::WorkloadSpec::new(
-        lagover_workload::TopologicalConstraint::Rand,
-        30,
-    )
-    .generate(5)
-    .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(5_000);
+    let population =
+        lagover_workload::WorkloadSpec::new(lagover_workload::TopologicalConstraint::Rand, 30)
+            .generate(5)
+            .unwrap();
     let mut engine = Engine::new(&population, &config, 5);
     engine.enable_trace(1_000_000);
     engine.run_to_convergence().expect("converges");
@@ -177,14 +174,12 @@ fn trace_replay_reconstructs_the_final_overlay() {
 
 #[test]
 fn trace_survives_churn_runs() {
-    let population = lagover_workload::WorkloadSpec::new(
-        lagover_workload::TopologicalConstraint::BiCorr,
-        40,
-    )
-    .generate(9)
-    .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let population =
+        lagover_workload::WorkloadSpec::new(lagover_workload::TopologicalConstraint::BiCorr, 40)
+            .generate(9)
+            .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut engine = Engine::new(&population, &config, 9);
     engine.enable_trace(100_000);
     let mut churn = lagover_sim::BernoulliChurn::new(0.05, 0.3);
@@ -223,14 +218,12 @@ fn disabled_trace_costs_nothing_and_returns_none() {
 fn async_with_churn_sustains_satisfaction() {
     use lagover_core::async_engine::FixedActionDuration;
     use lagover_core::run_async_with_churn;
-    let population = lagover_workload::WorkloadSpec::new(
-        lagover_workload::TopologicalConstraint::Rand,
-        40,
-    )
-    .generate(21)
-    .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let population =
+        lagover_workload::WorkloadSpec::new(lagover_workload::TopologicalConstraint::Rand, 40)
+            .generate(21)
+            .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut churn = lagover_sim::BernoulliChurn::paper();
     let outcome = run_async_with_churn(
         &population,
@@ -252,14 +245,12 @@ fn async_with_churn_sustains_satisfaction() {
 #[test]
 fn async_with_heterogeneous_durations_and_churn() {
     use lagover_core::run_async_with_churn;
-    let population = lagover_workload::WorkloadSpec::new(
-        lagover_workload::TopologicalConstraint::BiUnCorr,
-        30,
-    )
-    .generate(4)
-    .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let population =
+        lagover_workload::WorkloadSpec::new(lagover_workload::TopologicalConstraint::BiUnCorr, 30)
+            .generate(4)
+            .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut churn = lagover_sim::BernoulliChurn::new(0.005, 0.2);
     let durations = |p: PeerId, rng: &mut SimRng| 1.0 + rng.f64() * (1.0 + p.index() as f64 % 3.0);
     let outcome = run_async_with_churn(&population, &config, durations, &mut churn, 1_500.0, 4);
@@ -272,14 +263,12 @@ fn async_with_heterogeneous_durations_and_churn() {
 
 #[test]
 fn snapshot_restore_replays_bit_exactly() {
-    let population = lagover_workload::WorkloadSpec::new(
-        lagover_workload::TopologicalConstraint::BiCorr,
-        40,
-    )
-    .generate(33)
-    .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let population =
+        lagover_workload::WorkloadSpec::new(lagover_workload::TopologicalConstraint::BiCorr, 40)
+            .generate(33)
+            .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut original = Engine::new(&population, &config, 33);
     let mut churn = lagover_sim::BernoulliChurn::new(0.02, 0.3);
     for _ in 0..25 {

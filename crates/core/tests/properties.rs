@@ -90,6 +90,70 @@ proptest! {
         }
     }
 
+    /// Cache coherence: after any random sequence of attach/detach/
+    /// remove (churn) mutations, the incrementally maintained `root`,
+    /// `hops_to_root`, and `delay` caches equal a fresh chain-walk
+    /// recomputation for every peer — checked after *every* mutation,
+    /// not just at the end.
+    #[test]
+    fn cached_root_and_delay_match_chain_walk(
+        population in population_strategy(),
+        ops in prop::collection::vec(op_strategy(12), 0..60),
+    ) {
+        let n = population.len();
+        let mut overlay = Overlay::new(&population);
+        for op in ops {
+            match op {
+                Op::Attach { child, parent } => {
+                    if child < n {
+                        let parent = match parent {
+                            Some(p) if p < n => Member::Peer(PeerId::new(p as u32)),
+                            _ => Member::Source,
+                        };
+                        let _ = overlay.attach(PeerId::new(child as u32), parent);
+                    }
+                }
+                Op::Detach { peer } => {
+                    if peer < n {
+                        let _ = overlay.detach(PeerId::new(peer as u32));
+                    }
+                }
+                Op::Remove { peer } => {
+                    if peer < n {
+                        let _ = overlay.remove_peer(PeerId::new(peer as u32));
+                    }
+                }
+            }
+            for p in population.peer_ids() {
+                prop_assert_eq!(overlay.root(p), overlay.walk_root(p));
+                prop_assert_eq!(overlay.hops_to_root(p), overlay.walk_hops_to_root(p));
+                prop_assert_eq!(overlay.delay(p), overlay.walk_delay(p));
+            }
+        }
+    }
+
+    /// Cache coherence under full engine dynamics: a construction run
+    /// under churn (displacements, adoptions, maintenance detaches,
+    /// departures) keeps the cached queries equal to chain walks.
+    #[test]
+    fn engine_churn_keeps_caches_coherent(
+        population in population_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let mut engine = Engine::new(&population, &config, seed);
+        let mut churn = BernoulliChurn::new(0.1, 0.3);
+        for _ in 0..30 {
+            engine.apply_churn(&mut churn);
+            engine.step();
+            for p in population.peer_ids() {
+                prop_assert_eq!(engine.overlay().root(p), engine.overlay().walk_root(p));
+                prop_assert_eq!(engine.overlay().delay(p), engine.overlay().walk_delay(p));
+            }
+        }
+    }
+
     /// DelayAt is defined exactly for rooted peers, equals the hop
     /// count, and the speculative delay coincides with it when rooted.
     #[test]

@@ -132,7 +132,10 @@ impl Directory {
         // implementation asks the primary for its successor list.
         let mut cursor = primary;
         while targets.len() < self.config.replication {
-            match self.ring.true_successor(Key::new(cursor.get().wrapping_add(1))) {
+            match self
+                .ring
+                .true_successor(Key::new(cursor.get().wrapping_add(1)))
+            {
                 Some(next) if next != primary => {
                     targets.push(next);
                     cursor = next;
@@ -313,7 +316,7 @@ mod tests {
             let hit = dir
                 .query(feed, 0, |e| e.delay < Some(5) && e.free_capacity, &mut rng)
                 .unwrap();
-            assert!(hit.peer % 2 == 0 && hit.delay < Some(5));
+            assert!(hit.peer.is_multiple_of(2) && hit.delay < Some(5));
         }
     }
 

@@ -197,11 +197,8 @@ impl Ring {
                     stats.timeouts += 1;
                 }
             }
-            let succ = match live_succ {
-                Some(s) => s,
-                // Total successor-list death: routing is stuck.
-                None => return None,
-            };
+            // Total successor-list death: routing is stuck.
+            let succ = live_succ?;
             if key.in_half_open(current, succ) {
                 return Some((succ, stats));
             }

@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use lagover_core::{construct, run_with_churn, Algorithm, ConstructionConfig, OracleKind, SourceMode};
+use lagover_core::{
+    construct, run_with_churn, Algorithm, ConstructionConfig, OracleKind, SourceMode,
+};
 use lagover_sim::churn::{SessionChurn, SessionDistribution};
 use lagover_sim::stats;
 use lagover_workload::{ChurnSpec, TopologicalConstraint, WorkloadSpec};
@@ -64,7 +66,10 @@ impl AblationReport {
                 format!("{}/{}", r.converged_runs, r.total_runs),
             ]);
         }
-        format!("Design-choice ablations (Hybrid, Oracle Random-Delay)\n{}", t.render())
+        format!(
+            "Design-choice ablations (Hybrid, Oracle Random-Delay)\n{}",
+            t.render()
+        )
     }
 
     /// All rows for one knob.
@@ -147,7 +152,10 @@ pub fn run(params: &Params) -> AblationReport {
     // 4. Churn model: Bernoulli (paper) vs heavy-tailed sessions with a
     //    matched ~95% stationary online fraction.
     let horizon = params.max_rounds.min(1_000);
-    for (i, model) in ["bernoulli(0.01/0.2)", "pareto sessions"].into_iter().enumerate() {
+    for (i, model) in ["bernoulli(0.01/0.2)", "pareto sessions"]
+        .into_iter()
+        .enumerate()
+    {
         let mut fractions = Vec::new();
         let mut converged = 0usize;
         for r in 0..params.runs {

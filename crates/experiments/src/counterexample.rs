@@ -11,7 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use lagover_core::{check_sufficiency, construct, exact_feasibility, Algorithm, ConstructionConfig, OracleKind};
+use lagover_core::{
+    check_sufficiency, construct, exact_feasibility, Algorithm, ConstructionConfig, OracleKind,
+};
 use lagover_workload::adversarial_population;
 
 use crate::table::TextTable;
@@ -102,7 +104,10 @@ pub fn run_families(
         let feasible = exact_feasibility(&population).is_some();
         let mut rates = [0usize; 2];
         let mut medians: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
-        for (ai, algorithm) in [Algorithm::Greedy, Algorithm::Hybrid].into_iter().enumerate() {
+        for (ai, algorithm) in [Algorithm::Greedy, Algorithm::Hybrid]
+            .into_iter()
+            .enumerate()
+        {
             for s in 0..seeds {
                 let seed = params.run_seed(u64::from(chain) * 31 + u64::from(hub_fanout), s as u64);
                 let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)

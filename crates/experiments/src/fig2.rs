@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+use lagover_core::{construct, parallel_runs, Algorithm, ConstructionConfig, OracleKind};
 use lagover_sim::stats::{bootstrap_median_ci, ConfidenceInterval, Summary};
 use lagover_sim::SimRng;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
@@ -102,21 +102,19 @@ impl Fig2Report {
 pub fn run(params: &Params, runs_per_workload: usize) -> Fig2Report {
     let mut workloads = Vec::new();
     for (wi, class) in TopologicalConstraint::PAPER_CLASSES.iter().enumerate() {
-        let mut latencies = Vec::new();
-        let mut converged = 0usize;
-        for r in 0..runs_per_workload {
+        // Each run owns its seed, so the parallel map is bit-identical
+        // to the sequential loop it replaces.
+        let outcomes = parallel_runs(runs_per_workload, |r| {
             let seed = params.run_seed(wi as u64, r as u64);
             let population = WorkloadSpec::new(*class, params.peers)
                 .generate(seed)
                 .expect("paper classes are repairable");
             let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
                 .with_max_rounds(params.max_rounds);
-            let outcome = construct(&population, &config, seed);
-            if let Some(at) = outcome.converged_at {
-                converged += 1;
-                latencies.push(at as f64);
-            }
-        }
+            construct(&population, &config, seed).converged_at
+        });
+        let latencies: Vec<f64> = outcomes.iter().flatten().map(|&at| at as f64).collect();
+        let converged = latencies.len();
         let mut ci_rng = SimRng::seed_from(params.seed).split(0xC1 + wi as u64);
         workloads.push(WorkloadVariance {
             workload: class.to_string(),

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+use lagover_core::{construct, parallel_runs, Algorithm, ConstructionConfig, OracleKind};
 use lagover_sim::stats;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -99,21 +99,23 @@ pub fn run_with_algorithm(params: &Params, algorithm: Algorithm) -> Fig3Report {
     let mut cells = Vec::new();
     for (wi, class) in TopologicalConstraint::PAPER_CLASSES.iter().enumerate() {
         for (oi, kind) in OracleKind::ALL.iter().enumerate() {
-            let mut latencies = Vec::new();
-            let mut converged = 0usize;
-            for r in 0..params.runs {
+            // Seed-per-run keeps the parallel map bit-identical to the
+            // sequential loop.
+            let results = parallel_runs(params.runs, |r| {
                 let seed = params.run_seed((wi * 4 + oi) as u64, r as u64);
                 let population = WorkloadSpec::new(*class, params.peers)
                     .generate(seed)
                     .expect("paper classes are repairable");
-                let config = ConstructionConfig::new(algorithm, *kind)
-                    .with_max_rounds(params.max_rounds);
+                let config =
+                    ConstructionConfig::new(algorithm, *kind).with_max_rounds(params.max_rounds);
                 let outcome = construct(&population, &config, seed);
-                if outcome.converged() {
-                    converged += 1;
-                }
-                latencies.push(outcome.latency_or(params.max_rounds as f64));
-            }
+                (
+                    outcome.converged(),
+                    outcome.latency_or(params.max_rounds as f64),
+                )
+            });
+            let converged = results.iter().filter(|(c, _)| *c).count();
+            let latencies: Vec<f64> = results.iter().map(|&(_, l)| l).collect();
             cells.push(OracleCell {
                 workload: class.to_string(),
                 oracle: kind.label().to_string(),

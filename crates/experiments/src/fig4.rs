@@ -9,7 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use lagover_core::{construct, run_with_churn, Algorithm, ConstructionConfig, OracleKind};
+use lagover_core::{
+    construct, parallel_runs, run_with_churn, Algorithm, ConstructionConfig, OracleKind,
+};
 use lagover_sim::stats;
 use lagover_sim::stats::mann_whitney_less;
 use lagover_workload::{ChurnSpec, TopologicalConstraint, WorkloadSpec};
@@ -79,13 +81,21 @@ impl Fig4Report {
             .unwrap_or_default();
         format!(
             "Figure 4 — Greedy vs Hybrid on {} ({} peers, median of {})\n{}{}",
-            self.workload, self.params.peers, self.params.runs, t.render(), significance
+            self.workload,
+            self.params.peers,
+            self.params.runs,
+            t.render(),
+            significance
         )
     }
 
     /// Finds a row.
     pub fn row(&self, algorithm: Algorithm, with_churn: bool) -> &Fig4Row {
-        let churn = if with_churn { "churn(0.01/0.2)" } else { "no churn" };
+        let churn = if with_churn {
+            "churn(0.01/0.2)"
+        } else {
+            "no churn"
+        };
         self.rows
             .iter()
             .find(|r| r.algorithm == algorithm.to_string() && r.churn == churn)
@@ -98,12 +108,15 @@ pub fn run_on(params: &Params, class: TopologicalConstraint) -> Fig4Report {
     let churn_rounds = params.max_rounds.min(1_500);
     let mut rows = Vec::new();
     let mut no_churn_latencies: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
-    for (ai, algorithm) in [Algorithm::Greedy, Algorithm::Hybrid].into_iter().enumerate() {
+    for (ai, algorithm) in [Algorithm::Greedy, Algorithm::Hybrid]
+        .into_iter()
+        .enumerate()
+    {
         for (ci, churn_spec) in [ChurnSpec::None, ChurnSpec::Paper].into_iter().enumerate() {
-            let mut latencies = Vec::new();
-            let mut steady = Vec::new();
-            let mut converged = 0usize;
-            for r in 0..params.runs {
+            // Each run derives everything from its own seed (`ChurnSpec`
+            // is `Copy`, so each run builds a private churn process), so
+            // the parallel map is bit-identical to the sequential loop.
+            let results = parallel_runs(params.runs, |r| {
                 let seed = params.run_seed((ai * 2 + ci) as u64 + 100, r as u64);
                 let population = WorkloadSpec::new(class, params.peers)
                     .generate(seed)
@@ -113,13 +126,11 @@ pub fn run_on(params: &Params, class: TopologicalConstraint) -> Fig4Report {
                 match churn_spec {
                     ChurnSpec::None => {
                         let outcome = construct(&population, &config, seed);
-                        if outcome.converged() {
-                            converged += 1;
-                        }
-                        let latency = outcome.latency_or(params.max_rounds as f64);
-                        latencies.push(latency);
-                        no_churn_latencies[ai].push(latency);
-                        steady.push(outcome.final_satisfied_fraction);
+                        (
+                            outcome.converged(),
+                            outcome.latency_or(params.max_rounds as f64),
+                            outcome.final_satisfied_fraction,
+                        )
                     }
                     _ => {
                         let mut churn = churn_spec.build();
@@ -130,18 +141,22 @@ pub fn run_on(params: &Params, class: TopologicalConstraint) -> Fig4Report {
                             churn_rounds,
                             seed,
                         );
-                        if outcome.first_converged_at.is_some() {
-                            converged += 1;
-                        }
-                        latencies.push(
+                        (
+                            outcome.first_converged_at.is_some(),
                             outcome
                                 .first_converged_at
                                 .map(|v| v as f64)
                                 .unwrap_or(churn_rounds as f64),
-                        );
-                        steady.push(outcome.steady_state_fraction);
+                            outcome.steady_state_fraction,
+                        )
                     }
                 }
+            });
+            let converged = results.iter().filter(|(c, _, _)| *c).count();
+            let latencies: Vec<f64> = results.iter().map(|&(_, l, _)| l).collect();
+            let steady: Vec<f64> = results.iter().map(|&(_, _, s)| s).collect();
+            if churn_spec == ChurnSpec::None {
+                no_churn_latencies[ai].extend_from_slice(&latencies);
             }
             rows.push(Fig4Row {
                 algorithm: algorithm.to_string(),

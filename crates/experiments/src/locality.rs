@@ -104,7 +104,14 @@ fn tree_cost(engine: &Engine, space: &LatencySpace) -> (f64, f64) {
             None => {}
         }
     }
-    (total, if edges == 0 { 0.0 } else { total / edges as f64 })
+    (
+        total,
+        if edges == 0 {
+            0.0
+        } else {
+            total / edges as f64
+        },
+    )
 }
 
 /// Builds the coordinate space for one run: a smooth uniform square or

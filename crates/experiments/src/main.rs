@@ -113,55 +113,94 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
             // The variance figure wants more repetitions than the
             // median-of-5 protocol.
             let report = fig2::run(params, params.runs.max(5) * 6);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "fig3" => {
             let report = fig3::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "fig4" => {
             let report = fig4::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "counterexample" => {
             let report = counterexample::run(params, params.runs.max(5) * 10);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "async" => {
             let report = asynchrony::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "sufficiency" => {
             let report = sufficiency::run(params, 500);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "serverload" => {
             let report = serverload::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "realizations" => {
             let report = realizations::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "locality" => {
             let report = locality::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "multifeed" => {
             let report = multifeed_exp::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "ablations" => {
             let report = ablations::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "scaling" => {
             let report = scaling::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         "liveness" => {
             let report = liveness::run(params);
-            (report.render(), serde_json::to_string_pretty(&report).expect("serializable"))
+            (
+                report.render(),
+                serde_json::to_string_pretty(&report).expect("serializable"),
+            )
         }
         other => unreachable!("unknown experiment {other} filtered by main"),
     }

@@ -278,8 +278,7 @@ mod tests {
     #[test]
     fn directory_oracle_respects_capacity_filter() {
         let mut rng = SimRng::seed_from(3);
-        let mut oracle =
-            DirectoryOracle::new(OracleKind::RandomDelayCapacity, 16, 50, 3, &mut rng);
+        let mut oracle = DirectoryOracle::new(OracleKind::RandomDelayCapacity, 16, 50, 3, &mut rng);
         let (o, pop, online) = fixture();
         let view = OracleView::new(&o, &pop, &online);
         for _ in 0..30 {
@@ -364,9 +363,7 @@ impl Oracle for LocalityDelayOracle {
         let candidates: Vec<PeerId> = (0..view.len() as u32)
             .map(PeerId::new)
             .filter(|&p| {
-                p != enquirer
-                    && view.is_online(p)
-                    && matches!(view.delay(p), Some(d) if d < l)
+                p != enquirer && view.is_online(p) && matches!(view.delay(p), Some(d) if d < l)
             })
             .collect();
         if candidates.is_empty() {

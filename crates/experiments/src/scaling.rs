@@ -5,7 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lagover_core::{construct, Algorithm, ConstructionConfig, OracleKind};
+use lagover_core::{construct, parallel_runs, Algorithm, ConstructionConfig, OracleKind};
 use lagover_sim::stats;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -72,10 +72,8 @@ pub fn run_sizes(params: &Params, sizes: &[usize]) -> ScalingReport {
     let class = TopologicalConstraint::Rand;
     let mut rows = Vec::new();
     for (i, &peers) in sizes.iter().enumerate() {
-        let mut latencies = Vec::new();
-        let mut interactions = Vec::new();
-        let mut converged = 0usize;
-        for r in 0..params.runs {
+        // Seed-per-run parallel map; bit-identical to the sequential loop.
+        let results = parallel_runs(params.runs, |r| {
             let seed = params.run_seed(800 + i as u64, r as u64);
             let population = WorkloadSpec::new(class, peers)
                 .generate(seed)
@@ -83,12 +81,15 @@ pub fn run_sizes(params: &Params, sizes: &[usize]) -> ScalingReport {
             let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
                 .with_max_rounds(params.max_rounds);
             let outcome = construct(&population, &config, seed);
-            if outcome.converged() {
-                converged += 1;
-            }
-            latencies.push(outcome.latency_or(params.max_rounds as f64));
-            interactions.push(outcome.counters.interactions as f64);
-        }
+            (
+                outcome.converged(),
+                outcome.latency_or(params.max_rounds as f64),
+                outcome.counters.interactions as f64,
+            )
+        });
+        let converged = results.iter().filter(|(c, _, _)| *c).count();
+        let latencies: Vec<f64> = results.iter().map(|&(_, l, _)| l).collect();
+        let interactions: Vec<f64> = results.iter().map(|&(_, _, n)| n).collect();
         let median_interactions = stats::median(&interactions).expect("runs >= 1");
         rows.push(ScalingRow {
             peers,

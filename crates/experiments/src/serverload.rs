@@ -131,7 +131,10 @@ mod tests {
         assert_eq!(report.rows.len(), 3);
         for r in &report.rows {
             assert_eq!(r.violations, 0, "staleness violations at n={}", r.peers);
-            assert!(r.lagover_rate <= 3.0, "lagover rate bounded by source fanout");
+            assert!(
+                r.lagover_rate <= 3.0,
+                "lagover rate bounded by source fanout"
+            );
         }
         assert!(
             report.rows[2].reduction > report.rows[0].reduction,

@@ -11,7 +11,9 @@
 use serde::{Deserialize, Serialize};
 
 use lagover_core::node::{Constraints, Population};
-use lagover_core::{check_sufficiency, construct, exact_feasibility, Algorithm, ConstructionConfig, OracleKind};
+use lagover_core::{
+    check_sufficiency, construct, exact_feasibility, Algorithm, ConstructionConfig, OracleKind,
+};
 use lagover_sim::SimRng;
 
 use crate::table::TextTable;
@@ -56,7 +58,10 @@ impl SufficiencyReportE7 {
             "insufficient but feasible (non-necessity witnesses)".into(),
             self.insufficient_but_feasible.to_string(),
         ]);
-        format!("§3.3 sufficiency condition — empirical check\n{}", t.render())
+        format!(
+            "§3.3 sufficiency condition — empirical check\n{}",
+            t.render()
+        )
     }
 }
 
@@ -112,7 +117,10 @@ mod tests {
             report.sufficient, report.sufficient_and_feasible,
             "found a sufficient but infeasible instance — the lemma is violated"
         );
-        assert!(report.sufficient > 0, "sampler never produced a sufficient instance");
+        assert!(
+            report.sufficient > 0,
+            "sampler never produced a sufficient instance"
+        );
         assert!(report.insufficient > 0);
         assert!(report.render().contains("witnesses"));
     }

@@ -142,16 +142,19 @@ pub fn disseminate(
                     .parent(p)
                     .and_then(|m| m.peer())
                     .expect("depth >= 2 has a peer parent");
-                for item in 0..n_items {
-                    if received[p.index()][item].is_none() {
+                // Take p's row so the parent's row stays borrowable.
+                let mut row = std::mem::take(&mut received[p.index()]);
+                for (item, slot) in row.iter_mut().enumerate() {
+                    if slot.is_none() {
                         if let Some(at) = received[parent.index()][item] {
                             if at < r {
-                                received[p.index()][item] = Some(r);
+                                *slot = Some(r);
                                 pushes_sent[parent.index()] += 1;
                             }
                         }
                     }
                 }
+                received[p.index()] = row;
             }
         }
     }
@@ -265,19 +268,11 @@ mod tests {
 
     #[test]
     fn unrooted_nodes_receive_nothing() {
-        let population = Population::new(
-            1,
-            vec![Constraints::new(1, 1), Constraints::new(0, 2)],
-        );
+        let population = Population::new(1, vec![Constraints::new(1, 1), Constraints::new(0, 2)]);
         let mut overlay = Overlay::new(&population);
         // Peer 1 dangles under unrooted peer 0.
         overlay.attach(p(1), Member::Peer(p(0))).unwrap();
-        let report = disseminate(
-            &overlay,
-            &population,
-            &DisseminationConfig::default(),
-            1,
-        );
+        let report = disseminate(&overlay, &population, &DisseminationConfig::default(), 1);
         for node in &report.per_node {
             assert_eq!(node.received, 0);
             assert_eq!(node.depth, None);
@@ -337,12 +332,7 @@ mod tests {
     #[test]
     fn report_max_staleness_is_global_max() {
         let (overlay, population) = chain();
-        let report = disseminate(
-            &overlay,
-            &population,
-            &DisseminationConfig::default(),
-            1,
-        );
+        let report = disseminate(&overlay, &population, &DisseminationConfig::default(), 1);
         assert_eq!(report.max_staleness(), Some(3));
     }
 }

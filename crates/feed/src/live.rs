@@ -110,15 +110,18 @@ pub fn run_live(
                     }
                 }
             } else if let Some(parent) = engine.overlay().parent(p).and_then(|m| m.peer()) {
-                for item in 0..n_items {
-                    if received[p.index()][item].is_none() {
+                // Take p's row so the parent's row stays borrowable.
+                let mut row = std::mem::take(&mut received[p.index()]);
+                for (item, slot) in row.iter_mut().enumerate() {
+                    if slot.is_none() {
                         if let Some(at) = received[parent.index()][item] {
                             if at < r {
-                                received[p.index()][item] = Some(r);
+                                *slot = Some(r);
                             }
                         }
                     }
                 }
+                received[p.index()] = row;
             }
         }
     }
@@ -134,9 +137,9 @@ pub fn run_live(
     let mut delivered = 0usize;
     let mut staleness_sum = 0u64;
     let mut stalenesses: Vec<u64> = Vec::new();
-    for p in 0..n {
+    for row in received.iter().take(n) {
         for &item in &counted {
-            if let Some(at) = received[p][item] {
+            if let Some(at) = row[item] {
                 delivered += 1;
                 let s = at - publish_rounds[item];
                 staleness_sum += s;
@@ -228,11 +231,7 @@ mod tests {
             now: u64,
         }
         impl ChurnProcess for Blackout {
-            fn step(
-                &mut self,
-                online: &mut [bool],
-                _rng: &mut SimRng,
-            ) -> lagover_sim::Transitions {
+            fn step(&mut self, online: &mut [bool], _rng: &mut SimRng) -> lagover_sim::Transitions {
                 self.now += 1;
                 let mut t = lagover_sim::Transitions::default();
                 if self.now == self.at {

@@ -124,7 +124,10 @@ impl MultiFeedSystem {
                 assert!(sub.latency >= 1, "zero latency subscription");
             }
         }
-        MultiFeedSystem { peer_fanouts, feeds }
+        MultiFeedSystem {
+            peer_fanouts,
+            feeds,
+        }
     }
 
     /// Number of feeds.
@@ -228,8 +231,8 @@ impl MultiFeedSystem {
                 .collect();
             let population = Population::new(feed.source_fanout, constraints);
             let outcome = construct(&population, config, seed.wrapping_add(fi as u64));
-            satisfied += (outcome.final_satisfied_fraction * population.len() as f64).round()
-                as usize;
+            satisfied +=
+                (outcome.final_satisfied_fraction * population.len() as f64).round() as usize;
             feeds.push(FeedOutcome {
                 name: feed.name.clone(),
                 subscribers: population.len(),
@@ -238,8 +241,7 @@ impl MultiFeedSystem {
         }
         MultiFeedOutcome {
             feeds,
-            satisfied_subscription_fraction: satisfied as f64
-                / self.subscription_count() as f64,
+            satisfied_subscription_fraction: satisfied as f64 / self.subscription_count() as f64,
             promise_ratio: if total_budget == 0 {
                 1.0
             } else {
@@ -347,12 +349,18 @@ mod tests {
                 FeedSpec {
                     name: "lax".into(),
                     source_fanout: 1,
-                    subscriptions: vec![Subscription { peer: 0, latency: 5 }],
+                    subscriptions: vec![Subscription {
+                        peer: 0,
+                        latency: 5,
+                    }],
                 },
                 FeedSpec {
                     name: "strict".into(),
                     source_fanout: 1,
-                    subscriptions: vec![Subscription { peer: 0, latency: 2 }],
+                    subscriptions: vec![Subscription {
+                        peer: 0,
+                        latency: 2,
+                    }],
                 },
             ],
         );
@@ -397,7 +405,10 @@ mod tests {
             vec![FeedSpec {
                 name: "x".into(),
                 source_fanout: 1,
-                subscriptions: vec![Subscription { peer: 5, latency: 1 }],
+                subscriptions: vec![Subscription {
+                    peer: 5,
+                    latency: 1,
+                }],
             }],
         );
     }

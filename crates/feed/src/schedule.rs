@@ -90,7 +90,7 @@ mod tests {
         let rate = rounds.len() as f64 / 100_000.0;
         assert!((0.23..=0.27).contains(&rate), "rate {rate}");
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "sorted");
-        assert!(rounds.iter().all(|&r| r >= 1 && r <= 100_000));
+        assert!(rounds.iter().all(|&r| (1..=100_000).contains(&r)));
     }
 
     #[test]

@@ -106,9 +106,7 @@ impl PeerSampler for MhWalkSampler {
         let mut taken = 0;
         while taken < max_steps && (steps > 0 || current == enquirer) {
             taken += 1;
-            if steps > 0 {
-                steps -= 1;
-            }
+            steps = steps.saturating_sub(1);
             let ns = self.graph.neighbors(current);
             if ns.is_empty() {
                 return None;

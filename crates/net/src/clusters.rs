@@ -185,9 +185,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one cluster")]
     fn zero_clusters_rejected() {
-        ClusteredSpace::generate(5, &ClusterConfig {
-            clusters: 0,
-            ..ClusterConfig::default()
-        }, &mut SimRng::seed_from(0));
+        ClusteredSpace::generate(
+            5,
+            &ClusterConfig {
+                clusters: 0,
+                ..ClusterConfig::default()
+            },
+            &mut SimRng::seed_from(0),
+        );
     }
 }

@@ -78,7 +78,9 @@ impl RttInteractionModel {
 impl DurationModel for RttInteractionModel {
     fn interaction_duration(&self, peer: usize, rng: &mut SimRng) -> f64 {
         let partner = rng.index(self.space.len());
-        let rtt = self.space.rtt_jittered(peer % self.space.len(), partner, rng);
+        let rtt = self
+            .space
+            .rtt_jittered(peer % self.space.len(), partner, rng);
         rtt * self.round_trips
     }
 }

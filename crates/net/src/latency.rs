@@ -97,7 +97,11 @@ mod tests {
 
     fn space() -> LatencySpace {
         LatencySpace::from_coords(
-            vec![Coord::new(0.0, 0.0), Coord::new(1.0, 0.0), Coord::new(0.0, 1.0)],
+            vec![
+                Coord::new(0.0, 0.0),
+                Coord::new(1.0, 0.0),
+                Coord::new(0.0, 1.0),
+            ],
             LatencyConfig {
                 base_rtt: 0.5,
                 rtt_per_unit: 2.0,

@@ -81,6 +81,17 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue at time zero with pre-reserved capacity,
+    /// avoiding heap growth while the steady-state event population
+    /// (one pending action per peer) fills in.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: VirtualTime::ZERO,
+        }
+    }
+
     /// Current virtual time: the timestamp of the last popped event.
     pub fn now(&self) -> VirtualTime {
         self.now
@@ -190,6 +201,16 @@ mod tests {
         q.schedule_after(1.5, "second");
         let (at, _) = q.pop().unwrap();
         assert!((at.get() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), VirtualTime::ZERO);
+        q.schedule(t(2.0), "later");
+        q.schedule(t(1.0), "sooner");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("sooner"));
     }
 
     #[test]

@@ -165,7 +165,10 @@ impl SimRng {
     ///
     /// Panics if `x_min` or `alpha` is not strictly positive.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = 1.0 - self.f64(); // in (0, 1]
         x_min / u.powf(1.0 / alpha)
     }

@@ -51,8 +51,8 @@ impl Summary {
         let stddev = if sorted.len() < 2 {
             0.0
         } else {
-            let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                / (sorted.len() - 1) as f64;
+            let var =
+                sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (sorted.len() - 1) as f64;
             var.sqrt()
         };
         Some(Summary {
@@ -360,8 +360,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

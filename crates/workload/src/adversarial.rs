@@ -125,7 +125,10 @@ mod tests {
         let population = adversarial_population(2, 2).unwrap();
         assert_eq!(population.len(), 5);
         assert_eq!(population.source_fanout(), 1);
-        let specs: Vec<(u32, u32)> = population.iter().map(|(_, c)| (c.fanout, c.latency)).collect();
+        let specs: Vec<(u32, u32)> = population
+            .iter()
+            .map(|(_, c)| (c.fanout, c.latency))
+            .collect();
         assert_eq!(specs, vec![(1, 1), (1, 2), (2, 4), (0, 4), (0, 4)]);
     }
 }

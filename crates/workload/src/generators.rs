@@ -72,7 +72,9 @@ pub(crate) fn generate(spec: &WorkloadSpec, seed: u64) -> Result<Population, Gen
             // Zipf over ranks 1..=10 via inverse-CDF on the normalized
             // weights 1/k^s; rank 10 = laxest is the most common when
             // we *reverse* the rank (strict latencies are rare).
-            let weights: Vec<f64> = (1..=10u32).map(|k| 1.0 / f64::from(k).powf(s_exp)).collect();
+            let weights: Vec<f64> = (1..=10u32)
+                .map(|k| 1.0 / f64::from(k).powf(s_exp))
+                .collect();
             let total: f64 = weights.iter().sum();
             let peers = (0..spec.peers)
                 .map(|_| {
@@ -254,10 +256,7 @@ mod tests {
 
     #[test]
     fn zipf_latencies_are_skewed_toward_lax() {
-        let spec = WorkloadSpec::new(
-            TopologicalConstraint::Zipf { exponent_x100: 150 },
-            400,
-        );
+        let spec = WorkloadSpec::new(TopologicalConstraint::Zipf { exponent_x100: 150 }, 400);
         let population = spec.generate(6).unwrap();
         assert!(check_sufficiency(&population).satisfied);
         let lax = population.iter().filter(|(_, c)| c.latency >= 8).count();

@@ -121,7 +121,10 @@ impl fmt::Display for GenerateError {
                 write!(f, "could not repair population to sufficiency")
             }
             GenerateError::DegenerateAdversarial => {
-                write!(f, "adversarial family requires chain >= 1 and hub_fanout >= 1")
+                write!(
+                    f,
+                    "adversarial family requires chain >= 1 and hub_fanout >= 1"
+                )
             }
         }
     }

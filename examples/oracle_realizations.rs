@@ -17,8 +17,8 @@ fn main() {
     let population = WorkloadSpec::new(TopologicalConstraint::Rand, peers)
         .generate(seed)
         .expect("repairable");
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
 
     println!("{peers} peers, Rand constraints, Hybrid algorithm\n");
 
@@ -32,7 +32,8 @@ fn main() {
     // 2. The same semantics served from a Chord ring directory with
     //    TTL-expiring records and background refresh traffic.
     let mut rng = SimRng::seed_from(seed).split(1);
-    let directory = DirectoryOracle::new(OracleKind::RandomDelay, 32, 4 * peers as u64, 4, &mut rng);
+    let directory =
+        DirectoryOracle::new(OracleKind::RandomDelay, 32, 4 * peers as u64, 4, &mut rng);
     let over_dht = construct_with_oracle(&population, &config, Box::new(directory), seed);
     println!(
         "Random-Delay (DHT directory) : converged in {:>4} rounds",

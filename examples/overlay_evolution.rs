@@ -29,7 +29,11 @@ fn render(engine: &Engine, population: &Population) -> String {
     let mut seen = vec![false; population.len()];
     while let Some((p, depth)) = stack.pop() {
         seen[p.index()] = true;
-        let sat = if engine.is_satisfied(p) { "" } else { "  <- violated" };
+        let sat = if engine.is_satisfied(p) {
+            ""
+        } else {
+            "  <- violated"
+        };
         out += &format!(
             "  {}└ {}_{}^{}{}\n",
             "  ".repeat(depth),
@@ -88,9 +92,7 @@ fn main() {
             last = snapshot;
         }
         if engine.is_converged() {
-            println!(
-                "converged at round {round}: every consumer within its latency constraint"
-            );
+            println!("converged at round {round}: every consumer within its latency constraint");
             break;
         }
     }

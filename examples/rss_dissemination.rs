@@ -22,7 +22,10 @@ fn main() {
     let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
     let mut engine = Engine::new(&population, &config, 7);
     let converged = engine.run_to_convergence().expect("converges");
-    println!("LagOver over {subscribers} subscribers built in {} rounds", converged.get());
+    println!(
+        "LagOver over {subscribers} subscribers built in {} rounds",
+        converged.get()
+    );
 
     // Publish blog-style updates: unpredictable timing, ~1 item per 6
     // time units, for 600 time units.
@@ -56,7 +59,10 @@ fn main() {
     }
     println!("\nmax-staleness distribution:");
     for (staleness, count) in by_staleness {
-        println!("  {staleness} time units: {count:3} subscribers  {}", "#".repeat(count));
+        println!(
+            "  {staleness} time units: {count:3} subscribers  {}",
+            "#".repeat(count)
+        );
     }
 
     // The headline number.

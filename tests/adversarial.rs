@@ -44,8 +44,8 @@ fn greedy_wedge_is_permanent_not_slow() {
         }
     }
     let seed = wedged_seed.expect("no wedging seed found in 60 tries");
-    let g = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
-        .with_max_rounds(4_000);
+    let g =
+        ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay).with_max_rounds(4_000);
     assert!(
         !construct(&population, &g, seed).converged(),
         "seed {seed} converged with a larger budget — wedge was not structural"

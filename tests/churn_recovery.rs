@@ -48,8 +48,8 @@ fn overlay_recovers_after_all_source_children_crash() {
     let population = WorkloadSpec::new(TopologicalConstraint::Rand, 50)
         .generate(5)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut engine = Engine::new(&population, &config, 5);
     engine.run_to_convergence().expect("initial convergence");
 
@@ -78,8 +78,8 @@ fn returning_peers_are_reintegrated() {
     let population = WorkloadSpec::new(TopologicalConstraint::BiUnCorr, 40)
         .generate(8)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut engine = Engine::new(&population, &config, 8);
     engine.run_to_convergence().expect("initial convergence");
 
@@ -105,8 +105,7 @@ fn paper_churn_sustains_high_satisfaction_on_all_workloads() {
         let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
             .with_max_rounds(10_000);
         let mut churn = ChurnSpec::Paper.build();
-        let outcome =
-            lagover::core::run_with_churn(&population, &config, churn.as_mut(), 600, 13);
+        let outcome = lagover::core::run_with_churn(&population, &config, churn.as_mut(), 600, 13);
         assert!(
             outcome.steady_state_fraction > 0.6,
             "{class}: steady state {} too low under paper churn",
@@ -122,8 +121,8 @@ fn repeated_decapitation_cannot_corrupt_state() {
     let population = WorkloadSpec::new(TopologicalConstraint::Rand, 30)
         .generate(17)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut engine = Engine::new(&population, &config, 17);
     for wave in 0..8 {
         engine.run_to_convergence();

@@ -13,8 +13,8 @@ fn every_workload_converges_and_delivers_within_constraints() {
             let population = WorkloadSpec::new(class, 60)
                 .generate(11)
                 .expect("repairable");
-            let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
-                .with_max_rounds(5_000);
+            let config =
+                ConstructionConfig::new(algorithm, OracleKind::RandomDelay).with_max_rounds(5_000);
             let mut engine = Engine::new(&population, &config, 11);
             let converged = engine.run_to_convergence();
             assert!(
@@ -57,8 +57,8 @@ fn constructed_depth_never_exceeds_latency_constraint() {
     let population = WorkloadSpec::new(TopologicalConstraint::BiCorr, 80)
         .generate(3)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(5_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(5_000);
     let mut engine = Engine::new(&population, &config, 3);
     engine.run_to_convergence().expect("converges");
     for p in population.peer_ids() {
@@ -76,8 +76,8 @@ fn counters_tell_a_consistent_story() {
     let population = WorkloadSpec::new(TopologicalConstraint::Rand, 50)
         .generate(9)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
-        .with_max_rounds(5_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay).with_max_rounds(5_000);
     let outcome = lagover::core::construct(&population, &config, 9);
     assert!(outcome.converged());
     let c = outcome.counters;
@@ -111,11 +111,8 @@ fn facade_reexports_are_wired() {
     assert_eq!(ring.len(), 8);
     let graph = lagover::gossip::MembershipGraph::random_connected(8, 3, &mut rng);
     assert!(graph.is_connected());
-    let space = lagover::net::LatencySpace::generate(
-        8,
-        &lagover::net::LatencyConfig::default(),
-        &mut rng,
-    );
+    let space =
+        lagover::net::LatencySpace::generate(8, &lagover::net::LatencyConfig::default(), &mut rng);
     assert!(space.rtt(0, 1) > 0.0);
     let _ = PeerId::new(0);
 }

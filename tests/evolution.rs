@@ -33,7 +33,10 @@ fn greedy_constructs_the_figure1_system_for_many_seeds() {
             .with_max_rounds(3_000);
         let mut engine = Engine::new(&population, &config, seed);
         let converged = engine.run_to_convergence();
-        assert!(converged.is_some(), "greedy failed on Figure 1, seed {seed}");
+        assert!(
+            converged.is_some(),
+            "greedy failed on Figure 1, seed {seed}"
+        );
         // The strict nodes a and d (l = 1) always end up pulling
         // directly from the source.
         for strict in [PeerId::new(0), PeerId::new(3)] {
@@ -76,8 +79,8 @@ fn maintenance_fires_during_figure1_style_construction() {
     let population = figure1_population();
     let mut any_maintenance = false;
     for seed in 0..40 {
-        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random)
-            .with_max_rounds(3_000);
+        let config =
+            ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random).with_max_rounds(3_000);
         let outcome = lagover::core::construct(&population, &config, seed);
         assert!(outcome.converged(), "seed {seed}");
         any_maintenance |= outcome.counters.maintenance_detaches > 0;

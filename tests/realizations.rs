@@ -11,8 +11,8 @@ fn construction_over_dht_directory_oracle_converges() {
         .generate(2)
         .unwrap();
     for algorithm in [Algorithm::Greedy, Algorithm::Hybrid] {
-        let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
-            .with_max_rounds(8_000);
+        let config =
+            ConstructionConfig::new(algorithm, OracleKind::RandomDelay).with_max_rounds(8_000);
         let mut rng = SimRng::seed_from(2).split(7);
         let oracle = DirectoryOracle::new(OracleKind::RandomDelay, 32, 200, 4, &mut rng);
         let outcome = construct_with_oracle(&population, &config, Box::new(oracle), 2);
@@ -28,8 +28,8 @@ fn construction_over_gossip_walk_oracle_converges() {
     let population = WorkloadSpec::new(TopologicalConstraint::BiUnCorr, 50)
         .generate(4)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::Random)
-        .with_max_rounds(8_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::Random).with_max_rounds(8_000);
     let mut rng = SimRng::seed_from(4).split(9);
     let oracle = GossipWalkOracle::new(50, 5, 10, &mut rng);
     let outcome = construct_with_oracle(&population, &config, Box::new(oracle), 4);
@@ -43,8 +43,8 @@ fn directory_oracle_with_tiny_ttl_still_makes_progress() {
     let population = WorkloadSpec::new(TopologicalConstraint::Rand, 30)
         .generate(6)
         .unwrap();
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(10_000);
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
     let mut rng = SimRng::seed_from(6).split(3);
     let oracle = DirectoryOracle::new(OracleKind::RandomDelay, 16, 5, 1, &mut rng);
     let outcome = construct_with_oracle(&population, &config, Box::new(oracle), 6);
