@@ -184,7 +184,8 @@ pub fn resolve_population(opts: &Options) -> Result<Population, CliError> {
     if let Some(path) = &opts.spec_path {
         let text =
             std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
-        return serde_json::from_str(&text).map_err(|e| err(format!("cannot parse {path}: {e}")));
+        return lagover_jsonio::from_str(&text)
+            .map_err(|e| err(format!("cannot parse {path}: {e}")));
     }
     let constraint = match opts.workload.as_str() {
         "tf1" => TopologicalConstraint::Tf1,
@@ -222,7 +223,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
 
 fn cmd_spec(opts: &Options) -> Result<String, CliError> {
     let population = resolve_population(opts)?;
-    serde_json::to_string_pretty(&population).map_err(|e| err(format!("serialize: {e}")))
+    Ok(lagover_jsonio::to_string_pretty(&population))
 }
 
 fn cmd_check(opts: &Options) -> Result<String, CliError> {
@@ -430,7 +431,7 @@ mod tests {
     fn spec_round_trips_through_check() {
         let opts = parse_args(&args("spec --workload rand --peers 20 --seed 3")).unwrap();
         let json = run(&opts).unwrap();
-        let population: Population = serde_json::from_str(&json).unwrap();
+        let population: Population = lagover_jsonio::from_str(&json).unwrap();
         assert_eq!(population.len(), 20);
     }
 

@@ -127,6 +127,66 @@ impl ConstructionConfig {
     }
 }
 
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Algorithm {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Algorithm {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "Greedy" => Ok(Algorithm::Greedy),
+            "Hybrid" => Ok(Algorithm::Hybrid),
+            other => Err(JsonError(format!("unknown algorithm '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for SourceMode {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for SourceMode {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "pull" => Ok(SourceMode::Pull),
+            "push" => Ok(SourceMode::Push),
+            other => Err(JsonError(format!("unknown source mode '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for ConstructionConfig {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("algorithm", self.algorithm.to_json()),
+            ("oracle", self.oracle.to_json()),
+            ("source_mode", self.source_mode.to_json()),
+            ("timeout_rounds", self.timeout_rounds.to_json()),
+            ("maintenance_timeout", self.maintenance_timeout.to_json()),
+            ("max_rounds", self.max_rounds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ConstructionConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ConstructionConfig {
+            algorithm: Algorithm::from_json(value.get("algorithm")?)?,
+            oracle: crate::OracleKind::from_json(value.get("oracle")?)?,
+            source_mode: SourceMode::from_json(value.get("source_mode")?)?,
+            timeout_rounds: u32::from_json(value.get("timeout_rounds")?)?,
+            maintenance_timeout: u32::from_json(value.get("maintenance_timeout")?)?,
+            max_rounds: u64::from_json(value.get("max_rounds")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,22 @@ impl EngineSnapshot {
     pub fn overlay(&self) -> &Overlay {
         &self.overlay
     }
+
+    /// Serializes the checkpoint as a compact JSON document.
+    pub fn to_json_string(&self) -> String {
+        lagover_jsonio::to_string(self)
+    }
+
+    /// Parses a checkpoint produced by [`EngineSnapshot::to_json_string`],
+    /// revalidating the overlay's structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON, shape mismatch, or an overlay that fails
+    /// validation.
+    pub fn from_json_str(text: &str) -> Result<Self, lagover_jsonio::JsonError> {
+        lagover_jsonio::from_str(text)
+    }
 }
 
 /// The construction simulator for one population and one configuration.
@@ -776,6 +792,99 @@ impl Engine {
             }
         }
         None
+    }
+}
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for ProtoState {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("referral", self.referral.to_json()),
+            ("rounds_unparented", self.rounds_unparented.to_json()),
+            ("violation_rounds", self.violation_rounds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProtoState {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ProtoState {
+            referral: Option::from_json(value.get("referral")?)?,
+            rounds_unparented: u32::from_json(value.get("rounds_unparented")?)?,
+            violation_rounds: u32::from_json(value.get("violation_rounds")?)?,
+        })
+    }
+}
+
+impl ToJson for EngineCounters {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("interactions", self.interactions.to_json()),
+            ("oracle_queries", self.oracle_queries.to_json()),
+            ("oracle_misses", self.oracle_misses.to_json()),
+            ("attaches", self.attaches.to_json()),
+            ("detaches", self.detaches.to_json()),
+            ("displacements", self.displacements.to_json()),
+            ("source_contacts", self.source_contacts.to_json()),
+            ("maintenance_detaches", self.maintenance_detaches.to_json()),
+            ("churn_departures", self.churn_departures.to_json()),
+            ("churn_arrivals", self.churn_arrivals.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EngineCounters {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(EngineCounters {
+            interactions: u64::from_json(value.get("interactions")?)?,
+            oracle_queries: u64::from_json(value.get("oracle_queries")?)?,
+            oracle_misses: u64::from_json(value.get("oracle_misses")?)?,
+            attaches: u64::from_json(value.get("attaches")?)?,
+            detaches: u64::from_json(value.get("detaches")?)?,
+            displacements: u64::from_json(value.get("displacements")?)?,
+            source_contacts: u64::from_json(value.get("source_contacts")?)?,
+            maintenance_detaches: u64::from_json(value.get("maintenance_detaches")?)?,
+            churn_departures: u64::from_json(value.get("churn_departures")?)?,
+            churn_arrivals: u64::from_json(value.get("churn_arrivals")?)?,
+        })
+    }
+}
+
+impl ToJson for EngineSnapshot {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("population", self.population.to_json()),
+            ("config", self.config.to_json()),
+            ("overlay", self.overlay.to_json()),
+            ("online", self.online.to_json()),
+            ("proto", self.proto.to_json()),
+            ("counters", self.counters.to_json()),
+            ("rng", self.rng.to_json()),
+            ("round", self.round.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EngineSnapshot {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let snapshot = EngineSnapshot {
+            population: Population::from_json(value.get("population")?)?,
+            config: ConstructionConfig::from_json(value.get("config")?)?,
+            overlay: Overlay::from_json(value.get("overlay")?)?,
+            online: Vec::from_json(value.get("online")?)?,
+            proto: Vec::from_json(value.get("proto")?)?,
+            counters: EngineCounters::from_json(value.get("counters")?)?,
+            rng: SimRng::from_json(value.get("rng")?)?,
+            round: Round::from_json(value.get("round")?)?,
+        };
+        let n = snapshot.population.len();
+        if snapshot.online.len() != n || snapshot.proto.len() != n {
+            return Err(JsonError(format!(
+                "snapshot per-peer vectors disagree with population size {n}"
+            )));
+        }
+        Ok(snapshot)
     }
 }
 

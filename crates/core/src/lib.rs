@@ -70,8 +70,8 @@ pub use node::{Constraints, Member, PeerId, Population};
 pub use oracle::{Oracle, OracleKind, OracleView};
 pub use overlay::{ChainRoot, Overlay, OverlayError};
 pub use runner::{
-    construct, construct_many, construct_with_oracle, parallel_runs, parallel_runs_with,
-    run_with_churn, ChurnOutcome, ConstructionOutcome,
+    chunk_plan, construct, construct_many, construct_with_oracle, parallel_runs,
+    parallel_runs_with, run_with_churn, ChurnOutcome, ConstructionOutcome,
 };
 pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
 pub use trace::{DetachCause, TraceEvent, TraceLog};

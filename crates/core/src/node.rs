@@ -200,6 +200,84 @@ impl Population {
     }
 }
 
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for PeerId {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(self.0))
+    }
+}
+
+impl FromJson for PeerId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(PeerId(u32::from_json(value)?))
+    }
+}
+
+impl ToJson for Member {
+    fn to_json(&self) -> Json {
+        match self {
+            Member::Source => Json::Str("source".to_string()),
+            Member::Peer(p) => p.to_json(),
+        }
+    }
+}
+
+impl FromJson for Member {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) if s == "source" => Ok(Member::Source),
+            other => Ok(Member::Peer(PeerId::from_json(other)?)),
+        }
+    }
+}
+
+impl ToJson for Constraints {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("fanout", self.fanout.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Constraints {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let fanout = u32::from_json(value.get("fanout")?)?;
+        let latency = u32::from_json(value.get("latency")?)?;
+        if latency == 0 {
+            return Err(JsonError("latency constraint must be at least 1".into()));
+        }
+        Ok(Constraints { fanout, latency })
+    }
+}
+
+impl ToJson for Population {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("source_fanout", self.source_fanout.to_json()),
+            ("peers", self.peers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Population {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let source_fanout = u32::from_json(value.get("source_fanout")?)?;
+        let peers = Vec::<Constraints>::from_json(value.get("peers")?)?;
+        if source_fanout == 0 {
+            return Err(JsonError("source_fanout must be positive".into()));
+        }
+        if peers.is_empty() {
+            return Err(JsonError("population must not be empty".into()));
+        }
+        Ok(Population {
+            source_fanout,
+            peers,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -279,6 +279,32 @@ impl Oracle for RandomDelayOracle {
     }
 }
 
+use lagover_jsonio::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for OracleKind {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            OracleKind::Random => "Random",
+            OracleKind::RandomCapacity => "RandomCapacity",
+            OracleKind::RandomDelayCapacity => "RandomDelayCapacity",
+            OracleKind::RandomDelay => "RandomDelay",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for OracleKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "Random" => Ok(OracleKind::Random),
+            "RandomCapacity" => Ok(OracleKind::RandomCapacity),
+            "RandomDelayCapacity" => Ok(OracleKind::RandomDelayCapacity),
+            "RandomDelay" => Ok(OracleKind::RandomDelay),
+            other => Err(JsonError(format!("unknown oracle kind '{other}'"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -425,6 +425,57 @@ impl Overlay {
     }
 }
 
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for ChainRoot {
+    fn to_json(&self) -> Json {
+        match self {
+            ChainRoot::Source => Json::Str("source".to_string()),
+            ChainRoot::Fragment(p) => p.to_json(),
+        }
+    }
+}
+
+impl FromJson for ChainRoot {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) if s == "source" => Ok(ChainRoot::Source),
+            other => Ok(ChainRoot::Fragment(PeerId::from_json(other)?)),
+        }
+    }
+}
+
+impl ToJson for Overlay {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("source_fanout", self.source_fanout.to_json()),
+            ("fanout", self.fanout.to_json()),
+            ("parent", self.parent.to_json()),
+            ("children", self.children.to_json()),
+            ("source_children", self.source_children.to_json()),
+            ("root", self.root.to_json()),
+            ("hops", self.hops.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Overlay {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let overlay = Overlay {
+            source_fanout: u32::from_json(value.get("source_fanout")?)?,
+            fanout: Vec::from_json(value.get("fanout")?)?,
+            parent: Vec::from_json(value.get("parent")?)?,
+            children: Vec::from_json(value.get("children")?)?,
+            source_children: Vec::from_json(value.get("source_children")?)?,
+            root: Vec::from_json(value.get("root")?)?,
+            hops: Vec::from_json(value.get("hops")?)?,
+            scratch: Vec::new(),
+        };
+        overlay.validate().map_err(JsonError)?;
+        Ok(overlay)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,6 +137,36 @@ fn default_threads() -> usize {
         })
 }
 
+/// Chunk width for splitting `count` indices across `threads` workers:
+/// `ceil(count / threads)` by default, overridable via the
+/// `LAGOVER_CHUNK` environment variable (clamped to `[1, count]`).
+///
+/// The override exists for `cargo xtask replay-diff`, which re-runs the
+/// figure drivers under several chunkings to prove the results do not
+/// depend on how work is split.
+fn chunk_size(count: usize, threads: usize) -> usize {
+    let default = count.div_ceil(threads.max(1)).max(1);
+    std::env::var("LAGOVER_CHUNK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&c: &usize| c >= 1)
+        .map_or(default, |c| c.min(count.max(1)))
+}
+
+/// The contiguous `(start, len)` chunk assignment [`parallel_runs_with`]
+/// hands to its worker threads. Pure and public so the concurrency model
+/// tests exercise the *actual* work-splitting logic, not a copy of it.
+pub fn chunk_plan(count: usize, threads: usize) -> Vec<(usize, usize)> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk_size(count, threads);
+    (0..count)
+        .step_by(chunk)
+        .map(|start| (start, chunk.min(count - start)))
+        .collect()
+}
+
 /// [`parallel_runs`] with an explicit worker count. The result is
 /// bit-identical for every `threads` value; the knob only controls how
 /// the index range is chunked across scoped threads.
@@ -149,7 +179,7 @@ where
     if threads <= 1 {
         return (0..count).map(job).collect();
     }
-    let chunk = count.div_ceil(threads);
+    let chunk = chunk_size(count, threads);
     let mut results: Vec<Option<T>> = Vec::new();
     results.resize_with(count, || None);
     let job = &job;

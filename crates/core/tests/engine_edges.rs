@@ -275,11 +275,11 @@ fn snapshot_restore_replays_bit_exactly() {
         original.apply_churn(&mut churn);
         original.step();
     }
-    // Checkpoint through serde (prove the snapshot is persistable).
+    // Checkpoint through JSON (prove the snapshot is persistable).
     let snapshot = original.snapshot();
-    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
-    let restored_snapshot: lagover_core::EngineSnapshot =
-        serde_json::from_str(&json).expect("snapshot deserializes");
+    let json = snapshot.to_json_string();
+    let restored_snapshot =
+        lagover_core::EngineSnapshot::from_json_str(&json).expect("snapshot deserializes");
     assert_eq!(restored_snapshot.round(), original.round());
     let mut restored = Engine::restore(restored_snapshot);
 

@@ -9,7 +9,7 @@
 //! or incomplete — the realistic imperfection experiment E9 quantifies
 //! against the in-memory reference oracles.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lagover_sim::SimRng;
 
@@ -74,7 +74,9 @@ pub struct Directory {
     ring: Ring,
     config: DirectoryConfig,
     /// Records held by each ring node: `ring node -> (feed, peer) -> entry`.
-    store: HashMap<u64, HashMap<(u64, usize), DirectoryEntry>>,
+    /// Ordered maps so every iteration (queries, repair, accounting) is
+    /// deterministic without per-call-site sorting.
+    store: BTreeMap<u64, BTreeMap<(u64, usize), DirectoryEntry>>,
 }
 
 impl Directory {
@@ -84,7 +86,7 @@ impl Directory {
         Directory {
             ring: Ring::bootstrap(ring_size, rng),
             config,
-            store: HashMap::new(),
+            store: BTreeMap::new(),
         }
     }
 
@@ -93,7 +95,7 @@ impl Directory {
         Directory {
             ring,
             config,
-            store: HashMap::new(),
+            store: BTreeMap::new(),
         }
     }
 
@@ -171,7 +173,7 @@ impl Directory {
     {
         let primary = self.ring.lookup(feed)?;
         let records = self.store.get(&primary.get())?;
-        let mut matches: Vec<DirectoryEntry> = records
+        let matches: Vec<DirectoryEntry> = records
             .iter()
             .filter(|((f, _), e)| {
                 *f == feed.get()
@@ -183,15 +185,14 @@ impl Directory {
         if matches.is_empty() {
             return None;
         }
-        // Sort for determinism (HashMap iteration order is unstable),
-        // then pick uniformly.
-        matches.sort_by_key(|e| e.peer);
+        // Matches arrive in ascending (feed, peer) key order; pick
+        // uniformly.
         Some(matches[rng.index(matches.len())])
     }
 
     /// Total records currently stored (including replicas).
     pub fn stored_records(&self) -> usize {
-        self.store.values().map(HashMap::len).sum()
+        self.store.values().map(BTreeMap::len).sum()
     }
 }
 
@@ -342,7 +343,7 @@ impl Directory {
     /// record copies written.
     pub fn repair_replication(&mut self) -> usize {
         // Snapshot all surviving records (newest refresh wins per key).
-        let mut newest: HashMap<(u64, usize), DirectoryEntry> = HashMap::new();
+        let mut newest: BTreeMap<(u64, usize), DirectoryEntry> = BTreeMap::new();
         for records in self.store.values() {
             for (&key, &entry) in records {
                 let keep = newest

@@ -1,0 +1,338 @@
+//! [`ToJson`] implementations for every experiment report, so figure
+//! JSON is produced by the in-tree writer (deterministic bytes, no
+//! external serializer) and `cargo xtask replay-diff` has real output to
+//! compare. Field order matches struct declaration order.
+
+use lagover_jsonio::{object, Json, ToJson};
+
+use crate::ablations::{AblationReport, AblationRow};
+use crate::asynchrony::{AsyncReport, AsyncRow};
+use crate::counterexample::{CounterexampleReport, FamilyRow};
+use crate::fig2::{Fig2Report, WorkloadVariance};
+use crate::fig3::{Fig3Report, OracleCell};
+use crate::fig4::{Fig4Report, Fig4Row};
+use crate::liveness::{LivenessReport, LivenessRow};
+use crate::locality::{LocalityReport, LocalityRow};
+use crate::multifeed_exp::{MultiFeedReport, MultiFeedRow};
+use crate::realizations::{RealizationRow, RealizationsReport};
+use crate::scaling::{ScalingReport, ScalingRow};
+use crate::serverload::{LoadRow, ServerLoadReportE8};
+use crate::sufficiency::SufficiencyReportE7;
+use crate::Params;
+
+impl ToJson for Params {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("peers", self.peers.to_json()),
+            ("runs", self.runs.to_json()),
+            ("max_rounds", self.max_rounds.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl ToJson for WorkloadVariance {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+            ("summary", self.summary.to_json()),
+            ("median_ci", self.median_ci.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig2Report {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("runs_per_workload", self.runs_per_workload.to_json()),
+            ("workloads", self.workloads.to_json()),
+        ])
+    }
+}
+
+impl ToJson for OracleCell {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("oracle", Json::Str(self.oracle.clone())),
+            ("median_latency", Json::F64(self.median_latency)),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig3Report {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("cells", self.cells.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig4Row {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("churn", Json::Str(self.churn.clone())),
+            ("median_latency", Json::F64(self.median_latency)),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+            (
+                "steady_state_fraction",
+                Json::F64(self.steady_state_fraction),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig4Report {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("churn_rounds", self.churn_rounds.to_json()),
+            ("rows", self.rows.to_json()),
+            ("hybrid_faster_p", self.hybrid_faster_p.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ScalingRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("peers", self.peers.to_json()),
+            ("median_latency", Json::F64(self.median_latency)),
+            ("median_interactions", Json::F64(self.median_interactions)),
+            (
+                "median_interactions_per_peer",
+                Json::F64(self.median_interactions_per_peer),
+            ),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ScalingReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FamilyRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("chain", self.chain.to_json()),
+            ("hub_fanout", self.hub_fanout.to_json()),
+            ("sufficiency_holds", Json::Bool(self.sufficiency_holds)),
+            ("feasible", Json::Bool(self.feasible)),
+            ("greedy_rate", Json::F64(self.greedy_rate)),
+            ("hybrid_rate", Json::F64(self.hybrid_rate)),
+            (
+                "greedy_median_when_converged",
+                self.greedy_median_when_converged.to_json(),
+            ),
+            (
+                "hybrid_median_when_converged",
+                self.hybrid_median_when_converged.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for CounterexampleReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("seeds", self.seeds.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AsyncRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            ("median_time", Json::F64(self.median_time)),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AsyncReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SufficiencyReportE7 {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("sampled", self.sampled.to_json()),
+            ("sufficient", self.sufficient.to_json()),
+            (
+                "sufficient_and_feasible",
+                self.sufficient_and_feasible.to_json(),
+            ),
+            (
+                "sufficient_and_constructed",
+                self.sufficient_and_constructed.to_json(),
+            ),
+            ("insufficient", self.insufficient.to_json()),
+            (
+                "insufficient_but_feasible",
+                self.insufficient_but_feasible.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for LoadRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("peers", self.peers.to_json()),
+            ("direct_rate", Json::F64(self.direct_rate)),
+            ("lagover_rate", Json::F64(self.lagover_rate)),
+            ("reduction", Json::F64(self.reduction)),
+            ("max_staleness", self.max_staleness.to_json()),
+            ("violations", self.violations.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ServerLoadReportE8 {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RealizationRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("implementation", Json::Str(self.implementation.clone())),
+            ("median_latency", Json::F64(self.median_latency)),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RealizationsReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LocalityRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("oracle", Json::Str(self.oracle.clone())),
+            ("median_latency", Json::F64(self.median_latency)),
+            ("median_tree_cost", Json::F64(self.median_tree_cost)),
+            ("median_edge_cost", Json::F64(self.median_edge_cost)),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LocalityReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MultiFeedRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("feeds", self.feeds.to_json()),
+            ("policy", Json::Str(self.policy.clone())),
+            ("median_satisfaction", Json::F64(self.median_satisfaction)),
+            ("median_promise_ratio", Json::F64(self.median_promise_ratio)),
+            ("all_converged_runs", self.all_converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MultiFeedReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("knob", Json::Str(self.knob.clone())),
+            ("value", Json::Str(self.value.clone())),
+            ("metric", Json::F64(self.metric)),
+            ("metric_name", Json::Str(self.metric_name.clone())),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AblationReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LivenessRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("p_off", Json::F64(self.p_off)),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("delivery_ratio", Json::F64(self.delivery_ratio)),
+            ("mean_staleness", Json::F64(self.mean_staleness)),
+            ("p99_staleness", Json::F64(self.p99_staleness)),
+            ("satisfied_fraction", Json::F64(self.satisfied_fraction)),
+        ])
+    }
+}
+
+impl ToJson for LivenessReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}

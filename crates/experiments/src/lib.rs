@@ -34,6 +34,7 @@ pub mod counterexample;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod json;
 pub mod liveness;
 pub mod locality;
 pub mod multifeed_exp;

@@ -113,94 +113,55 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
             // The variance figure wants more repetitions than the
             // median-of-5 protocol.
             let report = fig2::run(params, params.runs.max(5) * 6);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "fig3" => {
             let report = fig3::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "fig4" => {
             let report = fig4::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "counterexample" => {
             let report = counterexample::run(params, params.runs.max(5) * 10);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "async" => {
             let report = asynchrony::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "sufficiency" => {
             let report = sufficiency::run(params, 500);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "serverload" => {
             let report = serverload::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "realizations" => {
             let report = realizations::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "locality" => {
             let report = locality::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "multifeed" => {
             let report = multifeed_exp::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "ablations" => {
             let report = ablations::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "scaling" => {
             let report = scaling::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "liveness" => {
             let report = liveness::run(params);
-            (
-                report.render(),
-                serde_json::to_string_pretty(&report).expect("serializable"),
-            )
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         other => unreachable!("unknown experiment {other} filtered by main"),
     }

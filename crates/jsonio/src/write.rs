@@ -1,0 +1,109 @@
+//! Deterministic serialization: compact and two-space-indent pretty forms.
+
+use crate::Json;
+
+pub(crate) fn compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => out.push_str(&n.to_string()),
+        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::F64(x) => push_f64(*x, out),
+        Json::Str(s) => push_escaped(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(key, out);
+                out.push(':');
+                compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn pretty(value: &Json, depth: usize, out: &mut String) {
+    match value {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Json::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                push_escaped(key, out);
+                out.push_str(": ");
+                pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        leaf => compact(leaf, out),
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Finite floats use Rust's shortest round-trip `Display`; integral values
+/// get a trailing `.0` so they re-parse as floats; non-finite values
+/// become `null` (serde_json's convention).
+fn push_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let text = x.to_string();
+    out.push_str(&text);
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,140 @@
+//! Deterministic case runner: fixed seeds, no shrinking, no persistence.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration. Only the knob the workspace
+/// actually uses (`cases`) is modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Mirror of `ProptestConfig::with_cases`.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 48 keeps the deterministic suite
+        // fast while still exercising each property broadly. Tests that
+        // need more set `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw a replacement case.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// splitmix64 — the same deterministic seeding primitive the simulator's
+/// RNG uses, self-contained here so the shim stays dependency-free.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream. Equal seeds give equal draw sequences.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` via widening multiply.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is ill-defined");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the fully qualified test name: every test gets its own
+/// stable stream, independent of declaration order.
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: draws cases until `config.cases` are accepted,
+/// panicking (with the case index and stream seed) on the first failure.
+///
+/// # Panics
+///
+/// On the first failing case, or when rejections exceed the iteration
+/// budget (`cases * 20`, at least 1000).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = seed_for(name);
+    let mut rng = TestRng::from_seed(seed);
+    let budget = config.cases.saturating_mul(20).max(1000);
+    let mut accepted = 0u32;
+    for attempt in 0..budget {
+        if accepted == config.cases {
+            return;
+        }
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property {name} failed at case {accepted} \
+                 (attempt {attempt}, stream seed {seed:#018x}):\n{message}"
+            ),
+        }
+    }
+    assert!(
+        accepted == config.cases,
+        "property {name}: only {accepted}/{} cases accepted within the \
+         rejection budget ({budget} attempts); weaken prop_assume! filters",
+        config.cases
+    );
+}

@@ -232,6 +232,66 @@ impl Histogram {
     }
 }
 
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("value", Json::U64(self.value)),
+        ])
+    }
+}
+
+impl FromJson for Counter {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Counter {
+            name: value.get("name")?.as_str()?.to_string(),
+            value: value.get("value")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for TimeSeries {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("xs", self.xs.to_json()),
+            ("ys", self.ys.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TimeSeries {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(TimeSeries {
+            name: value.get("name")?.as_str()?.to_string(),
+            xs: Vec::from_json(value.get("xs")?)?,
+            ys: Vec::from_json(value.get("ys")?)?,
+        })
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("samples", self.samples.to_json()),
+            ("sorted", Json::Bool(self.sorted)),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Histogram {
+            name: value.get("name")?.as_str()?.to_string(),
+            samples: Vec::from_json(value.get("samples")?)?,
+            sorted: value.get("sorted")?.as_bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,8 +371,8 @@ mod tests {
     fn serde_round_trip() {
         let mut s = TimeSeries::new("frac");
         s.push(1.0, 2.0);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        let json = lagover_jsonio::to_string(&s);
+        let back: TimeSeries = lagover_jsonio::from_str(&json).unwrap();
         assert_eq!(back, s);
     }
 }

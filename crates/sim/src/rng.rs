@@ -174,6 +174,43 @@ impl SimRng {
     }
 }
 
+impl SimRng {
+    /// Returns the raw xoshiro256\*\* state, for snapshot serialization.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a raw state (all-zeros is remapped to the
+    /// same non-degenerate state the seeding paths use).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return SimRng { s: [1, 2, 3, 4] };
+        }
+        SimRng { s }
+    }
+}
+
+impl lagover_jsonio::ToJson for SimRng {
+    fn to_json(&self) -> lagover_jsonio::Json {
+        lagover_jsonio::Json::Array(
+            self.s
+                .iter()
+                .map(|&w| lagover_jsonio::Json::U64(w))
+                .collect(),
+        )
+    }
+}
+
+impl lagover_jsonio::FromJson for SimRng {
+    fn from_json(value: &lagover_jsonio::Json) -> Result<Self, lagover_jsonio::JsonError> {
+        let words = <Vec<u64> as lagover_jsonio::FromJson>::from_json(value)?;
+        let s: [u64; 4] = words
+            .try_into()
+            .map_err(|_| lagover_jsonio::JsonError("rng state needs 4 words".into()))?;
+        Ok(SimRng::from_state(s))
+    }
+}
+
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32

@@ -419,3 +419,75 @@ mod mann_whitney_tests {
         assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
     }
 }
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("count", self.count.to_json()),
+            ("min", Json::F64(self.min)),
+            ("q1", Json::F64(self.q1)),
+            ("median", Json::F64(self.median)),
+            ("q3", Json::F64(self.q3)),
+            ("max", Json::F64(self.max)),
+            ("mean", Json::F64(self.mean)),
+            ("stddev", Json::F64(self.stddev)),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            count: usize::from_json(value.get("count")?)?,
+            min: value.get("min")?.as_f64()?,
+            q1: value.get("q1")?.as_f64()?,
+            median: value.get("median")?.as_f64()?,
+            q3: value.get("q3")?.as_f64()?,
+            max: value.get("max")?.as_f64()?,
+            mean: value.get("mean")?.as_f64()?,
+            stddev: value.get("stddev")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for ConfidenceInterval {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("low", Json::F64(self.low)),
+            ("high", Json::F64(self.high)),
+            ("level", Json::F64(self.level)),
+        ])
+    }
+}
+
+impl FromJson for ConfidenceInterval {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ConfidenceInterval {
+            low: value.get("low")?.as_f64()?,
+            high: value.get("high")?.as_f64()?,
+            level: value.get("level")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for MannWhitney {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("u", Json::F64(self.u)),
+            ("z", Json::F64(self.z)),
+            ("p_less", Json::F64(self.p_less)),
+        ])
+    }
+}
+
+impl FromJson for MannWhitney {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(MannWhitney {
+            u: value.get("u")?.as_f64()?,
+            z: value.get("z")?.as_f64()?,
+            p_less: value.get("p_less")?.as_f64()?,
+        })
+    }
+}

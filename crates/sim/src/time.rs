@@ -48,6 +48,18 @@ impl Round {
     }
 }
 
+impl lagover_jsonio::ToJson for Round {
+    fn to_json(&self) -> lagover_jsonio::Json {
+        lagover_jsonio::Json::U64(self.0)
+    }
+}
+
+impl lagover_jsonio::FromJson for Round {
+    fn from_json(value: &lagover_jsonio::Json) -> Result<Self, lagover_jsonio::JsonError> {
+        Ok(Round(value.as_u64()?))
+    }
+}
+
 impl Add<u64> for Round {
     type Output = Round;
 

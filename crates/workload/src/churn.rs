@@ -54,6 +54,37 @@ impl std::fmt::Display for ChurnSpec {
     }
 }
 
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for ChurnSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            ChurnSpec::None => Json::Str("None".to_string()),
+            ChurnSpec::Paper => Json::Str("Paper".to_string()),
+            ChurnSpec::Bernoulli { p_off, p_on } => object(vec![
+                ("p_off", Json::F64(*p_off)),
+                ("p_on", Json::F64(*p_on)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ChurnSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(name) = value {
+            return match name.as_str() {
+                "None" => Ok(ChurnSpec::None),
+                "Paper" => Ok(ChurnSpec::Paper),
+                other => Err(JsonError(format!("unknown churn spec '{other}'"))),
+            };
+        }
+        Ok(ChurnSpec::Bernoulli {
+            p_off: value.get("p_off")?.as_f64()?,
+            p_on: value.get("p_on")?.as_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,8 +131,8 @@ mod tests {
                 p_on: 0.5,
             },
         ] {
-            let json = serde_json::to_string(&spec).unwrap();
-            let back: ChurnSpec = serde_json::from_str(&json).unwrap();
+            let json = lagover_jsonio::to_string(&spec);
+            let back: ChurnSpec = lagover_jsonio::from_str(&json).unwrap();
             assert_eq!(back, spec);
         }
     }

@@ -184,6 +184,76 @@ impl WorkloadSpec {
     }
 }
 
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for TopologicalConstraint {
+    fn to_json(&self) -> Json {
+        match self {
+            TopologicalConstraint::Tf1 => Json::Str("Tf1".to_string()),
+            TopologicalConstraint::Rand => Json::Str("Rand".to_string()),
+            TopologicalConstraint::BiCorr => Json::Str("BiCorr".to_string()),
+            TopologicalConstraint::BiUnCorr => Json::Str("BiUnCorr".to_string()),
+            TopologicalConstraint::Zipf { exponent_x100 } => object(vec![
+                ("class", Json::Str("Zipf".to_string())),
+                ("exponent_x100", exponent_x100.to_json()),
+            ]),
+            TopologicalConstraint::Adversarial { chain, hub_fanout } => object(vec![
+                ("class", Json::Str("Adversarial".to_string())),
+                ("chain", chain.to_json()),
+                ("hub_fanout", hub_fanout.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for TopologicalConstraint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(name) = value {
+            return match name.as_str() {
+                "Tf1" => Ok(TopologicalConstraint::Tf1),
+                "Rand" => Ok(TopologicalConstraint::Rand),
+                "BiCorr" => Ok(TopologicalConstraint::BiCorr),
+                "BiUnCorr" => Ok(TopologicalConstraint::BiUnCorr),
+                other => Err(JsonError(format!("unknown constraint class '{other}'"))),
+            };
+        }
+        match value.get("class")?.as_str()? {
+            "Zipf" => Ok(TopologicalConstraint::Zipf {
+                exponent_x100: u32::from_json(value.get("exponent_x100")?)?,
+            }),
+            "Adversarial" => Ok(TopologicalConstraint::Adversarial {
+                chain: u32::from_json(value.get("chain")?)?,
+                hub_fanout: u32::from_json(value.get("hub_fanout")?)?,
+            }),
+            other => Err(JsonError(format!("unknown constraint class '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("constraint", self.constraint.to_json()),
+            ("peers", self.peers.to_json()),
+            ("source_fanout", self.source_fanout.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let spec = WorkloadSpec {
+            constraint: TopologicalConstraint::from_json(value.get("constraint")?)?,
+            peers: usize::from_json(value.get("peers")?)?,
+            source_fanout: u32::from_json(value.get("source_fanout")?)?,
+        };
+        if spec.peers == 0 {
+            return Err(JsonError("need at least one peer".into()));
+        }
+        Ok(spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,8 +274,8 @@ mod tests {
     #[test]
     fn spec_serde_round_trip() {
         let spec = WorkloadSpec::new(TopologicalConstraint::BiCorr, 120).with_source_fanout(5);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        let json = lagover_jsonio::to_string(&spec);
+        let back: WorkloadSpec = lagover_jsonio::from_str(&json).unwrap();
         assert_eq!(back, spec);
     }
 

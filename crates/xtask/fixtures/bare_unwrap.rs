@@ -1,0 +1,24 @@
+//! Lint fixture: bare unwraps (scanned as if it were a
+//! `crates/core/src` hot path). Expected findings: exactly two
+//! `bare-unwrap` hits — the messaged `expect` and everything inside
+//! `#[cfg(test)]` must stay silent.
+
+fn violation_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn violation_empty_expect(x: Option<u8>) -> u8 {
+    x.expect("")
+}
+
+fn fine_with_invariant_message(x: Option<u8>) -> u8 {
+    x.expect("invariant: populated by the constructor")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u8).unwrap();
+    }
+}

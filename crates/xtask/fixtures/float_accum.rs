@@ -1,0 +1,22 @@
+//! Lint fixture: float accumulation-order hazards (scanned as if it
+//! were `crates/sim/src/stats.rs`). Expected findings: exactly two
+//! `float-accumulation` hits; `.summary()` must stay silent.
+
+fn violation_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+fn violation_turbofish(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>()
+}
+
+struct S;
+impl S {
+    fn summary(&self) -> f64 {
+        0.0
+    }
+}
+
+fn not_a_violation(s: &S) -> f64 {
+    s.summary()
+}

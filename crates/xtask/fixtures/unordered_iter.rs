@@ -1,0 +1,20 @@
+//! Lint fixture: unordered-map iteration in a serialization-adjacent
+//! file (it defines a `to_json`, so map iteration order can leak into
+//! serialized bytes). Expected findings: exactly two `unordered-iter`
+//! hits (the `use` line and the field type).
+
+use std::collections::HashMap;
+
+struct Report {
+    per_peer: HashMap<usize, f64>,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        for (peer, value) in &self.per_peer {
+            out.push_str(&format!("{peer}:{value},"));
+        }
+        out
+    }
+}

@@ -1,0 +1,10 @@
+//! Lint fixture: wall clocks. Expected findings: exactly two
+//! `wall-clock` hits — Instant::now in this comment must stay silent.
+
+fn violation_instant() {
+    let _start = std::time::Instant::now();
+}
+
+fn violation_system_time() {
+    let _now = std::time::SystemTime::now();
+}

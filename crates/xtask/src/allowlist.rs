@@ -1,0 +1,141 @@
+//! Hand-rolled parser for `lint.allow.toml` — the workspace builds
+//! with zero external dependencies, so the file sticks to a tiny TOML
+//! subset: `[[allow]]` tables of `key = "string"` pairs plus `#`
+//! comments. Anything else is a parse error, which keeps the format
+//! honest.
+
+/// One justified lint exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative source path the exception applies to.
+    pub path: String,
+    /// Rule identifier (see `lint.rs`).
+    pub rule: String,
+    /// One-line justification; must be non-empty.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers a finding at `path` under `rule`.
+    pub fn matches(&self, path: &str, rule: &str) -> bool {
+        self.path == path && self.rule == rule
+    }
+}
+
+/// Parses the allowlist, validating that every entry carries a path, a
+/// rule, and a non-empty reason.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<[Option<String>; 3]> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push([None, None, None]);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `[[allow]]` or `key = \"value\"`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!(
+                "line {lineno}: value must be a double-quoted string"
+            ));
+        };
+        let Some(current) = entries.last_mut() else {
+            return Err(format!("line {lineno}: `{key}` outside an [[allow]] table"));
+        };
+        let slot = match key {
+            "path" => &mut current[0],
+            "rule" => &mut current[1],
+            "reason" => &mut current[2],
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        };
+        if slot.is_some() {
+            return Err(format!("line {lineno}: duplicate key `{key}`"));
+        }
+        *slot = Some(value.to_string());
+    }
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, [path, rule, reason])| {
+            let missing = |k: &str| format!("[[allow]] entry {}: missing `{k}`", i + 1);
+            let entry = AllowEntry {
+                path: path.ok_or_else(|| missing("path"))?,
+                rule: rule.ok_or_else(|| missing("rule"))?,
+                reason: reason.ok_or_else(|| missing("reason"))?,
+            };
+            if entry.reason.trim().is_empty() {
+                return Err(format!(
+                    "[[allow]] entry {}: reason must be a non-empty justification",
+                    i + 1
+                ));
+            }
+            Ok(entry)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments_and_blank_lines() {
+        let text = r#"
+# header comment
+[[allow]]
+path = "crates/a/src/lib.rs"
+rule = "wall-clock"
+reason = "benchmark binary"
+
+[[allow]]
+path = "crates/b/src/x.rs"
+rule = "nondet-rng"
+reason = "why"
+"#;
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches("crates/a/src/lib.rs", "wall-clock"));
+        assert!(!entries[0].matches("crates/a/src/lib.rs", "nondet-rng"));
+        assert!(!entries[0].matches("crates/other.rs", "wall-clock"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let text = "[[allow]]\npath = \"p\"\nrule = \"r\"\nreason = \"\"\n";
+        assert!(parse(text).unwrap_err().contains("non-empty"));
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let text = "[[allow]]\npath = \"p\"\nreason = \"why\"\n";
+        assert!(parse(text).unwrap_err().contains("missing `rule`"));
+    }
+
+    #[test]
+    fn keys_outside_a_table_are_rejected() {
+        assert!(parse("path = \"p\"\n").unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn unknown_keys_and_duplicates_are_rejected() {
+        assert!(parse("[[allow]]\nlines = \"3\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        let dup = "[[allow]]\npath = \"a\"\npath = \"b\"\n";
+        assert!(parse(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_file_parses_to_no_entries() {
+        assert_eq!(parse("# nothing here\n").unwrap(), vec![]);
+    }
+}
