@@ -11,6 +11,7 @@
 //! lagover construct  (--spec FILE | --workload …) [--algorithm hybrid] [--oracle random-delay]
 //! lagover disseminate(--spec FILE | --workload …) [--rounds N] [--pull-interval T]
 //! lagover evolve     (--spec FILE | --workload …) [--trace N]
+//! lagover recover    (--spec FILE | --workload …) [--crash-fraction F] [--message-loss P] [--blackout N]
 //! ```
 //!
 //! `spec` emits a population as JSON (editable by hand); every other
@@ -21,7 +22,8 @@ use std::fmt;
 use lagover_core::analysis;
 use lagover_core::node::{PeerId, Population};
 use lagover_core::{
-    check_sufficiency, exact_feasibility, Algorithm, ConstructionConfig, Engine, OracleKind,
+    check_sufficiency, exact_feasibility, run_recovery, Algorithm, ConstructionConfig, Engine,
+    FaultScenario, OracleKind,
 };
 use lagover_feed::{compare_server_load, disseminate, DisseminationConfig, PublishSchedule};
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
@@ -69,6 +71,13 @@ pub struct Options {
     pub pull_interval: u64,
     /// `--trace N` (evolve: max trace events to print).
     pub trace: usize,
+    /// `--crash-fraction F` (recover: fraction of interior nodes to
+    /// crash-stop).
+    pub crash_fraction: f64,
+    /// `--message-loss P` (recover: per-interaction loss probability).
+    pub message_loss: f64,
+    /// `--blackout N` (recover: oracle blackout length in rounds).
+    pub blackout: u64,
 }
 
 impl Default for Options {
@@ -86,16 +95,20 @@ impl Default for Options {
             rounds: 300,
             pull_interval: 1,
             trace: 200,
+            crash_fraction: 0.1,
+            message_loss: 0.0,
+            blackout: 0,
         }
     }
 }
 
 /// The usage string.
-pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve> \
+pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve|recover> \
 [--spec FILE] [--workload tf1|rand|bicorr|biuncorr|adversarial|zipf] [--peers N] [--seed N] \
 [--source-fanout F] [--algorithm greedy|hybrid] \
 [--oracle random|random-capacity|random-delay-capacity|random-delay] \
-[--max-rounds N] [--rounds N] [--pull-interval T] [--trace N]";
+[--max-rounds N] [--rounds N] [--pull-interval T] [--trace N] \
+[--crash-fraction F] [--message-loss P] [--blackout N]";
 
 /// Parses the argument list (without the program name).
 ///
@@ -105,7 +118,16 @@ pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve
 pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err(USAGE))?.clone();
-    if !["spec", "check", "construct", "disseminate", "evolve"].contains(&command.as_str()) {
+    if ![
+        "spec",
+        "check",
+        "construct",
+        "disseminate",
+        "evolve",
+        "recover",
+    ]
+    .contains(&command.as_str())
+    {
         return Err(err(format!("unknown command '{command}'\n{USAGE}")));
     }
     let mut opts = Options {
@@ -172,6 +194,27 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| err("--trace needs an integer"))?
             }
+            "--crash-fraction" => {
+                opts.crash_fraction = value()?
+                    .parse()
+                    .map_err(|_| err("--crash-fraction needs a number"))?;
+                if !(0.0..=1.0).contains(&opts.crash_fraction) {
+                    return Err(err("--crash-fraction must be in [0, 1]"));
+                }
+            }
+            "--message-loss" => {
+                opts.message_loss = value()?
+                    .parse()
+                    .map_err(|_| err("--message-loss needs a number"))?;
+                if !(0.0..=1.0).contains(&opts.message_loss) {
+                    return Err(err("--message-loss must be in [0, 1]"));
+                }
+            }
+            "--blackout" => {
+                opts.blackout = value()?
+                    .parse()
+                    .map_err(|_| err("--blackout needs an integer"))?
+            }
             other => return Err(err(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
@@ -217,6 +260,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         "construct" => cmd_construct(opts),
         "disseminate" => cmd_disseminate(opts),
         "evolve" => cmd_evolve(opts),
+        "recover" => cmd_recover(opts),
         other => Err(err(format!("unknown command '{other}'"))),
     }
 }
@@ -392,6 +436,49 @@ fn cmd_evolve(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_recover(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let config =
+        ConstructionConfig::new(opts.algorithm, opts.oracle).with_max_rounds(opts.max_rounds);
+    let scenario = FaultScenario {
+        crash_fraction: opts.crash_fraction,
+        message_loss: opts.message_loss,
+        blackout_rounds: opts.blackout,
+    };
+    let outcome = run_recovery(&population, &config, &scenario, opts.rounds, opts.seed);
+    let mut out = match outcome.construction_converged_at {
+        Some(round) => format!("constructed in {round} rounds\n"),
+        None => format!(
+            "construction did not converge within {} rounds\n",
+            opts.max_rounds
+        ),
+    };
+    out += &format!(
+        "crashed {} interior peer(s) at round {}",
+        outcome.crashed_peers, outcome.crash_round
+    );
+    if opts.blackout > 0 {
+        out += &format!(", oracle blacked out for {} rounds", opts.blackout);
+    }
+    if opts.message_loss > 0.0 {
+        out += &format!(", message loss {}", opts.message_loss);
+    }
+    out += "\n";
+    out += &match outcome.recovery_rounds {
+        Some(r) => format!("recovered in {r} rounds\n"),
+        None => format!("NOT recovered within the {}-round horizon\n", opts.rounds),
+    };
+    out += &format!(
+        "orphan peak: {}; stale-chain rounds: {}; detections: {}; lost messages: {}; oracle outages: {}\n",
+        outcome.orphan_peak,
+        outcome.stale_rounds,
+        outcome.counters.failure_detections,
+        outcome.counters.messages_lost,
+        outcome.counters.oracle_outages,
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +557,33 @@ mod tests {
         let out = run(&opts).unwrap();
         assert!(out.contains("<-"), "{out}");
         assert!(out.contains("converged in"), "{out}");
+    }
+
+    #[test]
+    fn recover_flags_parse_and_validate() {
+        let opts = parse_args(&args(
+            "recover --workload rand --peers 30 --crash-fraction 0.2 --message-loss 0.05 \
+             --blackout 10 --rounds 400",
+        ))
+        .unwrap();
+        assert_eq!(opts.command, "recover");
+        assert_eq!(opts.crash_fraction, 0.2);
+        assert_eq!(opts.message_loss, 0.05);
+        assert_eq!(opts.blackout, 10);
+        assert!(parse_args(&args("recover --crash-fraction 1.5")).is_err());
+        assert!(parse_args(&args("recover --message-loss -0.1")).is_err());
+    }
+
+    #[test]
+    fn recover_reports_healing() {
+        let opts = parse_args(&args(
+            "recover --workload rand --peers 30 --seed 5 --crash-fraction 0.2 --rounds 600",
+        ))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("crashed"), "{out}");
+        assert!(out.contains("recovered in"), "{out}");
+        assert!(out.contains("orphan peak"), "{out}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! latency-checked attaches, child displacement, and the
 //! replace-and-adopt reconfiguration (`j ← i ← k`).
 
-use lagover_sim::{ChurnProcess, Round, SimRng};
+use lagover_sim::{ChurnProcess, FaultPlan, Round, SimRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{Algorithm, ConstructionConfig};
@@ -43,6 +43,17 @@ pub(crate) struct ProtoState {
     /// Consecutive own-actions with `DelayAt > l` while rooted; drives
     /// the hybrid maintenance timeout.
     pub violation_rounds: u32,
+    /// Consecutive own-actions that found the parent silent (offline
+    /// without a goodbye). Reaching `detection_timeout` declares the
+    /// parent crashed. Always zero under graceful churn, where edges to
+    /// departed peers are removed in the same round.
+    pub parent_silent_rounds: u32,
+    /// Fault-induced contact failures since the peer last held a
+    /// parent; drives the exponential backoff.
+    pub failed_attempts: u32,
+    /// Rounds the peer still waits before retrying the oracle (bounded
+    /// exponential backoff with deterministic jitter).
+    pub backoff_remaining: u32,
 }
 
 impl ProtoState {
@@ -74,6 +85,17 @@ pub struct EngineCounters {
     pub churn_departures: u64,
     /// Peers (re)joining over the run.
     pub churn_arrivals: u64,
+    /// Crash-stop failures injected over the run.
+    pub crashes: u64,
+    /// Children that declared their parent crashed after
+    /// `detection_timeout` silent rounds.
+    pub failure_detections: u64,
+    /// Interactions lost in flight by the fault plan.
+    pub messages_lost: u64,
+    /// Oracle queries that hit a blackout window.
+    pub oracle_outages: u64,
+    /// Own-actions spent waiting out a retry backoff.
+    pub backoff_rounds: u64,
 }
 
 /// A serializable checkpoint of an [`Engine`]'s simulation state.
@@ -90,6 +112,10 @@ pub struct EngineSnapshot {
     counters: EngineCounters,
     rng: SimRng,
     round: Round,
+    faults: FaultPlan,
+    crashed: Vec<bool>,
+    crash_silent: Vec<u32>,
+    next_crash: usize,
 }
 
 impl EngineSnapshot {
@@ -153,6 +179,19 @@ pub struct Engine {
     order_scratch: Vec<PeerId>,
     /// Reusable online-bitmap copy for [`Engine::apply_churn`].
     churn_scratch: Vec<bool>,
+    /// The installed fault scenario (empty by default).
+    faults: FaultPlan,
+    /// Which peers have crash-stop failed (permanent; disjoint from
+    /// graceful churn, which clears overlay edges immediately).
+    crashed: Vec<bool>,
+    /// Rounds each crashed peer has been silent, saturating at
+    /// `detection_timeout` once its remaining edges are reclaimed.
+    crash_silent: Vec<u32>,
+    /// Cursor into the fault plan's sorted crash schedule.
+    next_crash: usize,
+    /// Crash victims so far (kept to make the no-fault fast path in
+    /// [`Engine::apply_faults`] a field read, not a vector scan).
+    crashed_total: usize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -194,6 +233,11 @@ impl Engine {
             trace: None,
             order_scratch: Vec::new(),
             churn_scratch: Vec::new(),
+            faults: FaultPlan::none(),
+            crashed: vec![false; n],
+            crash_silent: vec![0; n],
+            next_crash: 0,
+            crashed_total: 0,
         }
     }
 
@@ -234,6 +278,10 @@ impl Engine {
             counters: self.counters,
             rng: self.rng.clone(),
             round: self.round,
+            faults: self.faults.clone(),
+            crashed: self.crashed.clone(),
+            crash_silent: self.crash_silent.clone(),
+            next_crash: self.next_crash,
         }
     }
 
@@ -250,6 +298,7 @@ impl Engine {
 
     /// [`Engine::restore`] with a custom oracle.
     pub fn restore_with_oracle(snapshot: EngineSnapshot, oracle: Box<dyn Oracle>) -> Self {
+        let crashed_total = snapshot.crashed.iter().filter(|&&c| c).count();
         Engine {
             population: snapshot.population,
             config: snapshot.config,
@@ -263,6 +312,11 @@ impl Engine {
             trace: None,
             order_scratch: Vec::new(),
             churn_scratch: Vec::new(),
+            faults: snapshot.faults,
+            crashed: snapshot.crashed,
+            crash_silent: snapshot.crash_silent,
+            next_crash: snapshot.next_crash,
+            crashed_total,
         }
     }
 
@@ -356,9 +410,144 @@ impl Engine {
             .all(|p| !self.online[p.index()] || self.is_satisfied(p))
     }
 
+    /// Installs a fault plan, replacing any previous one. The crash
+    /// schedule restarts from its first event; events whose round has
+    /// already passed fire at the next step.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+        self.next_crash = 0;
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Injects a crash-stop failure of `p` right now: the peer goes
+    /// permanently silent, but — unlike a graceful churn departure —
+    /// **keeps every overlay edge** until neighbours detect the silence
+    /// (`detection_timeout` consecutive silent rounds). Returns whether
+    /// the crash was injected (`false` if `p` is already offline).
+    pub fn inject_crash(&mut self, p: PeerId) -> bool {
+        if !self.online[p.index()] {
+            return false;
+        }
+        self.online[p.index()] = false;
+        self.crashed[p.index()] = true;
+        self.crash_silent[p.index()] = 0;
+        self.crashed_total += 1;
+        self.counters.crashes += 1;
+        self.proto[p.index()].reset();
+        true
+    }
+
+    /// Whether `p` has crash-stop failed.
+    pub fn is_crashed(&self, p: PeerId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// Crash-stop failures so far.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_total
+    }
+
+    /// Number of online peers currently without a parent (fragment
+    /// roots still negotiating re-attachment).
+    pub fn orphan_count(&self) -> usize {
+        self.population
+            .peer_ids()
+            .filter(|&p| self.online[p.index()] && self.overlay.parent(p).is_none())
+            .count()
+    }
+
+    /// Number of online peers whose ancestor chain crosses an offline
+    /// peer — the staleness violation of the crash-stop model: the
+    /// chain still looks rooted, but the dead ancestor relays nothing.
+    /// Always zero under graceful churn, which clears such edges in the
+    /// departure round.
+    pub fn stale_chain_count(&self) -> usize {
+        self.population
+            .peer_ids()
+            .filter(|&p| self.online[p.index()] && self.chain_is_stale(p))
+            .count()
+    }
+
+    fn chain_is_stale(&self, p: PeerId) -> bool {
+        let mut cur = p;
+        loop {
+            match self.overlay.parent(cur) {
+                Some(Member::Peer(q)) => {
+                    if !self.online[q.index()] {
+                        return true;
+                    }
+                    cur = q;
+                }
+                Some(Member::Source) | None => return false,
+            }
+        }
+    }
+
+    /// Fires the fault plan's scheduled crashes whose round has come —
+    /// at the *start* of the round, so a victim never acts in the round
+    /// it dies. With an empty schedule this is a strict no-op that
+    /// consumes no randomness, so fault-free runs stay byte-identical.
+    fn fire_scheduled_crashes(&mut self) {
+        while let Some(&event) = self.faults.crashes().get(self.next_crash) {
+            if event.round > self.round.get() {
+                break;
+            }
+            self.next_crash += 1;
+            self.inject_crash(PeerId::new(event.peer));
+        }
+    }
+
+    /// Ages each crash victim's silence at the *end* of the round —
+    /// after the act phase, so children counting the same silence via
+    /// `parent_silent_rounds` reach `detection_timeout` first and
+    /// `failure_detach` themselves. Once the engine's own count gets
+    /// there it reclaims whatever edges neighbours could not drop on
+    /// their own (the corpse's parent edge, offline children).
+    fn detect_crashes(&mut self) {
+        if self.crashed_total == 0 {
+            return;
+        }
+        for i in 0..self.online.len() {
+            if !self.crashed[i] || self.crash_silent[i] >= self.config.detection_timeout {
+                continue;
+            }
+            self.crash_silent[i] += 1;
+            if self.crash_silent[i] >= self.config.detection_timeout {
+                self.reclaim_crashed(PeerId::new(i as u32));
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let detected: Vec<bool> = (0..self.online.len())
+                .map(|i| self.crashed[i] && self.crash_silent[i] >= self.config.detection_timeout)
+                .collect();
+            debug_assert_eq!(self.overlay.validate_liveness(&detected), Ok(()));
+        }
+    }
+
+    /// Detection completed for crash victim `p`: drop its parent edge
+    /// and orphan any children that have not yet walked away on their
+    /// own (offline children, or children whose own silence count
+    /// lagged the engine's).
+    fn reclaim_crashed(&mut self, p: PeerId) {
+        if let Some(parent) = self.overlay.parent(p) {
+            self.emit_detach(p, parent, DetachCause::Failure);
+        }
+        let orphans = self.overlay.remove_peer(p);
+        for orphan in orphans {
+            self.emit_detach(orphan, Member::Peer(p), DetachCause::Failure);
+            self.proto[orphan.index()].reset();
+        }
+    }
+
     /// Runs one construction round: every online peer acts once, in a
     /// shuffled order.
     pub fn step(&mut self) {
+        self.fire_scheduled_crashes();
         let mut order = std::mem::take(&mut self.order_scratch);
         order.clear();
         order.extend(
@@ -373,6 +562,7 @@ impl Engine {
             }
         }
         self.order_scratch = order; // capacity reused next round
+        self.detect_crashes();
         self.round = self.round.next();
         debug_assert_eq!(self.overlay.validate(), Ok(()));
     }
@@ -403,7 +593,22 @@ impl Engine {
             // selection path this same round.
             _ => {
                 if self.proto[p.index()].rounds_unparented >= self.config.timeout_rounds {
+                    // The degradation ladder bottoms out at the source
+                    // (the paper's timeout rule); backoff never delays
+                    // this last resort.
                     Some(Member::Source)
+                } else if self.proto[p.index()].backoff_remaining > 0 {
+                    self.proto[p.index()].backoff_remaining -= 1;
+                    self.counters.backoff_rounds += 1;
+                    None
+                } else if self.faults.oracle_blacked_out(self.round.get()) {
+                    // Directory outage: the query goes out but nobody
+                    // answers. No sample is drawn, so the blackout
+                    // itself consumes no randomness.
+                    self.counters.oracle_queries += 1;
+                    self.counters.oracle_outages += 1;
+                    self.register_failure(p);
+                    None
                 } else {
                     self.counters.oracle_queries += 1;
                     let view = OracleView::new(&self.overlay, &self.population, &self.online);
@@ -416,6 +621,18 @@ impl Engine {
                     }
                 }
             }
+        };
+
+        // Fault gate: the selected interaction may be lost in flight.
+        // `chance` draws nothing when the loss probability is zero, and
+        // a lost source contact does not reset the unparented clock, so
+        // the timeout fallback keeps escalating.
+        let target = if target.is_some() && self.rng.chance(self.faults.message_loss()) {
+            self.counters.messages_lost += 1;
+            self.register_failure(p);
+            None
+        } else {
+            target
         };
 
         match target {
@@ -435,8 +652,30 @@ impl Engine {
         }
 
         if self.overlay.parent(p).is_some() {
-            self.proto[p.index()].rounds_unparented = 0;
+            let st = &mut self.proto[p.index()];
+            st.rounds_unparented = 0;
+            st.failed_attempts = 0;
+            st.backoff_remaining = 0;
         }
+    }
+
+    /// Records a fault-induced contact failure (lost interaction or
+    /// oracle blackout — never an ordinary oracle miss) and schedules
+    /// the next oracle retry: bounded exponential backoff
+    /// (`min(2^attempts, backoff_cap)` rounds) plus deterministic
+    /// jitter. The jitter is an RNG-free hash of `(peer, attempt)`, so
+    /// peers failed by the same round desynchronize their retries
+    /// without advancing any random stream.
+    fn register_failure(&mut self, p: PeerId) {
+        let st = &mut self.proto[p.index()];
+        st.failed_attempts = st.failed_attempts.saturating_add(1);
+        let base = 1u32
+            .checked_shl(st.failed_attempts.min(16))
+            .expect("shift bounded at 16")
+            .min(self.config.backoff_cap.max(1));
+        let key = (u64::from(p.get()) << 32) | u64::from(st.failed_attempts);
+        st.backoff_remaining =
+            (base - 1) + lagover_sim::faults::deterministic_jitter(key, base / 2);
     }
 
     /// Interaction of a parent-less peer directly at the source — shared
@@ -747,6 +986,21 @@ impl Engine {
         self.proto[p.index()].reset();
     }
 
+    /// Detaches `p` from a parent it has declared crashed
+    /// (`detection_timeout` consecutive silent rounds) and resets its
+    /// protocol state so construction restarts next round. `p` keeps
+    /// its own subtree, exactly like a maintenance detach.
+    pub(crate) fn failure_detach(&mut self, p: PeerId) {
+        let parent = self
+            .overlay
+            .detach(p)
+            .expect("failure detach on parented peer");
+        self.counters.detaches += 1;
+        self.counters.failure_detections += 1;
+        self.emit_detach(p, parent, DetachCause::Failure);
+        self.proto[p.index()].reset();
+    }
+
     /// Applies one round of churn. Departing peers leave the overlay
     /// (children become fragment roots, §3.2); arriving peers come back
     /// fresh.
@@ -770,6 +1024,12 @@ impl Engine {
                 }
                 self.proto[p.index()].reset();
             } else if !was && now {
+                if self.crashed[i] {
+                    // Crash-stop is permanent: the churn process may
+                    // propose a rejoin, but crashed processes never
+                    // resurrect.
+                    continue;
+                }
                 self.counters.churn_arrivals += 1;
                 self.online[p.index()] = true;
                 self.proto[p.index()].reset();
@@ -803,6 +1063,9 @@ impl ToJson for ProtoState {
             ("referral", self.referral.to_json()),
             ("rounds_unparented", self.rounds_unparented.to_json()),
             ("violation_rounds", self.violation_rounds.to_json()),
+            ("parent_silent_rounds", self.parent_silent_rounds.to_json()),
+            ("failed_attempts", self.failed_attempts.to_json()),
+            ("backoff_remaining", self.backoff_remaining.to_json()),
         ])
     }
 }
@@ -813,6 +1076,19 @@ impl FromJson for ProtoState {
             referral: Option::from_json(value.get("referral")?)?,
             rounds_unparented: u32::from_json(value.get("rounds_unparented")?)?,
             violation_rounds: u32::from_json(value.get("violation_rounds")?)?,
+            // Absent in snapshots taken before the fault subsystem.
+            parent_silent_rounds: match value.get_opt("parent_silent_rounds")? {
+                Some(v) => u32::from_json(v)?,
+                None => 0,
+            },
+            failed_attempts: match value.get_opt("failed_attempts")? {
+                Some(v) => u32::from_json(v)?,
+                None => 0,
+            },
+            backoff_remaining: match value.get_opt("backoff_remaining")? {
+                Some(v) => u32::from_json(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -830,6 +1106,11 @@ impl ToJson for EngineCounters {
             ("maintenance_detaches", self.maintenance_detaches.to_json()),
             ("churn_departures", self.churn_departures.to_json()),
             ("churn_arrivals", self.churn_arrivals.to_json()),
+            ("crashes", self.crashes.to_json()),
+            ("failure_detections", self.failure_detections.to_json()),
+            ("messages_lost", self.messages_lost.to_json()),
+            ("oracle_outages", self.oracle_outages.to_json()),
+            ("backoff_rounds", self.backoff_rounds.to_json()),
         ])
     }
 }
@@ -847,6 +1128,27 @@ impl FromJson for EngineCounters {
             maintenance_detaches: u64::from_json(value.get("maintenance_detaches")?)?,
             churn_departures: u64::from_json(value.get("churn_departures")?)?,
             churn_arrivals: u64::from_json(value.get("churn_arrivals")?)?,
+            // Absent in counters serialized before the fault subsystem.
+            crashes: match value.get_opt("crashes")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            failure_detections: match value.get_opt("failure_detections")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            messages_lost: match value.get_opt("messages_lost")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            oracle_outages: match value.get_opt("oracle_outages")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            backoff_rounds: match value.get_opt("backoff_rounds")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -862,14 +1164,20 @@ impl ToJson for EngineSnapshot {
             ("counters", self.counters.to_json()),
             ("rng", self.rng.to_json()),
             ("round", self.round.to_json()),
+            ("faults", self.faults.to_json()),
+            ("crashed", self.crashed.to_json()),
+            ("crash_silent", self.crash_silent.to_json()),
+            ("next_crash", self.next_crash.to_json()),
         ])
     }
 }
 
 impl FromJson for EngineSnapshot {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let population = Population::from_json(value.get("population")?)?;
+        let n = population.len();
         let snapshot = EngineSnapshot {
-            population: Population::from_json(value.get("population")?)?,
+            population,
             config: ConstructionConfig::from_json(value.get("config")?)?,
             overlay: Overlay::from_json(value.get("overlay")?)?,
             online: Vec::from_json(value.get("online")?)?,
@@ -877,9 +1185,30 @@ impl FromJson for EngineSnapshot {
             counters: EngineCounters::from_json(value.get("counters")?)?,
             rng: SimRng::from_json(value.get("rng")?)?,
             round: Round::from_json(value.get("round")?)?,
+            // Absent in snapshots taken before the fault subsystem:
+            // no faults, nobody crashed.
+            faults: match value.get_opt("faults")? {
+                Some(v) => FaultPlan::from_json(v)?,
+                None => FaultPlan::none(),
+            },
+            crashed: match value.get_opt("crashed")? {
+                Some(v) => Vec::from_json(v)?,
+                None => vec![false; n],
+            },
+            crash_silent: match value.get_opt("crash_silent")? {
+                Some(v) => Vec::from_json(v)?,
+                None => vec![0; n],
+            },
+            next_crash: match value.get_opt("next_crash")? {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
         };
-        let n = snapshot.population.len();
-        if snapshot.online.len() != n || snapshot.proto.len() != n {
+        if snapshot.online.len() != n
+            || snapshot.proto.len() != n
+            || snapshot.crashed.len() != n
+            || snapshot.crash_silent.len() != n
+        {
             return Err(JsonError(format!(
                 "snapshot per-peer vectors disagree with population size {n}"
             )));
@@ -1056,5 +1385,130 @@ mod tests {
         assert_eq!(engine.satisfied_fraction(), 1.0);
         assert!(engine.is_converged());
         assert_eq!(engine.online_count(), 0);
+    }
+
+    #[test]
+    fn crash_is_silent_until_detected_then_reclaimed() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let mut engine = Engine::new(&chain_population(), &config, 3);
+        engine.run_to_convergence().expect("converges");
+        // Converged chain: source -> 0 -> 1 -> 2 (the only feasible
+        // shape with source fanout 1 and these constraints).
+        assert_eq!(engine.overlay.parent(p(1)), Some(Member::Peer(p(0))));
+
+        assert!(engine.inject_crash(p(0)));
+        assert!(engine.is_crashed(p(0)));
+        assert!(!engine.is_online(p(0)));
+        // Silent: unlike churn, the victim keeps its edges for now.
+        assert_eq!(engine.overlay.parent(p(1)), Some(Member::Peer(p(0))));
+        assert_eq!(engine.overlay.parent(p(0)), Some(Member::Source));
+        assert!(
+            engine.stale_chain_count() >= 1,
+            "live chain through a corpse"
+        );
+
+        // After detection_timeout rounds every edge touching the victim
+        // is gone — either the children walked away or the engine
+        // reclaimed them.
+        for _ in 0..=engine.config().detection_timeout {
+            engine.step();
+        }
+        assert_eq!(engine.overlay.parent(p(0)), None);
+        assert!(engine.overlay.children(p(0)).is_empty());
+        assert_eq!(engine.stale_chain_count(), 0);
+        assert!(engine.counters().crashes == 1);
+        assert!(engine.counters().failure_detections >= 1 || engine.orphan_count() > 0);
+
+        // The survivors re-converge without the victim (l=2 under the
+        // source, l=3 below).
+        assert!(engine.run_to_convergence().is_some(), "self-healing");
+        engine.overlay().validate().unwrap();
+    }
+
+    #[test]
+    fn crashed_peers_never_rejoin_through_churn() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
+        let mut engine = Engine::new(&chain_population(), &config, 4);
+        engine.inject_crash(p(1));
+        // A churn process that revives every offline peer.
+        let mut revive = lagover_sim::BernoulliChurn::new(0.0, 1.0);
+        engine.apply_churn(&mut revive);
+        assert!(!engine.is_online(p(1)), "crash-stop is permanent");
+        assert_eq!(engine.counters().churn_arrivals, 0);
+        // A second crash of the same (now offline) peer is a no-op.
+        assert!(!engine.inject_crash(p(1)));
+        assert_eq!(engine.counters().crashes, 1);
+    }
+
+    #[test]
+    fn scheduled_crashes_fire_from_the_plan() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let mut engine = Engine::new(&chain_population(), &config, 5);
+        engine.set_faults(FaultPlan::none().with_crash(3, 2));
+        for _ in 0..2 {
+            engine.step();
+        }
+        assert!(!engine.is_crashed(p(2)), "not yet due");
+        for _ in 0..3 {
+            engine.step();
+        }
+        assert!(engine.is_crashed(p(2)));
+        assert_eq!(engine.crashed_count(), 1);
+    }
+
+    #[test]
+    fn oracle_blackout_degrades_to_source_and_recovers() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let mut engine = Engine::new(&chain_population(), &config, 6);
+        engine.set_faults(FaultPlan::none().with_blackout(0, 6));
+        let at = engine.run_to_convergence();
+        assert!(at.is_some(), "timeout fallback routes around the outage");
+        assert!(engine.counters().oracle_outages > 0);
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_stop_construction() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let mut engine = Engine::new(&chain_population(), &config, 7);
+        engine.set_faults(FaultPlan::none().with_message_loss(0.5));
+        assert!(engine.run_to_convergence().is_some());
+        assert!(engine.counters().messages_lost > 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let mut plain = Engine::new(&chain_population(), &config, 9);
+        let mut faulted = Engine::new(&chain_population(), &config, 9);
+        faulted.set_faults(FaultPlan::none());
+        for _ in 0..50 {
+            plain.step();
+            faulted.step();
+        }
+        assert_eq!(
+            plain.snapshot().to_json_string(),
+            faulted.snapshot().to_json_string(),
+            "an empty plan must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_fault_state() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay);
+        let mut engine = Engine::new(&chain_population(), &config, 10);
+        engine.set_faults(FaultPlan::none().with_message_loss(0.1).with_blackout(4, 2));
+        engine.inject_crash(p(2));
+        engine.step();
+        let json = engine.snapshot().to_json_string();
+        let restored = Engine::restore(EngineSnapshot::from_json_str(&json).unwrap());
+        assert!(restored.is_crashed(p(2)));
+        assert_eq!(restored.crashed_count(), 1);
+        assert_eq!(restored.faults(), engine.faults());
+        assert_eq!(restored.snapshot().to_json_string(), json);
     }
 }

@@ -23,7 +23,9 @@
 //!   event-driven asynchronous runner ([`run_async`]);
 //! * [`sufficiency`] — the §3.3 existence condition and an exact
 //!   feasibility checker;
-//! * [`runner`] — convergence and churn run orchestration.
+//! * [`runner`] — convergence, churn, and crash-recovery run
+//!   orchestration (the latter driven by the deterministic
+//!   fault-injection plans of `lagover_sim::faults`).
 //!
 //! # Quickstart
 //!
@@ -71,7 +73,8 @@ pub use oracle::{Oracle, OracleKind, OracleView};
 pub use overlay::{ChainRoot, Overlay, OverlayError};
 pub use runner::{
     chunk_plan, construct, construct_many, construct_with_oracle, parallel_runs,
-    parallel_runs_with, run_with_churn, ChurnOutcome, ConstructionOutcome,
+    parallel_runs_with, run_recovery, run_with_churn, ChurnOutcome, ConstructionOutcome,
+    FaultScenario, RecoveryOutcome,
 };
 pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
 pub use trace::{DetachCause, TraceEvent, TraceLog};

@@ -25,7 +25,25 @@ use crate::engine::Engine;
 use crate::node::{Member, PeerId};
 
 /// One maintenance evaluation at parented peer `p`.
+///
+/// Before the latency check, `p` probes its parent's liveness: a
+/// crash-stop failed parent is still in the overlay (crashes are
+/// silent), so `p` counts consecutive silent rounds and — once
+/// `detection_timeout` of them accumulate — declares the parent dead
+/// and detaches, keeping its own subtree. Graceful churn never reaches
+/// this path: a churn departure clears its edges in the same round, so
+/// a parented peer's parent is online in every churn-only run.
 pub(crate) fn maintain(engine: &mut Engine, p: PeerId) {
+    if let Some(Member::Peer(q)) = engine.overlay.parent(p) {
+        if !engine.online[q.index()] {
+            engine.proto[p.index()].parent_silent_rounds += 1;
+            if engine.proto[p.index()].parent_silent_rounds >= engine.config.detection_timeout {
+                engine.failure_detach(p);
+            }
+            return;
+        }
+        engine.proto[p.index()].parent_silent_rounds = 0;
+    }
     let Some(delay) = engine.overlay.delay(p) else {
         // Not rooted: no actual DelayAt; the fragment root negotiates.
         engine.proto[p.index()].violation_rounds = 0;
@@ -159,6 +177,37 @@ mod tests {
         e.overlay.detach(p(0)).unwrap();
         maintain(&mut e, p(1));
         assert_eq!(e.proto[1].violation_rounds, 0, "unrooted resets damping");
+    }
+
+    #[test]
+    fn silent_parent_is_detected_after_timeout() {
+        // detection_timeout defaults to 3.
+        let mut e = violated_engine(Algorithm::Hybrid);
+        e.inject_crash(p(0));
+        // The edge survives while b is still counting silence.
+        for observed in 1..3 {
+            maintain(&mut e, p(1));
+            assert!(
+                e.overlay.parent(p(1)).is_some(),
+                "still counting after {observed} silent round(s)"
+            );
+            assert_eq!(e.proto[1].parent_silent_rounds, observed);
+        }
+        maintain(&mut e, p(1));
+        assert_eq!(e.overlay.parent(p(1)), None, "parent declared crashed");
+        assert_eq!(e.counters.failure_detections, 1);
+        assert_eq!(e.counters.maintenance_detaches, 0, "not a latency detach");
+        // c rides along in b's fragment, exactly like a maintenance
+        // detach.
+        assert_eq!(e.overlay.parent(p(2)), Some(Member::Peer(p(1))));
+    }
+
+    #[test]
+    fn silence_counter_resets_while_parent_is_alive() {
+        let mut e = violated_engine(Algorithm::Hybrid);
+        e.proto[1].parent_silent_rounds = 2;
+        maintain(&mut e, p(1));
+        assert_eq!(e.proto[1].parent_silent_rounds, 0);
     }
 
     #[test]

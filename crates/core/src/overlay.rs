@@ -423,6 +423,45 @@ impl Overlay {
         }
         Ok(())
     }
+
+    /// Extends [`Overlay::validate`] with the crash-stop liveness
+    /// invariant: once detection has completed for a peer (`detected`
+    /// marks crash victims whose silence has outlasted the detection
+    /// timeout), no node may reference it — a detected peer holds no
+    /// parent, serves no children, and in particular no live node's
+    /// parent is a detected corpse. The engine debug-asserts this after
+    /// every fault sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation, or
+    /// of a `detected` slice whose length disagrees with the overlay.
+    pub fn validate_liveness(&self, detected: &[bool]) -> Result<(), String> {
+        if detected.len() != self.parent.len() {
+            return Err(format!(
+                "detected bitmap has {} entries for {} peers",
+                detected.len(),
+                self.parent.len()
+            ));
+        }
+        for (i, &dead) in detected.iter().enumerate() {
+            let p = PeerId::new(i as u32);
+            if dead {
+                if self.parent[i].is_some() {
+                    return Err(format!("detected crash victim {p} still has a parent"));
+                }
+                if !self.children[i].is_empty() {
+                    return Err(format!("detected crash victim {p} still serves children"));
+                }
+            }
+            if let Some(Member::Peer(q)) = self.parent[i] {
+                if detected[q.index()] {
+                    return Err(format!("{p} references detected crash victim {q}"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
@@ -490,6 +529,31 @@ mod tests {
 
     fn p(i: u32) -> PeerId {
         PeerId::new(i)
+    }
+
+    #[test]
+    fn validate_liveness_flags_references_to_detected_peers() {
+        let population = pop(2, &[(2, 5), (1, 5), (0, 5)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(1))).unwrap();
+
+        let nobody = vec![false; 3];
+        assert_eq!(o.validate_liveness(&nobody), Ok(()));
+
+        // Declaring peer 1 detected while it still has edges violates
+        // all three clauses.
+        let dead1 = vec![false, true, false];
+        assert!(o.validate_liveness(&dead1).is_err());
+
+        // Removing it the way the engine's sweep does restores the
+        // invariant.
+        o.remove_peer(p(1));
+        assert_eq!(o.validate_liveness(&dead1), Ok(()));
+
+        // Length mismatch is rejected, not ignored.
+        assert!(o.validate_liveness(&[false, true]).is_err());
     }
 
     #[test]

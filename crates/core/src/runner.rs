@@ -1,7 +1,7 @@
 //! High-level run orchestration: single construction runs, runs under
 //! churn, and the recorded outcomes the experiment harness consumes.
 
-use lagover_sim::{ChurnProcess, Round, TimeSeries};
+use lagover_sim::{ChurnProcess, FaultPlan, Round, SimRng, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ConstructionConfig;
@@ -270,6 +270,149 @@ pub fn run_with_churn(
     }
 }
 
+/// A declarative fault scenario for [`run_recovery`]: crash a fraction
+/// of the converged overlay's interior, optionally black out the
+/// oracle and drop interactions while the overlay heals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Fraction of *interior* nodes (online peers serving at least one
+    /// child) to crash-stop at the moment convergence is reached.
+    pub crash_fraction: f64,
+    /// Per-interaction message-loss probability during recovery.
+    pub message_loss: f64,
+    /// Oracle blackout length, starting at the crash round (`0` for no
+    /// outage).
+    pub blackout_rounds: u64,
+}
+
+impl FaultScenario {
+    /// A scenario injecting no faults at all.
+    pub fn none() -> Self {
+        FaultScenario {
+            crash_fraction: 0.0,
+            message_loss: 0.0,
+            blackout_rounds: 0,
+        }
+    }
+}
+
+/// Everything recorded about one crash-and-heal run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Round at which the initial (pre-fault) construction converged,
+    /// if it did within the configured cap.
+    pub construction_converged_at: Option<u64>,
+    /// Round at which the faults were injected.
+    pub crash_round: u64,
+    /// Number of interior nodes crashed.
+    pub crashed_peers: usize,
+    /// Rounds from injection until every live peer was satisfied again
+    /// with no chain crossing a corpse, if reached within the horizon.
+    pub recovery_rounds: Option<u64>,
+    /// Rounds actually executed after the injection.
+    pub rounds_run: u64,
+    /// Peak orphan population observed during recovery.
+    pub orphan_peak: u64,
+    /// Orphan population per round (x = round, y = orphans).
+    pub orphan_series: TimeSeries,
+    /// Rounds during which at least one live peer's chain crossed a
+    /// crashed-but-undetected ancestor (staleness violations).
+    pub stale_rounds: u64,
+    /// Event counters accumulated over the whole run.
+    pub counters: EngineCounters,
+}
+
+impl RecoveryOutcome {
+    /// Whether the overlay healed within the recovery horizon.
+    pub fn recovered(&self) -> bool {
+        self.recovery_rounds.is_some()
+    }
+
+    /// Recovery time as a float, with non-recovery mapped to `cap`.
+    pub fn recovery_or(&self, cap: f64) -> f64 {
+        self.recovery_rounds.map(|r| r as f64).unwrap_or(cap)
+    }
+}
+
+/// Builds the overlay to convergence, then injects the scenario —
+/// crash-stop a cohort of interior nodes, start an oracle blackout,
+/// switch on message loss — and measures self-healing for up to
+/// `recovery_horizon` further rounds.
+///
+/// Recovery means more than the paper's convergence criterion: every
+/// live peer satisfied **and** no live chain crossing a crashed peer
+/// (right after a silent crash the old chain still *looks* rooted, so
+/// satisfaction alone would declare victory while peers reference a
+/// corpse).
+///
+/// The victim cohort is drawn from a stream split off `seed`, not from
+/// the engine's own RNG, so the same peers crash regardless of how the
+/// construction phase consumed randomness.
+pub fn run_recovery(
+    population: &Population,
+    config: &ConstructionConfig,
+    scenario: &FaultScenario,
+    recovery_horizon: u64,
+    seed: u64,
+) -> RecoveryOutcome {
+    let mut engine = Engine::new(population, config, seed);
+    let construction_converged_at = engine.run_to_convergence().map(Round::get);
+    let crash_round = engine.round().get();
+
+    // Interior nodes: online peers currently serving at least one
+    // child. Crashing leaves hurts nobody downstream; crashing the
+    // interior is what the detection path exists for.
+    let interior: Vec<u32> = population
+        .peer_ids()
+        .filter(|&p| engine.is_online(p) && !engine.overlay().children(p).is_empty())
+        .map(|p| p.get())
+        .collect();
+    let mut cohort_rng = SimRng::seed_from(seed).split(0xFA17_C0DE);
+    let victims =
+        lagover_sim::faults::crash_cohort(&interior, scenario.crash_fraction, &mut cohort_rng);
+    for &v in &victims {
+        engine.inject_crash(crate::node::PeerId::new(v));
+    }
+    engine.set_faults(
+        FaultPlan::none()
+            .with_message_loss(scenario.message_loss)
+            .with_blackout(crash_round, scenario.blackout_rounds),
+    );
+
+    let mut orphan_series = TimeSeries::new("orphans");
+    let mut orphan_peak = engine.orphan_count() as u64;
+    orphan_series.push(crash_round as f64, orphan_peak as f64);
+    let mut stale_rounds = 0u64;
+    let mut recovery_rounds = None;
+    let mut rounds_run = 0u64;
+    for _ in 0..recovery_horizon {
+        engine.step();
+        rounds_run += 1;
+        let orphans = engine.orphan_count() as u64;
+        orphan_peak = orphan_peak.max(orphans);
+        orphan_series.push(engine.round().get() as f64, orphans as f64);
+        let stale = engine.stale_chain_count();
+        if stale > 0 {
+            stale_rounds += 1;
+        }
+        if engine.is_converged() && stale == 0 {
+            recovery_rounds = Some(engine.round().get() - crash_round);
+            break;
+        }
+    }
+    RecoveryOutcome {
+        construction_converged_at,
+        crash_round,
+        crashed_peers: victims.len(),
+        recovery_rounds,
+        rounds_run,
+        orphan_peak,
+        orphan_series,
+        stale_rounds,
+        counters: *engine.counters(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +525,88 @@ mod tests {
         let outcome = run_with_churn(&population(), &config, &mut NoChurn, 0, 1);
         assert_eq!(outcome.rounds_run, 0);
         assert_eq!(outcome.fully_satisfied_round_fraction, 0.0);
+    }
+
+    /// Two interior relays with slack: crashing either leaves enough
+    /// capacity (the freed source slot plus the survivor) for all four
+    /// leaves to re-home.
+    fn recovery_population() -> Population {
+        Population::new(
+            2,
+            vec![
+                Constraints::new(3, 1),
+                Constraints::new(3, 1),
+                Constraints::new(0, 3),
+                Constraints::new(0, 3),
+                Constraints::new(0, 3),
+                Constraints::new(0, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn recovery_run_heals_after_interior_crash() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let scenario = FaultScenario {
+            crash_fraction: 0.5,
+            message_loss: 0.0,
+            blackout_rounds: 0,
+        };
+        let outcome = run_recovery(&recovery_population(), &config, &scenario, 1_000, 11);
+        assert!(outcome.construction_converged_at.is_some());
+        assert_eq!(outcome.crashed_peers, 1, "half of two interior nodes");
+        assert_eq!(outcome.counters.crashes, 1);
+        assert!(
+            outcome.stale_rounds >= 1,
+            "silent crash must leave stale chains during the detection window"
+        );
+        assert!(outcome.orphan_peak >= 1, "someone is orphaned by detection");
+        assert!(outcome.recovered(), "survivors re-converge: {outcome:?}");
+    }
+
+    #[test]
+    fn recovery_run_survives_blackout_and_loss() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let scenario = FaultScenario {
+            crash_fraction: 0.5,
+            message_loss: 0.1,
+            blackout_rounds: 20,
+        };
+        let outcome = run_recovery(&recovery_population(), &config, &scenario, 1_500, 12);
+        assert!(outcome.recovered(), "compound scenario heals: {outcome:?}");
+        assert!(outcome.counters.oracle_outages > 0 || outcome.counters.messages_lost > 0);
+    }
+
+    #[test]
+    fn recovery_run_is_deterministic() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let scenario = FaultScenario {
+            crash_fraction: 0.5,
+            message_loss: 0.05,
+            blackout_rounds: 10,
+        };
+        let a = run_recovery(&recovery_population(), &config, &scenario, 800, 21);
+        let b = run_recovery(&recovery_population(), &config, &scenario, 800, 21);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faultless_scenario_recovers_instantly() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let outcome = run_recovery(
+            &recovery_population(),
+            &config,
+            &FaultScenario::none(),
+            50,
+            5,
+        );
+        assert_eq!(outcome.crashed_peers, 0);
+        assert!(outcome.recovered());
+        assert_eq!(outcome.orphan_peak, 0);
+        assert_eq!(outcome.stale_rounds, 0);
     }
 }

@@ -22,6 +22,10 @@ pub enum DetachCause {
     Discarded,
     /// The peer (or its parent) churned offline.
     Churn,
+    /// A crash-stop failure was detected after `detection_timeout`
+    /// silent rounds (either a child giving up on a dead parent, or the
+    /// engine reclaiming a detected crash victim's remaining edges).
+    Failure,
 }
 
 impl fmt::Display for DetachCause {
@@ -31,6 +35,7 @@ impl fmt::Display for DetachCause {
             DetachCause::Displaced => "displaced",
             DetachCause::Discarded => "discarded",
             DetachCause::Churn => "churn",
+            DetachCause::Failure => "failure",
         })
     }
 }

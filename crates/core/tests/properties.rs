@@ -350,6 +350,82 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crash-stop detection completes: after `detection_timeout + 1`
+    /// further rounds every trace of an arbitrary crashed cohort is
+    /// gone — no live peer's parent chain traverses a corpse, crashed
+    /// peers hold no edges, and both the structural and the liveness
+    /// validators pass.
+    #[test]
+    fn crash_detection_clears_every_stale_chain(
+        population in population_strategy(),
+        crash_mask in prop::collection::vec(any::<bool>(), 12..13),
+        seed in 0u64..100_000,
+    ) {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let mut engine = Engine::new(&population, &config, seed);
+        engine.run_to_convergence();
+        for p in population.peer_ids() {
+            if crash_mask.get(p.index()).copied().unwrap_or(false) {
+                engine.inject_crash(p);
+            }
+        }
+        for _ in 0..=config.detection_timeout {
+            engine.step();
+        }
+        prop_assert_eq!(engine.stale_chain_count(), 0);
+        let detected: Vec<bool> = population
+            .peer_ids()
+            .map(|p| engine.is_crashed(p))
+            .collect();
+        prop_assert_eq!(engine.overlay().validate(), Ok(()));
+        prop_assert_eq!(engine.overlay().validate_liveness(&detected), Ok(()));
+        for p in population.peer_ids() {
+            if engine.is_crashed(p) {
+                prop_assert_eq!(engine.overlay().parent(p), None);
+                prop_assert!(engine.overlay().children(p).is_empty());
+            }
+        }
+    }
+
+    /// Cache coherence survives the fault path: crash injection,
+    /// delayed detection, blackout backoff, and message loss never let
+    /// the incrementally maintained `root`/`delay` caches drift from a
+    /// fresh chain-walk recomputation.
+    #[test]
+    fn fault_dynamics_keep_caches_coherent(
+        population in population_strategy(),
+        crash_mask in prop::collection::vec(any::<bool>(), 12..13),
+        seed in 0u64..100_000,
+    ) {
+        use lagover_sim::FaultPlan;
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let mut engine = Engine::new(&population, &config, seed);
+        engine.run_to_convergence();
+        for p in population.peer_ids() {
+            if crash_mask.get(p.index()).copied().unwrap_or(false) {
+                engine.inject_crash(p);
+            }
+        }
+        engine.set_faults(
+            FaultPlan::none()
+                .with_message_loss(0.2)
+                .with_blackout(engine.round().get(), 5),
+        );
+        for _ in 0..20 {
+            engine.step();
+            for p in population.peer_ids() {
+                prop_assert_eq!(engine.overlay().root(p), engine.overlay().walk_root(p));
+                prop_assert_eq!(engine.overlay().delay(p), engine.overlay().walk_delay(p));
+            }
+        }
+    }
+}
+
+proptest! {
     /// Analysis profiles are consistent with the overlay they describe:
     /// depth counts + unrooted = population, slack classes partition the
     /// rooted peers, and per-level usage never exceeds capacity.

@@ -15,6 +15,7 @@ use crate::liveness::{LivenessReport, LivenessRow};
 use crate::locality::{LocalityReport, LocalityRow};
 use crate::multifeed_exp::{MultiFeedReport, MultiFeedRow};
 use crate::realizations::{RealizationRow, RealizationsReport};
+use crate::recovery::{RecoveryReport, RecoveryRow};
 use crate::scaling::{ScalingReport, ScalingRow};
 use crate::serverload::{LoadRow, ServerLoadReportE8};
 use crate::sufficiency::SufficiencyReportE7;
@@ -309,6 +310,36 @@ impl ToJson for AblationReport {
     fn to_json(&self) -> Json {
         object(vec![
             ("params", self.params.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RecoveryRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("median_crashed", Json::F64(self.median_crashed)),
+            (
+                "median_recovery_rounds",
+                Json::F64(self.median_recovery_rounds),
+            ),
+            ("median_orphan_peak", Json::F64(self.median_orphan_peak)),
+            ("median_stale_rounds", Json::F64(self.median_stale_rounds)),
+            ("recovered_runs", self.recovered_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+            ("orphan_series", self.orphan_series.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RecoveryReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("horizon", self.horizon.to_json()),
             ("rows", self.rows.to_json()),
         ])
     }

@@ -22,6 +22,7 @@
 //! | [`ablations`] | design-choice ablations: timeout, maintenance damping, source mode, churn model (extension) |
 //! | [`scaling`] | construction cost vs population size (extension) |
 //! | [`liveness`] | live dissemination under churn: delivery ratio & staleness (extension) |
+//! | [`recovery`] | self-healing after crash-stop failures, oracle blackouts, and message loss (extension) |
 //!
 //! Every runner takes a [`Params`] (use [`Params::paper`] for the
 //! paper-scale settings and [`Params::quick`] in tests), is
@@ -40,6 +41,7 @@ pub mod locality;
 pub mod multifeed_exp;
 pub mod oracle_impls;
 pub mod realizations;
+pub mod recovery;
 pub mod scaling;
 pub mod serverload;
 pub mod sufficiency;

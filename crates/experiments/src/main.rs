@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use lagover_experiments::{
     ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, multifeed_exp,
-    realizations, scaling, serverload, sufficiency, Params,
+    realizations, recovery, scaling, serverload, sufficiency, Params,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
     "scaling",
     "liveness",
+    "recovery",
 ];
 
 fn usage() -> ExitCode {
@@ -161,6 +162,10 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
         }
         "liveness" => {
             let report = liveness::run(params);
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
+        }
+        "recovery" => {
+            let report = recovery::run(params);
             (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         other => unreachable!("unknown experiment {other} filtered by main"),

@@ -24,6 +24,8 @@
 //!   mode,
 //! * [`churn`] — membership-dynamics processes (the paper's Bernoulli
 //!   model plus session-length extensions),
+//! * [`faults`] — declarative crash-stop / message-loss / oracle-outage
+//!   scenarios ([`faults::FaultPlan`]) replayed deterministically,
 //! * [`metrics`] — time-series / counter / histogram recorders,
 //! * [`stats`] — summary statistics (median-of-k runs is the paper's
 //!   reporting convention, §5.1).
@@ -43,6 +45,7 @@
 
 pub mod churn;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
@@ -50,6 +53,7 @@ pub mod time;
 
 pub use churn::{BernoulliChurn, ChurnProcess, NoChurn, Transitions};
 pub use event::EventQueue;
+pub use faults::{Blackout, CrashEvent, FaultPlan};
 pub use metrics::{Counter, Histogram, TimeSeries};
 pub use rng::SimRng;
 pub use stats::Summary;

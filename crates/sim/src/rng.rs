@@ -34,11 +34,11 @@ fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// ```
 /// use lagover_sim::rng::SimRng;
-/// use rand::Rng;
+/// use rand::RngCore;
 ///
 /// let mut a = SimRng::seed_from(7);
 /// let mut b = SimRng::seed_from(7);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimRng {

@@ -33,14 +33,13 @@ impl ChurnSpec {
 
     /// Whether the spec describes any membership dynamics at all.
     pub fn is_dynamic(&self) -> bool {
-        !matches!(
-            self,
-            ChurnSpec::None
-                | ChurnSpec::Bernoulli {
-                    p_off: 0.0,
-                    p_on: _
-                }
-        )
+        // Comparison rather than a `matches!` float-literal pattern:
+        // float patterns are a hard error in newer editions.
+        match *self {
+            ChurnSpec::None => false,
+            ChurnSpec::Paper => true,
+            ChurnSpec::Bernoulli { p_off, .. } => p_off > 0.0,
+        }
     }
 }
 
@@ -119,6 +118,20 @@ mod tests {
         let mut online = vec![true; 10];
         churn.step(&mut online, &mut SimRng::seed_from(3));
         assert!(online.iter().all(|&o| !o));
+    }
+
+    #[test]
+    fn zero_departure_bernoulli_is_static() {
+        let frozen = ChurnSpec::Bernoulli {
+            p_off: 0.0,
+            p_on: 0.7,
+        };
+        assert!(!frozen.is_dynamic());
+        let live = ChurnSpec::Bernoulli {
+            p_off: 0.01,
+            p_on: 0.0,
+        };
+        assert!(live.is_dynamic());
     }
 
     #[test]

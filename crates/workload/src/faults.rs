@@ -1,0 +1,194 @@
+//! Fault specifications (serializable descriptions of the fault
+//! scenario a run injects), mirroring [`crate::ChurnSpec`] for the
+//! crash/loss/blackout axis.
+
+use serde::{Deserialize, Serialize};
+
+use lagover_core::FaultScenario;
+
+/// A reproducible fault description.
+///
+/// Like [`crate::ChurnSpec`], the spec is declarative: experiments
+/// store it in their parameter block and lower it to a concrete
+/// [`FaultScenario`] with [`FaultSpec::scenario`] when the run starts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// No faults at all.
+    None,
+    /// Crash-stop a fraction of interior nodes once the overlay has
+    /// converged; interactions and the oracle stay reliable.
+    Crashes {
+        /// Fraction of interior (child-serving) nodes to crash.
+        fraction: f64,
+    },
+    /// The full scenario: crashes plus lossy interactions plus an
+    /// oracle blackout window opening at the crash round.
+    Scenario {
+        /// Fraction of interior nodes to crash.
+        crash_fraction: f64,
+        /// Per-interaction message-loss probability.
+        message_loss: f64,
+        /// Oracle blackout length in rounds (`0` disables the outage).
+        blackout_rounds: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Lowers the spec to the runner's concrete scenario.
+    pub fn scenario(&self) -> FaultScenario {
+        match *self {
+            FaultSpec::None => FaultScenario::none(),
+            FaultSpec::Crashes { fraction } => FaultScenario {
+                crash_fraction: fraction,
+                ..FaultScenario::none()
+            },
+            FaultSpec::Scenario {
+                crash_fraction,
+                message_loss,
+                blackout_rounds,
+            } => FaultScenario {
+                crash_fraction,
+                message_loss,
+                blackout_rounds,
+            },
+        }
+    }
+
+    /// Whether the spec injects any fault at all.
+    pub fn is_active(&self) -> bool {
+        match *self {
+            FaultSpec::None => false,
+            FaultSpec::Crashes { fraction } => fraction > 0.0,
+            FaultSpec::Scenario {
+                crash_fraction,
+                message_loss,
+                blackout_rounds,
+            } => crash_fraction > 0.0 || message_loss > 0.0 || blackout_rounds > 0,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpec::None => write!(f, "no faults"),
+            FaultSpec::Crashes { fraction } => write!(f, "crash({fraction})"),
+            FaultSpec::Scenario {
+                crash_fraction,
+                message_loss,
+                blackout_rounds,
+            } => write!(
+                f,
+                "faults(crash={crash_fraction},loss={message_loss},blackout={blackout_rounds})"
+            ),
+        }
+    }
+}
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for FaultSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            FaultSpec::None => Json::Str("None".to_string()),
+            FaultSpec::Crashes { fraction } => object(vec![("fraction", Json::F64(*fraction))]),
+            FaultSpec::Scenario {
+                crash_fraction,
+                message_loss,
+                blackout_rounds,
+            } => object(vec![
+                ("crash_fraction", Json::F64(*crash_fraction)),
+                ("message_loss", Json::F64(*message_loss)),
+                ("blackout_rounds", blackout_rounds.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for FaultSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(name) = value {
+            return match name.as_str() {
+                "None" => Ok(FaultSpec::None),
+                other => Err(JsonError(format!("unknown fault spec '{other}'"))),
+            };
+        }
+        if let Ok(fraction) = value.get("fraction") {
+            return Ok(FaultSpec::Crashes {
+                fraction: fraction.as_f64()?,
+            });
+        }
+        Ok(FaultSpec::Scenario {
+            crash_fraction: value.get("crash_fraction")?.as_f64()?,
+            message_loss: value.get("message_loss")?.as_f64()?,
+            blackout_rounds: u64::from_json(value.get("blackout_rounds")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        assert!(!FaultSpec::None.is_active());
+        assert_eq!(FaultSpec::None.scenario(), FaultScenario::none());
+        assert!(!FaultSpec::Crashes { fraction: 0.0 }.is_active());
+    }
+
+    #[test]
+    fn crashes_lower_to_a_crash_only_scenario() {
+        let spec = FaultSpec::Crashes { fraction: 0.25 };
+        assert!(spec.is_active());
+        let s = spec.scenario();
+        assert_eq!(s.crash_fraction, 0.25);
+        assert_eq!(s.message_loss, 0.0);
+        assert_eq!(s.blackout_rounds, 0);
+    }
+
+    #[test]
+    fn scenario_passes_every_axis_through() {
+        let spec = FaultSpec::Scenario {
+            crash_fraction: 0.1,
+            message_loss: 0.05,
+            blackout_rounds: 30,
+        };
+        assert!(spec.is_active());
+        let s = spec.scenario();
+        assert_eq!(s.crash_fraction, 0.1);
+        assert_eq!(s.message_loss, 0.05);
+        assert_eq!(s.blackout_rounds, 30);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for spec in [
+            FaultSpec::None,
+            FaultSpec::Crashes { fraction: 0.2 },
+            FaultSpec::Scenario {
+                crash_fraction: 0.1,
+                message_loss: 0.05,
+                blackout_rounds: 30,
+            },
+        ] {
+            let json = lagover_jsonio::to_string(&spec);
+            let back: FaultSpec = lagover_jsonio::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(FaultSpec::None.to_string(), "no faults");
+        assert_eq!(
+            FaultSpec::Scenario {
+                crash_fraction: 0.1,
+                message_loss: 0.05,
+                blackout_rounds: 30,
+            }
+            .to_string(),
+            "faults(crash=0.1,loss=0.05,blackout=30)"
+        );
+    }
+}

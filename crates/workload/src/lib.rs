@@ -35,6 +35,7 @@
 
 pub mod adversarial;
 pub mod churn;
+pub mod faults;
 pub mod generators;
 
 use std::fmt;
@@ -45,6 +46,7 @@ use lagover_core::node::Population;
 
 pub use adversarial::adversarial_population;
 pub use churn::ChurnSpec;
+pub use faults::FaultSpec;
 
 /// The §4.1 workload classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -17,7 +17,7 @@ use std::process::{Command, ExitCode};
 
 /// Figure drivers diffed by default: the paper figures plus the
 /// scaling sweep, which exercises the widest parallel fan-out.
-const DEFAULT_FIGURES: &[&str] = &["fig2", "fig3", "fig4", "scaling"];
+const DEFAULT_FIGURES: &[&str] = &["fig2", "fig3", "fig4", "scaling", "recovery"];
 
 /// The four schedules; the first is the baseline the rest diff against.
 const VARIANTS: &[(&str, &str, Option<&str>)] = &[

@@ -1,8 +1,10 @@
 //! Failure injection and churn-recovery integration tests.
 
-use lagover::core::{Algorithm, ConstructionConfig, Engine, OracleKind};
-use lagover::sim::{ChurnProcess, SimRng, Transitions};
-use lagover::workload::{ChurnSpec, TopologicalConstraint, WorkloadSpec};
+use lagover::core::{
+    run_recovery, Algorithm, ConstructionConfig, Engine, FaultScenario, OracleKind,
+};
+use lagover::sim::{ChurnProcess, FaultPlan, SimRng, Transitions};
+use lagover::workload::{ChurnSpec, FaultSpec, TopologicalConstraint, WorkloadSpec};
 
 /// Kills an explicit set of peers once, then does nothing.
 struct KillOnce {
@@ -114,6 +116,72 @@ fn paper_churn_sustains_high_satisfaction_on_all_workloads() {
         assert!(outcome.counters.churn_departures > 0);
         assert!(outcome.counters.churn_arrivals > 0);
     }
+}
+
+#[test]
+fn silent_crashes_heal_end_to_end_through_the_facade() {
+    let population = WorkloadSpec::new(TopologicalConstraint::Rand, 50)
+        .generate(21)
+        .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
+    let scenario = FaultSpec::Scenario {
+        crash_fraction: 0.2,
+        message_loss: 0.05,
+        blackout_rounds: 15,
+    }
+    .scenario();
+    let outcome = run_recovery(&population, &config, &scenario, 5_000, 21);
+    assert!(outcome.crashed_peers >= 1, "nothing crashed");
+    assert!(
+        outcome.recovered(),
+        "compound fault scenario did not heal: {outcome:?}"
+    );
+    assert!(
+        outcome.stale_rounds >= 1,
+        "silent crashes must leave a staleness window"
+    );
+    assert!(outcome.counters.failure_detections >= 1);
+}
+
+#[test]
+fn oracle_blackout_alone_only_delays_construction() {
+    let population = WorkloadSpec::new(TopologicalConstraint::Rand, 40)
+        .generate(23)
+        .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
+    let mut engine = Engine::new(&population, &config, 23);
+    engine.set_faults(FaultPlan::none().with_blackout(0, 40));
+    let converged = engine.run_to_convergence();
+    assert!(
+        converged.is_some(),
+        "blackout permanently broke construction"
+    );
+    assert!(
+        engine.counters().oracle_outages > 0,
+        "blackout never observed"
+    );
+}
+
+#[test]
+fn faultless_scenario_is_byte_identical_to_plain_construction() {
+    let population = WorkloadSpec::new(TopologicalConstraint::Rand, 40)
+        .generate(29)
+        .unwrap();
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
+    let mut plain = Engine::new(&population, &config, 29);
+    let plain_converged = plain.run_to_convergence().map(|r| r.get());
+    assert!(plain_converged.is_some());
+    let outcome = run_recovery(&population, &config, &FaultScenario::none(), 100, 29);
+    assert_eq!(
+        outcome.construction_converged_at, plain_converged,
+        "an empty fault plan changed construction"
+    );
+    assert_eq!(outcome.crashed_peers, 0);
+    assert_eq!(outcome.orphan_peak, 0);
+    assert_eq!(outcome.stale_rounds, 0);
 }
 
 #[test]
