@@ -12,6 +12,7 @@
 //! lagover disseminate(--spec FILE | --workload …) [--rounds N] [--pull-interval T]
 //! lagover evolve     (--spec FILE | --workload …) [--trace N]
 //! lagover recover    (--spec FILE | --workload …) [--crash-fraction F] [--message-loss P] [--blackout N]
+//! lagover obs        (--spec FILE | --workload …) [--runs N] [--json]
 //! ```
 //!
 //! `spec` emits a population as JSON (editable by hand); every other
@@ -22,10 +23,11 @@ use std::fmt;
 use lagover_core::analysis;
 use lagover_core::node::{PeerId, Population};
 use lagover_core::{
-    check_sufficiency, exact_feasibility, run_recovery, Algorithm, ConstructionConfig, Engine,
-    FaultScenario, OracleKind,
+    check_sufficiency, construct_observed, exact_feasibility, parallel_runs, run_recovery,
+    Algorithm, ConstructionConfig, Engine, FaultScenario, OracleKind,
 };
 use lagover_feed::{compare_server_load, disseminate, DisseminationConfig, PublishSchedule};
+use lagover_obs::ObsReport;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
 /// A CLI failure with a user-facing message.
@@ -78,6 +80,10 @@ pub struct Options {
     pub message_loss: f64,
     /// `--blackout N` (recover: oracle blackout length in rounds).
     pub blackout: u64,
+    /// `--runs N` (obs: observed repetitions to merge).
+    pub runs: usize,
+    /// `--json` (obs: emit the report as JSON instead of text).
+    pub json: bool,
 }
 
 impl Default for Options {
@@ -98,17 +104,19 @@ impl Default for Options {
             crash_fraction: 0.1,
             message_loss: 0.0,
             blackout: 0,
+            runs: 1,
+            json: false,
         }
     }
 }
 
 /// The usage string.
-pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve|recover> \
+pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve|recover|obs> \
 [--spec FILE] [--workload tf1|rand|bicorr|biuncorr|adversarial|zipf] [--peers N] [--seed N] \
 [--source-fanout F] [--algorithm greedy|hybrid] \
 [--oracle random|random-capacity|random-delay-capacity|random-delay] \
 [--max-rounds N] [--rounds N] [--pull-interval T] [--trace N] \
-[--crash-fraction F] [--message-loss P] [--blackout N]";
+[--crash-fraction F] [--message-loss P] [--blackout N] [--runs N] [--json]";
 
 /// Parses the argument list (without the program name).
 ///
@@ -125,6 +133,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         "disseminate",
         "evolve",
         "recover",
+        "obs",
     ]
     .contains(&command.as_str())
     {
@@ -215,6 +224,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| err("--blackout needs an integer"))?
             }
+            "--runs" => {
+                opts.runs = value()?
+                    .parse()
+                    .map_err(|_| err("--runs needs an integer"))?;
+                if opts.runs == 0 {
+                    return Err(err("--runs must be at least 1"));
+                }
+            }
+            "--json" => opts.json = true,
             other => return Err(err(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
@@ -261,6 +279,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         "disseminate" => cmd_disseminate(opts),
         "evolve" => cmd_evolve(opts),
         "recover" => cmd_recover(opts),
+        "obs" => cmd_obs(opts),
         other => Err(err(format!("unknown command '{other}'"))),
     }
 }
@@ -479,6 +498,61 @@ fn cmd_recover(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Journal capacity for `lagover obs` runs.
+const OBS_JOURNAL_CAPACITY: usize = 8_192;
+/// Registry scrape / health-probe cadence in rounds for `lagover obs`.
+const OBS_SAMPLE_INTERVAL: u64 = 10;
+
+fn cmd_obs(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let config =
+        ConstructionConfig::new(opts.algorithm, opts.oracle).with_max_rounds(opts.max_rounds);
+    let label = format!(
+        "{} {}/{} n={}",
+        opts.workload,
+        opts.algorithm,
+        opts.oracle.label(),
+        population.len()
+    );
+    // Each run derives everything from its own seed, so the parallel
+    // map is bit-identical to the sequential loop (and to any
+    // `LAGOVER_THREADS` setting).
+    let reports: Vec<ObsReport> = parallel_runs(opts.runs, |r| {
+        let seed = opts.seed.wrapping_add(r as u64);
+        let observed = construct_observed(
+            &population,
+            &config,
+            seed,
+            OBS_JOURNAL_CAPACITY,
+            OBS_SAMPLE_INTERVAL,
+        );
+        ObsReport {
+            label: label.clone(),
+            peers: population.len() as u64,
+            runs: 1,
+            seed,
+            rounds: observed.outcome.rounds_run,
+            converged: observed.outcome.converged() as u64,
+            converged_rounds: observed.outcome.converged_at.unwrap_or(0),
+            counters: observed.outcome.counters,
+            profile: observed.profile,
+            scrapes: observed.scrapes,
+            health: observed.health,
+            journal: Some(observed.journal),
+        }
+    });
+    let mut it = reports.into_iter();
+    let mut merged = it.next().expect("--runs >= 1");
+    for report in it {
+        merged.merge(&report);
+    }
+    if opts.json {
+        Ok(lagover_jsonio::to_string_pretty(&merged))
+    } else {
+        Ok(merged.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +658,34 @@ mod tests {
         assert!(out.contains("crashed"), "{out}");
         assert!(out.contains("recovered in"), "{out}");
         assert!(out.contains("orphan peak"), "{out}");
+    }
+
+    #[test]
+    fn obs_renders_report_sections() {
+        let opts = parse_args(&args("obs --workload rand --peers 25 --seed 4 --runs 2")).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("counters"), "{out}");
+        assert!(out.contains("health"), "{out}");
+    }
+
+    #[test]
+    fn obs_json_is_byte_stable_and_parseable() {
+        let opts = parse_args(&args(
+            "obs --workload rand --peers 25 --seed 4 --runs 2 --json",
+        ))
+        .unwrap();
+        let a = run(&opts).unwrap();
+        let b = run(&opts).unwrap();
+        assert_eq!(a, b, "obs --json output is not byte-stable");
+        let report: ObsReport = lagover_jsonio::from_str(&a).unwrap();
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.peers, 25);
+    }
+
+    #[test]
+    fn obs_rejects_zero_runs() {
+        assert!(parse_args(&args("obs --runs 0")).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! lockstep. The paper's observation — asynchrony slows construction
 //! but does not prevent convergence — is experiment E6.
 
+use lagover_obs::{wall_mark, HealthSample, Journal, Profiler, Scrape, Work};
 use lagover_sim::{EventQueue, SimRng, TimeSeries, VirtualTime};
 
 use crate::config::ConstructionConfig;
@@ -89,11 +90,80 @@ impl AsyncOutcome {
 pub fn run_async<D: InteractionDurations>(
     population: &Population,
     config: &ConstructionConfig,
-    mut durations: D,
+    durations: D,
     max_time: f64,
     seed: u64,
 ) -> AsyncOutcome {
+    run_async_inner(population, config, durations, max_time, seed, None).0
+}
+
+/// An asynchronous run with the observability pipeline attached.
+///
+/// The event-driven engine has no rounds, so scrape/health entries are
+/// indexed by sample ordinal; [`ObservedAsyncRun::sample_times`] carries
+/// the virtual time of each entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedAsyncRun {
+    /// The plain outcome (identical to [`run_async`]'s).
+    pub outcome: AsyncOutcome,
+    /// The bounded event journal recorded over the run.
+    pub journal: Journal,
+    /// Registry scrapes at each sample instant.
+    pub scrapes: Vec<Scrape>,
+    /// Health probes at the same instants.
+    pub health: Vec<HealthSample>,
+    /// Virtual time of each scrape/health entry.
+    pub sample_times: Vec<f64>,
+    /// Per-action work profile (`construction` / `maintenance` phases).
+    pub profile: Profiler,
+    /// Engine counters accumulated over the run (the event-driven
+    /// outcome shape does not carry them).
+    pub counters: crate::engine::EngineCounters,
+}
+
+/// [`run_async`] with the observability pipeline enabled: journals
+/// every protocol event, probes health and scrapes the registry every
+/// `sample_interval` virtual-time units, and attributes each action's
+/// work to its phase. The outcome is bit-identical to the unobserved
+/// run's.
+pub fn run_async_observed<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    durations: D,
+    max_time: f64,
+    seed: u64,
+    journal_capacity: usize,
+    sample_interval: f64,
+) -> ObservedAsyncRun {
+    assert!(sample_interval > 0.0, "sample interval must be positive");
+    run_async_inner(
+        population,
+        config,
+        durations,
+        max_time,
+        seed,
+        Some((journal_capacity, sample_interval)),
+    )
+    .1
+    .expect("observation requested")
+}
+
+fn run_async_inner<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    mut durations: D,
+    max_time: f64,
+    seed: u64,
+    observe: Option<(usize, f64)>,
+) -> (AsyncOutcome, Option<ObservedAsyncRun>) {
     let mut engine = Engine::new(population, config, seed);
+    if let Some((capacity, _)) = observe {
+        engine
+            .obs_mut()
+            .enable_journal(capacity)
+            .enable_registry()
+            .enable_profiler();
+    }
     let mut schedule_rng = SimRng::seed_from(seed).split(0x5EED_A57C);
     let mut queue: EventQueue<PeerId> = EventQueue::with_capacity(population.len() + 1);
     for p in population.peer_ids() {
@@ -105,6 +175,16 @@ pub fn run_async<D: InteractionDurations>(
     series.push(0.0, engine.satisfied_fraction());
     let mut actions = 0u64;
     let mut converged_at = None;
+    let mut scrapes = Vec::new();
+    let mut health = Vec::new();
+    let mut sample_times = Vec::new();
+    let mut next_sample = 0.0f64;
+    if let Some((_, interval)) = observe {
+        health.push(engine.health_sample());
+        scrapes.push(engine.scrape().expect("registry enabled"));
+        sample_times.push(0.0);
+        next_sample = interval;
+    }
 
     while let Some(t) = queue.peek_time() {
         if t.get() > max_time {
@@ -112,12 +192,52 @@ pub fn run_async<D: InteractionDurations>(
         }
         let (now, p) = queue.pop().expect("peeked");
         if engine.is_online(p) {
-            engine.act_on(p);
+            if observe.is_some() {
+                // Per-action profiling, mirroring the synchronous
+                // engine's phase attribution.
+                let mark = wall_mark();
+                let draws0 = engine.rng_draws();
+                let counters0 = *engine.counters();
+                let phase = if engine.overlay().parent(p).is_none() {
+                    "construction"
+                } else {
+                    "maintenance"
+                };
+                engine.act_on(p);
+                let c = engine.counters();
+                let work = Work {
+                    actions: 1,
+                    rng_draws: engine.rng_draws() - draws0,
+                    oracle_queries: c.oracle_queries - counters0.oracle_queries,
+                    interactions: c.interactions - counters0.interactions,
+                    attaches: c.attaches - counters0.attaches,
+                    detaches: c.detaches - counters0.detaches,
+                    messages_lost: c.messages_lost - counters0.messages_lost,
+                };
+                engine.obs_mut().record_phase(phase, work, mark);
+            } else {
+                engine.act_on(p);
+            }
             actions += 1;
             series.push(now.get(), engine.satisfied_fraction());
             if engine.is_converged() {
                 converged_at = Some(now.get());
+                if observe.is_some() {
+                    health.push(engine.health_sample());
+                    scrapes.push(engine.scrape().expect("registry enabled"));
+                    sample_times.push(now.get());
+                }
                 break;
+            }
+            if let Some((_, interval)) = observe {
+                if now.get() >= next_sample {
+                    health.push(engine.health_sample());
+                    scrapes.push(engine.scrape().expect("registry enabled"));
+                    sample_times.push(now.get());
+                    while next_sample <= now.get() {
+                        next_sample += interval;
+                    }
+                }
             }
         }
         let d = durations.duration(p, &mut schedule_rng);
@@ -125,12 +245,22 @@ pub fn run_async<D: InteractionDurations>(
         queue.schedule_after(d, p);
     }
 
-    AsyncOutcome {
+    let outcome = AsyncOutcome {
         converged_at,
         actions,
         final_satisfied_fraction: engine.satisfied_fraction(),
         satisfied_series: series,
-    }
+    };
+    let observed = observe.map(|_| ObservedAsyncRun {
+        outcome: outcome.clone(),
+        counters: *engine.counters(),
+        journal: engine.obs_mut().take_journal().expect("journal enabled"),
+        scrapes,
+        health,
+        sample_times,
+        profile: engine.obs().profiler().cloned().expect("profiler enabled"),
+    });
+    (outcome, observed)
 }
 
 /// Convenience: the synchronous baseline expressed through the
@@ -226,6 +356,27 @@ mod tests {
     fn zero_durations_rejected() {
         let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
         let _ = run_async(&population(), &config, FixedActionDuration(0.0), 10.0, 3);
+    }
+
+    #[test]
+    fn observed_async_run_matches_plain_run() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(5_000);
+        let plain = run_async_lockstep(&population(), &config, 5_000.0, 7);
+        let observed = run_async_observed(
+            &population(),
+            &config,
+            FixedActionDuration(1.0),
+            5_000.0,
+            7,
+            1024,
+            5.0,
+        );
+        assert_eq!(observed.outcome, plain, "observation must not perturb");
+        assert!(!observed.journal.is_empty());
+        assert_eq!(observed.health.len(), observed.scrapes.len());
+        assert_eq!(observed.health.len(), observed.sample_times.len());
+        assert_eq!(observed.profile.total().actions, plain.actions);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! latency-checked attaches, child displacement, and the
 //! replace-and-adopt reconfiguration (`j ← i ← k`).
 
+use lagover_obs::{wall_mark, Event, HealthSample, Pipeline, Scrape, Work};
 use lagover_sim::{ChurnProcess, FaultPlan, Round, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -17,8 +18,13 @@ use crate::config::{Algorithm, ConstructionConfig};
 use crate::node::{Member, PeerId, Population};
 use crate::oracle::{Oracle, OracleView};
 use crate::overlay::Overlay;
-use crate::trace::{DetachCause, TraceEvent, TraceLog};
+use crate::trace::{member_to_node, DetachCause, TraceLog};
 use crate::{greedy, hybrid, maintenance};
+
+// Moved to `lagover-obs` (the counters are the registry's raw
+// material); re-exported here so `lagover_core::engine::EngineCounters`
+// stays a valid path with identical serialization.
+pub use lagover_obs::EngineCounters;
 
 /// Victim-selection policy for [`Engine::displace_into`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,42 +66,6 @@ impl ProtoState {
     fn reset(&mut self) {
         *self = ProtoState::default();
     }
-}
-
-/// Event counters accumulated over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct EngineCounters {
-    /// Pairwise interactions performed.
-    pub interactions: u64,
-    /// Oracle queries issued.
-    pub oracle_queries: u64,
-    /// Oracle queries that found no candidate (the peer waited).
-    pub oracle_misses: u64,
-    /// Successful attach operations.
-    pub attaches: u64,
-    /// Detach operations (all causes).
-    pub detaches: u64,
-    /// Displacement / replace-and-adopt reconfigurations.
-    pub displacements: u64,
-    /// Direct contacts with the source (timeout or referral).
-    pub source_contacts: u64,
-    /// Detaches triggered by the maintenance rule.
-    pub maintenance_detaches: u64,
-    /// Peers lost to churn over the run.
-    pub churn_departures: u64,
-    /// Peers (re)joining over the run.
-    pub churn_arrivals: u64,
-    /// Crash-stop failures injected over the run.
-    pub crashes: u64,
-    /// Children that declared their parent crashed after
-    /// `detection_timeout` silent rounds.
-    pub failure_detections: u64,
-    /// Interactions lost in flight by the fault plan.
-    pub messages_lost: u64,
-    /// Oracle queries that hit a blackout window.
-    pub oracle_outages: u64,
-    /// Own-actions spent waiting out a retry backoff.
-    pub backoff_rounds: u64,
 }
 
 /// A serializable checkpoint of an [`Engine`]'s simulation state.
@@ -173,7 +143,11 @@ pub struct Engine {
     oracle: Box<dyn Oracle>,
     pub(crate) rng: SimRng,
     round: Round,
-    trace: Option<TraceLog>,
+    /// The observability pipeline (journal + registry + profiler).
+    /// Disabled by default, in which case every emission site reduces
+    /// to a branch and the run is byte-identical to an uninstrumented
+    /// one.
+    obs: Pipeline,
     /// Reusable per-round action-order buffer; always drained by
     /// [`Engine::step`], kept only for its capacity.
     order_scratch: Vec<PeerId>,
@@ -230,7 +204,7 @@ impl Engine {
             oracle,
             rng: SimRng::seed_from(seed),
             round: Round::ZERO,
-            trace: None,
+            obs: Pipeline::disabled(),
             order_scratch: Vec::new(),
             churn_scratch: Vec::new(),
             faults: FaultPlan::none(),
@@ -241,24 +215,54 @@ impl Engine {
         }
     }
 
-    /// Enables structural-event tracing, keeping at most `capacity`
-    /// events (ring buffer).
+    /// Enables event journaling, keeping at most `capacity` events
+    /// (ring buffer). Equivalent to enabling the journal on
+    /// [`Engine::obs_mut`]; kept as the stable name the structural
+    /// tracing API has always had.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(TraceLog::new(capacity));
+        self.obs.enable_journal(capacity);
     }
 
-    /// The trace log, if tracing is enabled.
-    pub fn trace(&self) -> Option<&TraceLog> {
-        self.trace.as_ref()
+    /// The structural trace, if journaling is enabled — a typed
+    /// attach/detach projection materialized from the event journal
+    /// (use [`Engine::obs`] for the full journal).
+    pub fn trace(&self) -> Option<TraceLog> {
+        self.obs.journal().map(TraceLog::from_journal)
     }
 
-    /// Takes the trace log, disabling tracing.
+    /// Takes the journal (disabling journaling) and returns its
+    /// structural projection.
     pub fn take_trace(&mut self) -> Option<TraceLog> {
-        self.trace.take()
+        self.obs
+            .take_journal()
+            .map(|journal| TraceLog::from_journal(&journal))
+    }
+
+    /// The observability pipeline.
+    pub fn obs(&self) -> &Pipeline {
+        &self.obs
+    }
+
+    /// Mutable access to the observability pipeline (enable components,
+    /// take the journal).
+    pub fn obs_mut(&mut self) -> &mut Pipeline {
+        &mut self.obs
+    }
+
+    /// Installs an observability pipeline wholesale, replacing the
+    /// current one.
+    pub fn set_obs(&mut self, obs: Pipeline) {
+        self.obs = obs;
+    }
+
+    /// Lifetime RNG draws consumed by this engine's generator (the
+    /// profiler's denominator; also what the byte-identity tests pin).
+    pub fn rng_draws(&self) -> u64 {
+        self.rng.draws()
     }
 
     /// Captures the engine's complete simulation state (overlay,
@@ -267,7 +271,7 @@ impl Engine {
     /// configuration and a stateless oracle replays *identically* —
     /// the checkpoint/resume facility a long experiment campaign needs.
     ///
-    /// The trace log is not part of the snapshot.
+    /// The observability pipeline is not part of the snapshot.
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
             population: self.population.clone(),
@@ -309,7 +313,7 @@ impl Engine {
             oracle,
             rng: snapshot.rng,
             round: snapshot.round,
-            trace: None,
+            obs: Pipeline::disabled(),
             order_scratch: Vec::new(),
             churn_scratch: Vec::new(),
             faults: snapshot.faults,
@@ -321,21 +325,21 @@ impl Engine {
     }
 
     fn emit_attach(&mut self, child: PeerId, parent: Member) {
-        if let Some(log) = &mut self.trace {
-            log.push(TraceEvent::Attach {
+        if self.obs.is_enabled() {
+            self.obs.record(Event::Attach {
                 round: self.round.get(),
-                child,
-                parent,
+                child: child.get(),
+                parent: member_to_node(parent),
             });
         }
     }
 
     fn emit_detach(&mut self, child: PeerId, parent: Member, cause: DetachCause) {
-        if let Some(log) = &mut self.trace {
-            log.push(TraceEvent::Detach {
+        if self.obs.is_enabled() {
+            self.obs.record(Event::Detach {
                 round: self.round.get(),
-                child,
-                parent,
+                child: child.get(),
+                parent: member_to_node(parent),
                 cause,
             });
         }
@@ -437,6 +441,12 @@ impl Engine {
         self.crash_silent[p.index()] = 0;
         self.crashed_total += 1;
         self.counters.crashes += 1;
+        if self.obs.is_enabled() {
+            self.obs.record(Event::Crash {
+                round: self.round.get(),
+                peer: p.get(),
+            });
+        }
         self.proto[p.index()].reset();
         true
     }
@@ -544,10 +554,44 @@ impl Engine {
         }
     }
 
+    /// Work done since a `(rng draws, counters)` baseline — the
+    /// profiler's per-phase delta.
+    fn work_since(&self, draws0: u64, counters0: &EngineCounters, actions: u64) -> Work {
+        let c = &self.counters;
+        Work {
+            actions,
+            rng_draws: self.rng.draws() - draws0,
+            oracle_queries: c.oracle_queries - counters0.oracle_queries,
+            interactions: c.interactions - counters0.interactions,
+            attaches: c.attaches - counters0.attaches,
+            detaches: c.detaches - counters0.detaches,
+            messages_lost: c.messages_lost - counters0.messages_lost,
+        }
+    }
+
     /// Runs one construction round: every online peer acts once, in a
     /// shuffled order.
+    ///
+    /// When the pipeline's profiler is enabled the round is accounted
+    /// into phases — `detection` (crash schedule + silence aging),
+    /// `schedule` (the order shuffle), and per-action `construction` /
+    /// `maintenance` — purely from counter and RNG-draw deltas, so the
+    /// profile is deterministic and profiling never perturbs the run.
     pub fn step(&mut self) {
+        let profiling = self.obs.profiling();
+        let mut mark = wall_mark();
+        let mut draws0 = self.rng.draws();
+        let mut counters0 = self.counters;
+
         self.fire_scheduled_crashes();
+        if profiling {
+            let work = self.work_since(draws0, &counters0, 0);
+            self.obs.record_phase("detection", work, mark);
+            mark = wall_mark();
+            draws0 = self.rng.draws();
+            counters0 = self.counters;
+        }
+
         let mut order = std::mem::take(&mut self.order_scratch);
         order.clear();
         order.extend(
@@ -556,13 +600,43 @@ impl Engine {
                 .filter(|p| self.online[p.index()]),
         );
         self.rng.shuffle(&mut order);
+        if profiling {
+            let work = self.work_since(draws0, &counters0, 0);
+            self.obs.record_phase("schedule", work, mark);
+        }
+
         for &p in &order {
-            if self.online[p.index()] {
+            if !self.online[p.index()] {
+                continue;
+            }
+            if profiling {
+                mark = wall_mark();
+                draws0 = self.rng.draws();
+                counters0 = self.counters;
+                let phase = if self.overlay.parent(p).is_none() {
+                    "construction"
+                } else {
+                    "maintenance"
+                };
+                self.act_on(p);
+                let work = self.work_since(draws0, &counters0, 1);
+                self.obs.record_phase(phase, work, mark);
+            } else {
                 self.act_on(p);
             }
         }
         self.order_scratch = order; // capacity reused next round
+
+        if profiling {
+            mark = wall_mark();
+            draws0 = self.rng.draws();
+            counters0 = self.counters;
+        }
         self.detect_crashes();
+        if profiling {
+            let work = self.work_since(draws0, &counters0, 0);
+            self.obs.record_phase("detection", work, mark);
+        }
         self.round = self.round.next();
         debug_assert_eq!(self.overlay.validate(), Ok(()));
     }
@@ -600,6 +674,13 @@ impl Engine {
                 } else if self.proto[p.index()].backoff_remaining > 0 {
                     self.proto[p.index()].backoff_remaining -= 1;
                     self.counters.backoff_rounds += 1;
+                    if self.obs.is_enabled() {
+                        self.obs.record(Event::Backoff {
+                            round: self.round.get(),
+                            peer: p.get(),
+                            remaining: self.proto[p.index()].backoff_remaining,
+                        });
+                    }
                     None
                 } else if self.faults.oracle_blacked_out(self.round.get()) {
                     // Directory outage: the query goes out but nobody
@@ -607,15 +688,40 @@ impl Engine {
                     // itself consumes no randomness.
                     self.counters.oracle_queries += 1;
                     self.counters.oracle_outages += 1;
+                    if self.obs.is_enabled() {
+                        self.obs.record(Event::OracleOutage {
+                            round: self.round.get(),
+                            peer: p.get(),
+                        });
+                    }
                     self.register_failure(p);
                     None
                 } else {
                     self.counters.oracle_queries += 1;
                     let view = OracleView::new(&self.overlay, &self.population, &self.online);
-                    match self.oracle.sample(p, &view, &mut self.rng) {
-                        Some(j) if j != p && self.online[j.index()] => Some(Member::Peer(j)),
-                        Some(_) | None => {
+                    let sampled = match self.oracle.sample(p, &view, &mut self.rng) {
+                        Some(j) if j != p && self.online[j.index()] => Some(j),
+                        Some(_) | None => None,
+                    };
+                    match sampled {
+                        Some(j) => {
+                            if self.obs.is_enabled() {
+                                self.obs.record(Event::OracleHit {
+                                    round: self.round.get(),
+                                    peer: p.get(),
+                                    target: j.get(),
+                                });
+                            }
+                            Some(Member::Peer(j))
+                        }
+                        None => {
                             self.counters.oracle_misses += 1;
+                            if self.obs.is_enabled() {
+                                self.obs.record(Event::OracleMiss {
+                                    round: self.round.get(),
+                                    peer: p.get(),
+                                });
+                            }
                             None
                         }
                     }
@@ -629,6 +735,12 @@ impl Engine {
         // the timeout fallback keeps escalating.
         let target = if target.is_some() && self.rng.chance(self.faults.message_loss()) {
             self.counters.messages_lost += 1;
+            if self.obs.is_enabled() {
+                self.obs.record(Event::MessageLost {
+                    round: self.round.get(),
+                    peer: p.get(),
+                });
+            }
             self.register_failure(p);
             None
         } else {
@@ -639,6 +751,12 @@ impl Engine {
             None => {}
             Some(Member::Source) => {
                 self.counters.source_contacts += 1;
+                if self.obs.is_enabled() {
+                    self.obs.record(Event::SourceContact {
+                        round: self.round.get(),
+                        peer: p.get(),
+                    });
+                }
                 self.proto[p.index()].rounds_unparented = 0;
                 self.source_interaction(p);
             }
@@ -997,6 +1115,17 @@ impl Engine {
             .expect("failure detach on parented peer");
         self.counters.detaches += 1;
         self.counters.failure_detections += 1;
+        if self.obs.is_enabled() {
+            // The declared-dead parent is always a peer: the source
+            // cannot crash.
+            if let Member::Peer(q) = parent {
+                self.obs.record(Event::FaultDetected {
+                    round: self.round.get(),
+                    peer: p.get(),
+                    parent: q.get(),
+                });
+            }
+        }
         self.emit_detach(p, parent, DetachCause::Failure);
         self.proto[p.index()].reset();
     }
@@ -1005,6 +1134,10 @@ impl Engine {
     /// (children become fragment roots, §3.2); arriving peers come back
     /// fresh.
     pub fn apply_churn(&mut self, churn: &mut dyn ChurnProcess) {
+        let profiling = self.obs.profiling();
+        let mark = wall_mark();
+        let draws0 = self.rng.draws();
+        let counters0 = self.counters;
         let mut bitmap = std::mem::take(&mut self.churn_scratch);
         bitmap.clear();
         bitmap.extend_from_slice(&self.online);
@@ -1036,6 +1169,10 @@ impl Engine {
             }
         }
         self.churn_scratch = bitmap; // capacity reused next round
+        if profiling {
+            let work = self.work_since(draws0, &counters0, 0);
+            self.obs.record_phase("churn", work, mark);
+        }
         debug_assert_eq!(self.overlay.validate(), Ok(()));
     }
 
@@ -1052,6 +1189,59 @@ impl Engine {
             }
         }
         None
+    }
+
+    /// Probes the overlay's current health in O(N): depth histogram,
+    /// slack distribution, orphan / stale-chain counts, fanout
+    /// utilization, and the oracle's cumulative load. Read-only; works
+    /// whether or not the pipeline is enabled.
+    pub fn health_sample(&self) -> HealthSample {
+        let depth = crate::analysis::depth_profile(&self.overlay, &self.population);
+        let slack = crate::analysis::slack_profile(&self.overlay, &self.population);
+        let util = crate::analysis::utilization_profile(&self.overlay, &self.population);
+        HealthSample {
+            round: self.round.get(),
+            online: self.online_count() as u64,
+            orphans: self.orphan_count() as u64,
+            unrooted: depth.unrooted as u64,
+            stale_chains: self.stale_chain_count() as u64,
+            satisfied_fraction: self.satisfied_fraction(),
+            depth_counts: depth.counts.iter().map(|&c| c as u64).collect(),
+            max_depth: depth.max_depth,
+            mean_depth: depth.mean_depth,
+            violated: slack.violated as u64,
+            tight: slack.tight as u64,
+            slackful: slack.slackful as u64,
+            min_slack: slack.min_slack,
+            mean_slack: slack.mean_slack,
+            fanout_used: util.used.iter().sum(),
+            fanout_capacity: util.capacity.iter().sum(),
+            oracle_load: self.counters.oracle_queries,
+        }
+    }
+
+    /// Scrapes the registry: absorbs the engine counters, refreshes the
+    /// health gauges, and returns the round-stamped sample. `None` when
+    /// the registry is not enabled.
+    pub fn scrape(&mut self) -> Option<Scrape> {
+        self.obs.registry()?;
+        // Compute health first: the probe reads the whole engine while
+        // the registry update needs it mutably.
+        let health = self.health_sample();
+        let counters = self.counters;
+        let round = self.round.get();
+        let registry = self.obs.registry_mut().expect("registry checked above");
+        registry.absorb_engine_counters(&counters);
+        registry.set_gauge("health.satisfied_fraction", health.satisfied_fraction);
+        registry.set_gauge("health.orphans", health.orphans as f64);
+        registry.set_gauge("health.stale_chains", health.stale_chains as f64);
+        registry.set_gauge("health.mean_depth", health.mean_depth);
+        registry.set_gauge("health.mean_slack", health.mean_slack);
+        registry.set_gauge(
+            "health.fanout_utilization",
+            health.fanout_utilization().unwrap_or(0.0),
+        );
+        Some(registry.sample(round))
     }
 }
 
@@ -1087,66 +1277,6 @@ impl FromJson for ProtoState {
             },
             backoff_remaining: match value.get_opt("backoff_remaining")? {
                 Some(v) => u32::from_json(v)?,
-                None => 0,
-            },
-        })
-    }
-}
-
-impl ToJson for EngineCounters {
-    fn to_json(&self) -> Json {
-        object(vec![
-            ("interactions", self.interactions.to_json()),
-            ("oracle_queries", self.oracle_queries.to_json()),
-            ("oracle_misses", self.oracle_misses.to_json()),
-            ("attaches", self.attaches.to_json()),
-            ("detaches", self.detaches.to_json()),
-            ("displacements", self.displacements.to_json()),
-            ("source_contacts", self.source_contacts.to_json()),
-            ("maintenance_detaches", self.maintenance_detaches.to_json()),
-            ("churn_departures", self.churn_departures.to_json()),
-            ("churn_arrivals", self.churn_arrivals.to_json()),
-            ("crashes", self.crashes.to_json()),
-            ("failure_detections", self.failure_detections.to_json()),
-            ("messages_lost", self.messages_lost.to_json()),
-            ("oracle_outages", self.oracle_outages.to_json()),
-            ("backoff_rounds", self.backoff_rounds.to_json()),
-        ])
-    }
-}
-
-impl FromJson for EngineCounters {
-    fn from_json(value: &Json) -> Result<Self, JsonError> {
-        Ok(EngineCounters {
-            interactions: u64::from_json(value.get("interactions")?)?,
-            oracle_queries: u64::from_json(value.get("oracle_queries")?)?,
-            oracle_misses: u64::from_json(value.get("oracle_misses")?)?,
-            attaches: u64::from_json(value.get("attaches")?)?,
-            detaches: u64::from_json(value.get("detaches")?)?,
-            displacements: u64::from_json(value.get("displacements")?)?,
-            source_contacts: u64::from_json(value.get("source_contacts")?)?,
-            maintenance_detaches: u64::from_json(value.get("maintenance_detaches")?)?,
-            churn_departures: u64::from_json(value.get("churn_departures")?)?,
-            churn_arrivals: u64::from_json(value.get("churn_arrivals")?)?,
-            // Absent in counters serialized before the fault subsystem.
-            crashes: match value.get_opt("crashes")? {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            failure_detections: match value.get_opt("failure_detections")? {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            messages_lost: match value.get_opt("messages_lost")? {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            oracle_outages: match value.get_opt("oracle_outages")? {
-                Some(v) => u64::from_json(v)?,
-                None => 0,
-            },
-            backoff_rounds: match value.get_opt("backoff_rounds")? {
-                Some(v) => u64::from_json(v)?,
                 None => 0,
             },
         })

@@ -63,8 +63,8 @@ mod hybrid;
 mod maintenance;
 
 pub use async_engine::{
-    as_construction_outcome, run_async, run_async_lockstep, run_async_with_churn,
-    AsyncChurnOutcome, AsyncOutcome,
+    as_construction_outcome, run_async, run_async_lockstep, run_async_observed,
+    run_async_with_churn, AsyncChurnOutcome, AsyncOutcome, ObservedAsyncRun,
 };
 pub use config::{Algorithm, ConstructionConfig, SourceMode};
 pub use engine::{Engine, EngineCounters, EngineSnapshot};
@@ -72,9 +72,10 @@ pub use node::{Constraints, Member, PeerId, Population};
 pub use oracle::{Oracle, OracleKind, OracleView};
 pub use overlay::{ChainRoot, Overlay, OverlayError};
 pub use runner::{
-    chunk_plan, construct, construct_many, construct_with_oracle, parallel_runs,
-    parallel_runs_with, run_recovery, run_with_churn, ChurnOutcome, ConstructionOutcome,
-    FaultScenario, RecoveryOutcome,
+    chunk_plan, construct, construct_many, construct_observed, construct_with_oracle,
+    parallel_runs, parallel_runs_with, run_recovery, run_recovery_observed, run_with_churn,
+    ChurnOutcome, ConstructionOutcome, FaultScenario, ObservedRecovery, ObservedRun,
+    RecoveryOutcome,
 };
 pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
 pub use trace::{DetachCause, TraceEvent, TraceLog};

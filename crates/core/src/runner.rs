@@ -1,6 +1,7 @@
 //! High-level run orchestration: single construction runs, runs under
 //! churn, and the recorded outcomes the experiment harness consumes.
 
+use lagover_obs::{HealthSample, Journal, Profiler, Scrape};
 use lagover_sim::{ChurnProcess, FaultPlan, Round, SimRng, TimeSeries};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,91 @@ fn construct_with_engine(mut engine: Engine) -> ConstructionOutcome {
         final_satisfied_fraction: engine.satisfied_fraction(),
         satisfied_series: series,
         counters: *engine.counters(),
+    }
+}
+
+/// A construction run with the full observability pipeline attached:
+/// the plain outcome plus the event journal, the per-interval registry
+/// scrapes and health probes, and the cost-model profile.
+///
+/// Everything here derives deterministically from the run itself, so
+/// two observed runs of the same seed compare byte-equal — including
+/// through the JSON forms the report generator emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedRun {
+    /// The plain construction outcome (identical to [`construct`]'s).
+    pub outcome: ConstructionOutcome,
+    /// The bounded event journal recorded over the run.
+    pub journal: Journal,
+    /// Registry scrapes, one per sample interval plus the final round.
+    pub scrapes: Vec<Scrape>,
+    /// Overlay health probes, taken at the same cadence as the scrapes.
+    pub health: Vec<HealthSample>,
+    /// Per-phase work profile.
+    pub profile: Profiler,
+}
+
+/// [`construct`] with the observability pipeline enabled: records every
+/// protocol event into a journal bounded by `journal_capacity`, probes
+/// overlay health and scrapes the metrics registry every
+/// `sample_interval` rounds (clamped to at least 1) and once more at
+/// the final round, and attributes per-phase work to the profiler.
+///
+/// The observed run consumes **exactly** the same RNG stream as the
+/// plain one: observation only reads engine state, so
+/// `construct_observed(p, c, s, ..).outcome == construct(p, c, s)`.
+pub fn construct_observed(
+    population: &Population,
+    config: &ConstructionConfig,
+    seed: u64,
+    journal_capacity: usize,
+    sample_interval: u64,
+) -> ObservedRun {
+    let interval = sample_interval.max(1);
+    let mut engine = Engine::new(population, config, seed);
+    engine
+        .obs_mut()
+        .enable_journal(journal_capacity)
+        .enable_registry()
+        .enable_profiler();
+
+    let mut series = TimeSeries::new("satisfied_fraction");
+    series.push(0.0, engine.satisfied_fraction());
+    let mut scrapes = Vec::new();
+    let mut health = Vec::new();
+    health.push(engine.health_sample());
+    scrapes.push(engine.scrape().expect("registry enabled"));
+    let mut converged_at: Option<Round> = if engine.is_converged() {
+        Some(engine.round())
+    } else {
+        None
+    };
+    while converged_at.is_none() && engine.round().get() < engine.config().max_rounds {
+        engine.step();
+        series.push(engine.round().get() as f64, engine.satisfied_fraction());
+        if engine.is_converged() {
+            converged_at = Some(engine.round());
+        }
+        if engine.round().get().is_multiple_of(interval) || converged_at.is_some() {
+            health.push(engine.health_sample());
+            scrapes.push(engine.scrape().expect("registry enabled"));
+        }
+    }
+    let outcome = ConstructionOutcome {
+        converged_at: converged_at.map(Round::get),
+        rounds_run: engine.round().get(),
+        final_satisfied_fraction: engine.satisfied_fraction(),
+        satisfied_series: series,
+        counters: *engine.counters(),
+    };
+    let profile = engine.obs().profiler().cloned().expect("profiler enabled");
+    let journal = engine.obs_mut().take_journal().expect("journal enabled");
+    ObservedRun {
+        outcome,
+        journal,
+        scrapes,
+        health,
+        profile,
     }
 }
 
@@ -355,7 +441,65 @@ pub fn run_recovery(
     recovery_horizon: u64,
     seed: u64,
 ) -> RecoveryOutcome {
+    recovery_inner(population, config, scenario, recovery_horizon, seed, None).0
+}
+
+/// A crash-and-heal run with the observability pipeline attached. The
+/// scrape/health timeline starts at the crash round: recovery is what
+/// this run exists to observe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedRecovery {
+    /// The plain recovery outcome (identical to [`run_recovery`]'s).
+    pub outcome: RecoveryOutcome,
+    /// The bounded event journal recorded over the whole run.
+    pub journal: Journal,
+    /// Registry scrapes: crash round, every interval, and the final round.
+    pub scrapes: Vec<Scrape>,
+    /// Health probes at the same cadence.
+    pub health: Vec<HealthSample>,
+    /// Per-phase work profile (construction phase included).
+    pub profile: Profiler,
+}
+
+/// [`run_recovery`] with the observability pipeline enabled; the
+/// outcome is bit-identical to the unobserved run's.
+pub fn run_recovery_observed(
+    population: &Population,
+    config: &ConstructionConfig,
+    scenario: &FaultScenario,
+    recovery_horizon: u64,
+    seed: u64,
+    journal_capacity: usize,
+    sample_interval: u64,
+) -> ObservedRecovery {
+    recovery_inner(
+        population,
+        config,
+        scenario,
+        recovery_horizon,
+        seed,
+        Some((journal_capacity, sample_interval.max(1))),
+    )
+    .1
+    .expect("observation requested")
+}
+
+fn recovery_inner(
+    population: &Population,
+    config: &ConstructionConfig,
+    scenario: &FaultScenario,
+    recovery_horizon: u64,
+    seed: u64,
+    observe: Option<(usize, u64)>,
+) -> (RecoveryOutcome, Option<ObservedRecovery>) {
     let mut engine = Engine::new(population, config, seed);
+    if let Some((capacity, _)) = observe {
+        engine
+            .obs_mut()
+            .enable_journal(capacity)
+            .enable_registry()
+            .enable_profiler();
+    }
     let construction_converged_at = engine.run_to_convergence().map(Round::get);
     let crash_round = engine.round().get();
 
@@ -379,6 +523,14 @@ pub fn run_recovery(
             .with_blackout(crash_round, scenario.blackout_rounds),
     );
 
+    let mut scrapes = Vec::new();
+    let mut health = Vec::new();
+    if observe.is_some() {
+        // Timeline starts at the moment of injection.
+        health.push(engine.health_sample());
+        scrapes.push(engine.scrape().expect("registry enabled"));
+    }
+
     let mut orphan_series = TimeSeries::new("orphans");
     let mut orphan_peak = engine.orphan_count() as u64;
     orphan_series.push(crash_round as f64, orphan_peak as f64);
@@ -395,12 +547,19 @@ pub fn run_recovery(
         if stale > 0 {
             stale_rounds += 1;
         }
-        if engine.is_converged() && stale == 0 {
+        let healed = engine.is_converged() && stale == 0;
+        if let Some((_, interval)) = observe {
+            if rounds_run.is_multiple_of(interval) || healed {
+                health.push(engine.health_sample());
+                scrapes.push(engine.scrape().expect("registry enabled"));
+            }
+        }
+        if healed {
             recovery_rounds = Some(engine.round().get() - crash_round);
             break;
         }
     }
-    RecoveryOutcome {
+    let outcome = RecoveryOutcome {
         construction_converged_at,
         crash_round,
         crashed_peers: victims.len(),
@@ -410,7 +569,15 @@ pub fn run_recovery(
         orphan_series,
         stale_rounds,
         counters: *engine.counters(),
-    }
+    };
+    let observed = observe.map(|_| ObservedRecovery {
+        outcome: outcome.clone(),
+        journal: engine.obs_mut().take_journal().expect("journal enabled"),
+        scrapes,
+        health,
+        profile: engine.obs().profiler().cloned().expect("profiler enabled"),
+    });
+    (outcome, observed)
 }
 
 #[cfg(test)]
@@ -520,6 +687,46 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_matches_plain_construct_exactly() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let pop = population();
+        let observed = construct_observed(&pop, &config, 5, 1024, 10);
+        // Observation must not perturb the run: same outcome, bit for bit.
+        assert_eq!(observed.outcome, construct(&pop, &config, 5));
+        assert!(!observed.journal.is_empty(), "attaches were journaled");
+        assert_eq!(observed.health.len(), observed.scrapes.len());
+        // The profile's phase totals reconcile with the engine counters.
+        let total = observed.profile.total();
+        assert_eq!(total.attaches, observed.outcome.counters.attaches);
+        assert_eq!(
+            total.oracle_queries,
+            observed.outcome.counters.oracle_queries
+        );
+        assert_eq!(total.interactions, observed.outcome.counters.interactions);
+        // Health converged: final probe satisfied and orphan-free.
+        let last = observed.health.last().expect("sampled at least once");
+        assert_eq!(last.satisfied_fraction, 1.0);
+        assert_eq!(last.orphans, 0);
+        // Scrapes carry the event-counter view of the journal.
+        let final_scrape = observed.scrapes.last().expect("scraped at least once");
+        assert_eq!(
+            final_scrape.counter("engine.attaches"),
+            observed.outcome.counters.attaches
+        );
+    }
+
+    #[test]
+    fn observed_run_is_deterministic() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let pop = population();
+        let a = construct_observed(&pop, &config, 9, 256, 5);
+        let b = construct_observed(&pop, &config, 9, 256, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn zero_round_churn_run_is_well_formed() {
         let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::Random);
         let outcome = run_with_churn(&population(), &config, &mut NoChurn, 0, 1);
@@ -591,6 +798,29 @@ mod tests {
         let a = run_recovery(&recovery_population(), &config, &scenario, 800, 21);
         let b = run_recovery(&recovery_population(), &config, &scenario, 800, 21);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_recovery_matches_plain_run() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let scenario = FaultScenario {
+            crash_fraction: 0.5,
+            message_loss: 0.0,
+            blackout_rounds: 5,
+        };
+        let plain = run_recovery(&recovery_population(), &config, &scenario, 800, 11);
+        let observed =
+            run_recovery_observed(&recovery_population(), &config, &scenario, 800, 11, 2048, 5);
+        assert_eq!(observed.outcome, plain, "observation must not perturb");
+        assert!(!observed.journal.is_empty());
+        assert_eq!(observed.health.len(), observed.scrapes.len());
+        assert!(observed.health.len() >= 2, "crash round plus healed round");
+        // The crash itself is on the journal.
+        assert!(observed
+            .journal
+            .iter()
+            .any(|e| e.kind() == lagover_obs::EventKind::Crash));
     }
 
     #[test]

@@ -1,42 +1,37 @@
-//! Structural event tracing for construction runs.
+//! Structural event tracing for construction runs — now a typed view
+//! over the `lagover-obs` event journal.
 //!
-//! When enabled on the [`Engine`](crate::engine::Engine), every overlay
-//! mutation is recorded with its round and cause. The trace is what the
-//! `overlay_evolution` example renders, what debugging a wedged run
-//! needs, and what a deployment would ship to its telemetry pipeline.
+//! The engine records into [`lagover_obs::Journal`] (the unified event
+//! journal); this module keeps the original structural-trace API alive
+//! on top of it. [`TraceEvent`] / [`TraceLog`] carry typed
+//! [`PeerId`]/[`Member`] references and [`TraceLog::from_journal`]
+//! projects a journal's attach/detach events back into that form, so
+//! consumers like the `overlay_evolution` example keep a stable
+//! surface. [`DetachCause`] itself moved to `lagover-obs` and is
+//! re-exported here unchanged.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+pub use lagover_obs::DetachCause;
+use lagover_obs::{Event, Journal, Node};
+
 use crate::node::{Member, PeerId};
 
-/// Why a peer lost its parent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum DetachCause {
-    /// The maintenance rule fired (`DelayAt > l` while rooted).
-    Maintenance,
-    /// Displaced by another peer's reconfiguration.
-    Displaced,
-    /// Discarded by its own parent to make room during a swap.
-    Discarded,
-    /// The peer (or its parent) churned offline.
-    Churn,
-    /// A crash-stop failure was detected after `detection_timeout`
-    /// silent rounds (either a child giving up on a dead parent, or the
-    /// engine reclaiming a detected crash victim's remaining edges).
-    Failure,
+/// Converts a typed tree member to the journal's raw form.
+pub fn member_to_node(member: Member) -> Node {
+    match member {
+        Member::Source => Node::Source,
+        Member::Peer(p) => Node::Peer(p.get()),
+    }
 }
 
-impl fmt::Display for DetachCause {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            DetachCause::Maintenance => "maintenance",
-            DetachCause::Displaced => "displaced",
-            DetachCause::Discarded => "discarded",
-            DetachCause::Churn => "churn",
-            DetachCause::Failure => "failure",
-        })
+/// Converts the journal's raw member form back to the typed one.
+pub fn node_to_member(node: Node) -> Member {
+    match node {
+        Node::Source => Member::Source,
+        Node::Peer(id) => Member::Peer(PeerId::new(id)),
     }
 }
 
@@ -77,6 +72,35 @@ impl TraceEvent {
     pub fn child(&self) -> PeerId {
         match *self {
             TraceEvent::Attach { child, .. } | TraceEvent::Detach { child, .. } => child,
+        }
+    }
+
+    /// Projects a journal event into its structural form, if it has
+    /// one (everything but attach/detach is protocol-level and maps to
+    /// `None`).
+    pub fn from_event(event: &Event) -> Option<TraceEvent> {
+        match *event {
+            Event::Attach {
+                round,
+                child,
+                parent,
+            } => Some(TraceEvent::Attach {
+                round,
+                child: PeerId::new(child),
+                parent: node_to_member(parent),
+            }),
+            Event::Detach {
+                round,
+                child,
+                parent,
+                cause,
+            } => Some(TraceEvent::Detach {
+                round,
+                child: PeerId::new(child),
+                parent: node_to_member(parent),
+                cause,
+            }),
+            _ => None,
         }
     }
 }
@@ -126,6 +150,19 @@ impl TraceLog {
             dropped: 0,
             start: 0,
         }
+    }
+
+    /// Projects the structural (attach/detach) events out of a journal,
+    /// oldest first. The log inherits the journal's capacity; events the
+    /// *journal* already dropped are gone and counted in neither place.
+    pub fn from_journal(journal: &Journal) -> TraceLog {
+        let mut log = TraceLog::new(journal.capacity());
+        for event in journal.iter() {
+            if let Some(structural) = TraceEvent::from_event(event) {
+                log.push(structural);
+            }
+        }
+        log
     }
 
     /// Records an event.
@@ -230,6 +267,35 @@ mod tests {
             cause: DetachCause::Displaced,
         };
         assert_eq!(d.to_string(), "r4: peer 2 !<- peer 9 (displaced)");
+    }
+
+    #[test]
+    fn from_journal_keeps_structural_events_only() {
+        let mut journal = Journal::new(8);
+        journal.push(Event::Attach {
+            round: 0,
+            child: 1,
+            parent: Node::Source,
+        });
+        journal.push(Event::OracleMiss { round: 1, peer: 2 });
+        journal.push(Event::Detach {
+            round: 2,
+            child: 1,
+            parent: Node::Source,
+            cause: DetachCause::Churn,
+        });
+        let log = TraceLog::from_journal(&journal);
+        assert_eq!(log.len(), 2);
+        let rendered: Vec<String> = log.iter().map(ToString::to_string).collect();
+        assert_eq!(rendered[0], "r0: peer 1 <- source");
+        assert_eq!(rendered[1], "r2: peer 1 !<- source (churn)");
+    }
+
+    #[test]
+    fn member_node_round_trip() {
+        for member in [Member::Source, Member::Peer(PeerId::new(5))] {
+            assert_eq!(node_to_member(member_to_node(member)), member);
+        }
     }
 
     #[test]

@@ -158,6 +158,65 @@ pub fn run(params: &Params) -> AsyncReport {
     }
 }
 
+/// Observes the (Rand, async) condition with the `lagover-obs`
+/// pipeline enabled — the same seeds [`run`] uses for that cell, merged
+/// over `params.runs` repetitions. The event-driven engine has no
+/// rounds; `rounds` here is the ceiling of the final virtual time.
+pub fn observed(params: &Params) -> lagover_obs::ObsReport {
+    let class = TopologicalConstraint::Rand;
+    let max_time = params.max_rounds as f64;
+    // Salt of the (wi = 0 Rand, mi = 1 async) cell: 200 + wi*2 + mi.
+    let salt = 201;
+    let reports: Vec<lagover_obs::ObsReport> = (0..params.runs)
+        .map(|r| {
+            let seed = params.run_seed(salt, r as u64);
+            let population = WorkloadSpec::new(class, params.peers)
+                .generate(seed)
+                .expect("repairable");
+            let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+                .with_max_rounds(params.max_rounds);
+            let mut model_rng = SimRng::seed_from(seed).split(5);
+            let model = NormalizedRtt::new(params.peers, &mut model_rng);
+            let observed = lagover_core::run_async_observed(
+                &population,
+                &config,
+                move |p: lagover_core::PeerId, rng: &mut SimRng| {
+                    model.inner.interaction_duration(p.index(), rng) * model.scale
+                },
+                max_time,
+                seed,
+                crate::obs_exp::JOURNAL_CAPACITY,
+                crate::obs_exp::SAMPLE_INTERVAL as f64,
+            );
+            let final_time = observed
+                .outcome
+                .satisfied_series
+                .last()
+                .map(|(x, _)| x.ceil() as u64)
+                .unwrap_or(0);
+            lagover_obs::ObsReport {
+                label: format!("async {class} hybrid/rtt n={}", params.peers),
+                peers: population.len() as u64,
+                runs: 1,
+                seed,
+                rounds: final_time,
+                converged: observed.outcome.converged() as u64,
+                converged_rounds: observed
+                    .outcome
+                    .converged_at
+                    .map(|t| t.ceil() as u64)
+                    .unwrap_or(0),
+                counters: observed.counters,
+                profile: observed.profile.clone(),
+                scrapes: observed.scrapes.clone(),
+                health: observed.health.clone(),
+                journal: Some(observed.journal.clone()),
+            }
+        })
+        .collect();
+    crate::obs_exp::merge_reports(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -131,6 +131,27 @@ pub fn run(params: &Params, runs_per_workload: usize) -> Fig2Report {
     }
 }
 
+/// Observes this figure's first-workload runs (Greedy, Oracle
+/// Random-Delay) with the `lagover-obs` pipeline enabled: same seeds as
+/// [`run`]'s first class, merged over `params.runs` repetitions.
+pub fn observed(params: &Params) -> lagover_obs::ObsReport {
+    let class = TopologicalConstraint::PAPER_CLASSES[0];
+    crate::obs_exp::observe_construction(
+        &format!("fig2 {class} greedy/oracle-random-delay n={}", params.peers),
+        params,
+        0,
+        |seed| {
+            WorkloadSpec::new(class, params.peers)
+                .generate(seed)
+                .expect("paper classes are repairable")
+        },
+        || {
+            ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+                .with_max_rounds(params.max_rounds)
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

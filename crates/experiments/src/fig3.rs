@@ -137,6 +137,29 @@ pub fn run(params: &Params) -> Fig3Report {
     run_with_algorithm(params, Algorithm::Greedy)
 }
 
+/// Observes the grid's (first workload, Oracle Random-Delay) cell with
+/// the `lagover-obs` pipeline enabled — the same seeds [`run`] uses for
+/// that cell, merged over `params.runs` repetitions.
+pub fn observed(params: &Params) -> lagover_obs::ObsReport {
+    let class = TopologicalConstraint::PAPER_CLASSES[0];
+    let kind = OracleKind::RandomDelay;
+    let oi = OracleKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("random-delay is a reference oracle");
+    crate::obs_exp::observe_construction(
+        &format!("fig3 {class} greedy/{} n={}", kind.label(), params.peers),
+        params,
+        oi as u64,
+        |seed| {
+            WorkloadSpec::new(class, params.peers)
+                .generate(seed)
+                .expect("paper classes are repairable")
+        },
+        || ConstructionConfig::new(Algorithm::Greedy, kind).with_max_rounds(params.max_rounds),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -183,6 +183,30 @@ pub fn run(params: &Params) -> Fig4Report {
     run_on(params, TopologicalConstraint::BiCorr)
 }
 
+/// Observes the (Hybrid, no churn) BiCorr cell with the `lagover-obs`
+/// pipeline enabled — the same seeds [`run`] uses for that cell, merged
+/// over `params.runs` repetitions.
+pub fn observed(params: &Params) -> lagover_obs::ObsReport {
+    let class = TopologicalConstraint::BiCorr;
+    // Salt of the (ai = 1 Hybrid, ci = 0 no-churn) cell in `run_on`:
+    // (ai * 2 + ci) + 100.
+    let salt = 102;
+    crate::obs_exp::observe_construction(
+        &format!("fig4 {class} hybrid/no-churn n={}", params.peers),
+        params,
+        salt,
+        |seed| {
+            WorkloadSpec::new(class, params.peers)
+                .generate(seed)
+                .expect("repairable")
+        },
+        || {
+            ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+                .with_max_rounds(params.max_rounds)
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@
 //! | [`scaling`] | construction cost vs population size (extension) |
 //! | [`liveness`] | live dissemination under churn: delivery ratio & staleness (extension) |
 //! | [`recovery`] | self-healing after crash-stop failures, oracle blackouts, and message loss (extension) |
+//! | [`obs_exp`] | observability timelines — one observed cell per instrumented experiment (extension) |
 //!
 //! Every runner takes a [`Params`] (use [`Params::paper`] for the
 //! paper-scale settings and [`Params::quick`] in tests), is
@@ -39,6 +40,7 @@ pub mod json;
 pub mod liveness;
 pub mod locality;
 pub mod multifeed_exp;
+pub mod obs_exp;
 pub mod oracle_impls;
 pub mod realizations;
 pub mod recovery;

@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use lagover_experiments::{
     ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, multifeed_exp,
-    realizations, recovery, scaling, serverload, sufficiency, Params,
+    obs_exp, realizations, recovery, scaling, serverload, sufficiency, Params,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -28,6 +28,7 @@ const EXPERIMENTS: &[&str] = &[
     "scaling",
     "liveness",
     "recovery",
+    "obs",
 ];
 
 fn usage() -> ExitCode {
@@ -166,6 +167,10 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
         }
         "recovery" => {
             let report = recovery::run(params);
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
+        }
+        "obs" => {
+            let report = obs_exp::run(params);
             (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         other => unreachable!("unknown experiment {other} filtered by main"),

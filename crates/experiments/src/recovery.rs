@@ -187,6 +187,48 @@ pub fn run(params: &Params) -> RecoveryReport {
     }
 }
 
+/// Observes the base ("crash", Hybrid) cell with the `lagover-obs`
+/// pipeline enabled — the same seeds [`run`] uses for that cell, merged
+/// over `params.runs` repetitions. Convergence here means *recovery*:
+/// `converged_rounds` sums rounds from injection to full healing.
+pub fn observed(params: &Params) -> lagover_obs::ObsReport {
+    let class = TopologicalConstraint::Rand;
+    let horizon = params.max_rounds;
+    let scenario = scenarios()[0].1.scenario();
+    // Salt of the (si = 0 "crash", ai = 1 Hybrid) cell: 2_000 + si*2 + ai.
+    let salt = 2_001;
+    let reports = parallel_runs(params.runs, |r| {
+        let seed = params.run_seed(salt, r as u64);
+        let population = satisfiable_population(class, params.peers, seed);
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(params.max_rounds);
+        let observed = lagover_core::run_recovery_observed(
+            &population,
+            &config,
+            &scenario,
+            horizon,
+            seed,
+            crate::obs_exp::JOURNAL_CAPACITY,
+            crate::obs_exp::SAMPLE_INTERVAL,
+        );
+        lagover_obs::ObsReport {
+            label: format!("recovery crash/hybrid {class} n={}", params.peers),
+            peers: population.len() as u64,
+            runs: 1,
+            seed,
+            rounds: observed.outcome.rounds_run,
+            converged: observed.outcome.recovered() as u64,
+            converged_rounds: observed.outcome.recovery_rounds.unwrap_or(0),
+            counters: observed.outcome.counters,
+            profile: observed.profile.clone(),
+            scrapes: observed.scrapes.clone(),
+            health: observed.health.clone(),
+            journal: Some(observed.journal.clone()),
+        }
+    });
+    crate::obs_exp::merge_reports(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,56 @@
+//! Byte-identity pin: the observability pipeline is inert unless
+//! enabled. Running the instrumented `observed()` drivers in the same
+//! process must leave the figure reports byte-for-byte unchanged, and
+//! enabling the full pipeline on an engine must consume zero extra RNG
+//! draws relative to the plain run.
+
+use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind};
+use lagover_experiments::{fig2, Params};
+use lagover_obs::Pipeline;
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+
+#[test]
+fn fig2_bytes_are_unchanged_by_observed_runs_in_the_same_process() {
+    let params = Params::quick();
+    let runs = params.runs * 2;
+    let before = lagover_jsonio::to_string_pretty(&fig2::run(&params, runs));
+    // Exercise the whole instrumented path between the two baselines:
+    // if journaling, scraping, or profiling leaked into any shared
+    // state (thread pools, RNG, caches), the second render would drift.
+    let report = fig2::observed(&params);
+    assert_eq!(report.runs, params.runs as u64);
+    let after = lagover_jsonio::to_string_pretty(&fig2::run(&params, runs));
+    assert_eq!(
+        before, after,
+        "fig2 JSON drifted after observed runs in the same process"
+    );
+}
+
+#[test]
+fn full_pipeline_consumes_zero_extra_rng_draws() {
+    let population = WorkloadSpec::new(TopologicalConstraint::Rand, 30)
+        .generate(13)
+        .expect("repairable");
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(600);
+
+    let mut plain = Engine::new(&population, &config, 13);
+    let plain_converged = plain.run_to_convergence();
+
+    let mut pipeline = Pipeline::disabled();
+    pipeline
+        .enable_journal(8_192)
+        .enable_registry()
+        .enable_profiler();
+    let mut observed = Engine::new(&population, &config, 13);
+    observed.set_obs(pipeline);
+    let observed_converged = observed.run_to_convergence();
+
+    assert_eq!(plain_converged, observed_converged);
+    assert_eq!(
+        plain.rng_draws(),
+        observed.rng_draws(),
+        "the enabled pipeline drew from the simulation RNG"
+    );
+    assert_eq!(plain.counters(), observed.counters());
+}

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use lagover_core::node::{PeerId, Population};
 use lagover_core::overlay::Overlay;
+use lagover_obs::{Event, Journal};
 use lagover_sim::SimRng;
 
 use crate::schedule::PublishSchedule;
@@ -99,6 +100,31 @@ pub fn disseminate(
     config: &DisseminationConfig,
     seed: u64,
 ) -> DisseminationReport {
+    disseminate_inner(overlay, population, config, seed, None)
+}
+
+/// [`disseminate`] with an event journal attached: every item receipt
+/// is recorded as an [`Event::Delivery`] (round, consumer, overlay
+/// depth at delivery), so the obs report can interleave content
+/// delivery with the structural timeline. The report itself is
+/// byte-identical to the unobserved run's.
+pub fn disseminate_observed(
+    overlay: &Overlay,
+    population: &Population,
+    config: &DisseminationConfig,
+    seed: u64,
+    journal: &mut Journal,
+) -> DisseminationReport {
+    disseminate_inner(overlay, population, config, seed, Some(journal))
+}
+
+fn disseminate_inner(
+    overlay: &Overlay,
+    population: &Population,
+    config: &DisseminationConfig,
+    seed: u64,
+    mut journal: Option<&mut Journal>,
+) -> DisseminationReport {
     assert!(config.pull_interval >= 1, "pull interval must be positive");
     assert_eq!(
         overlay.len(),
@@ -132,6 +158,13 @@ pub fn disseminate(
                     for (item, &published) in publish_rounds.iter().enumerate() {
                         if published < r && received[p.index()][item].is_none() {
                             received[p.index()][item] = Some(r);
+                            if let Some(journal) = journal.as_deref_mut() {
+                                journal.push(Event::Delivery {
+                                    round: r,
+                                    peer: p.get(),
+                                    depth,
+                                });
+                            }
                         }
                         // An item published *at* round r is picked up at
                         // the next tick — "no staler than T".
@@ -150,6 +183,13 @@ pub fn disseminate(
                             if at < r {
                                 *slot = Some(r);
                                 pushes_sent[parent.index()] += 1;
+                                if let Some(journal) = journal.as_deref_mut() {
+                                    journal.push(Event::Delivery {
+                                        round: r,
+                                        peer: p.get(),
+                                        depth,
+                                    });
+                                }
                             }
                         }
                     }
@@ -327,6 +367,23 @@ mod tests {
         assert!(sent[0] >= items - 2 && sent[0] <= items, "{sent:?}");
         assert!(sent[1] >= items - 2 && sent[1] <= items, "{sent:?}");
         assert_eq!(sent[2], 0, "leaf with no children uploaded");
+    }
+
+    #[test]
+    fn observed_run_journals_every_delivery_without_perturbing_the_report() {
+        let (overlay, population) = chain();
+        let config = DisseminationConfig {
+            pull_interval: 1,
+            rounds: 40,
+            schedule: PublishSchedule::Periodic { interval: 4 },
+        };
+        let plain = disseminate(&overlay, &population, &config, 1);
+        let mut journal = Journal::new(4096);
+        let observed = disseminate_observed(&overlay, &population, &config, 1, &mut journal);
+        assert_eq!(observed, plain, "observation must not change the run");
+        let delivered: usize = plain.per_node.iter().map(|nd| nd.received).sum();
+        assert_eq!(journal.len(), delivered);
+        assert!(journal.iter().all(|e| matches!(e, Event::Delivery { .. })));
     }
 
     #[test]

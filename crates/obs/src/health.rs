@@ -1,0 +1,181 @@
+//! Per-round overlay health: the dashboard quantities a deployment
+//! would watch, in one plain-data sample.
+//!
+//! The sample is *computed* by `lagover_core::Engine::health_sample`
+//! (which owns the overlay caches and the O(N) analysis passes); this
+//! crate only defines the data shape, its serialization, and its
+//! rendering, so the probe composes with the journal and the registry
+//! without the engine depending on any of them.
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+use serde::{Deserialize, Serialize};
+
+/// One per-round health probe of an overlay under construction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthSample {
+    /// The round the sample was taken at.
+    pub round: u64,
+    /// Online peers.
+    pub online: u64,
+    /// Online peers without a parent (fragment roots).
+    pub orphans: u64,
+    /// Peers not reachable from the source (includes offline ones).
+    pub unrooted: u64,
+    /// Online peers whose ancestor chain crosses a crashed peer.
+    pub stale_chains: u64,
+    /// Fraction of online peers currently satisfied.
+    pub satisfied_fraction: f64,
+    /// `depth_counts[d]` = rooted peers at delay `d` (index 0 unused).
+    pub depth_counts: Vec<u64>,
+    /// Maximum observed delay.
+    pub max_depth: u32,
+    /// Mean delay over rooted peers (0.0 when none).
+    pub mean_depth: f64,
+    /// Rooted peers with negative slack (`DelayAt > l`).
+    pub violated: u64,
+    /// Rooted peers with exactly zero slack.
+    pub tight: u64,
+    /// Rooted peers with positive slack.
+    pub slackful: u64,
+    /// Minimum slack over rooted peers (`None` when nobody is rooted).
+    pub min_slack: Option<i64>,
+    /// Mean slack over rooted peers.
+    pub mean_slack: f64,
+    /// Child slots in use across the source and all rooted peers.
+    pub fanout_used: u64,
+    /// Child slots offered across the source and all rooted peers.
+    pub fanout_capacity: u64,
+    /// Cumulative oracle queries at sample time (the oracle's load).
+    pub oracle_load: u64,
+}
+
+impl HealthSample {
+    /// Fanout utilization in `[0, 1]` (`None` if no capacity is
+    /// offered).
+    pub fn fanout_utilization(&self) -> Option<f64> {
+        (self.fanout_capacity > 0).then(|| self.fanout_used as f64 / self.fanout_capacity as f64)
+    }
+
+    /// One fixed-width timeline row (pairs with [`HealthSample::render_header`]).
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:>6} {:>7} {:>7} {:>6} {:>9.3} {:>9.2} {:>9.2} {:>8}",
+            self.round,
+            self.orphans,
+            self.stale_chains,
+            self.violated,
+            self.satisfied_fraction,
+            self.mean_depth,
+            self.mean_slack,
+            self.oracle_load,
+        )
+    }
+
+    /// Column header for [`HealthSample::render_row`].
+    pub fn render_header() -> String {
+        format!(
+            "{:>6} {:>7} {:>7} {:>6} {:>9} {:>9} {:>9} {:>8}",
+            "round", "orphans", "stale", "viol", "satisfied", "depth", "slack", "oracle"
+        )
+    }
+}
+
+impl ToJson for HealthSample {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("round", self.round.to_json()),
+            ("online", self.online.to_json()),
+            ("orphans", self.orphans.to_json()),
+            ("unrooted", self.unrooted.to_json()),
+            ("stale_chains", self.stale_chains.to_json()),
+            ("satisfied_fraction", self.satisfied_fraction.to_json()),
+            ("depth_counts", self.depth_counts.to_json()),
+            ("max_depth", self.max_depth.to_json()),
+            ("mean_depth", self.mean_depth.to_json()),
+            ("violated", self.violated.to_json()),
+            ("tight", self.tight.to_json()),
+            ("slackful", self.slackful.to_json()),
+            ("min_slack", self.min_slack.to_json()),
+            ("mean_slack", self.mean_slack.to_json()),
+            ("fanout_used", self.fanout_used.to_json()),
+            ("fanout_capacity", self.fanout_capacity.to_json()),
+            ("oracle_load", self.oracle_load.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HealthSample {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(HealthSample {
+            round: u64::from_json(value.get("round")?)?,
+            online: u64::from_json(value.get("online")?)?,
+            orphans: u64::from_json(value.get("orphans")?)?,
+            unrooted: u64::from_json(value.get("unrooted")?)?,
+            stale_chains: u64::from_json(value.get("stale_chains")?)?,
+            satisfied_fraction: f64::from_json(value.get("satisfied_fraction")?)?,
+            depth_counts: Vec::from_json(value.get("depth_counts")?)?,
+            max_depth: u32::from_json(value.get("max_depth")?)?,
+            mean_depth: f64::from_json(value.get("mean_depth")?)?,
+            violated: u64::from_json(value.get("violated")?)?,
+            tight: u64::from_json(value.get("tight")?)?,
+            slackful: u64::from_json(value.get("slackful")?)?,
+            min_slack: Option::from_json(value.get("min_slack")?)?,
+            mean_slack: f64::from_json(value.get("mean_slack")?)?,
+            fanout_used: u64::from_json(value.get("fanout_used")?)?,
+            fanout_capacity: u64::from_json(value.get("fanout_capacity")?)?,
+            oracle_load: u64::from_json(value.get("oracle_load")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HealthSample {
+        HealthSample {
+            round: 5,
+            online: 10,
+            orphans: 2,
+            unrooted: 3,
+            stale_chains: 1,
+            satisfied_fraction: 0.7,
+            depth_counts: vec![0, 3, 4],
+            max_depth: 2,
+            mean_depth: 1.5,
+            violated: 0,
+            tight: 2,
+            slackful: 5,
+            min_slack: Some(0),
+            mean_slack: 1.25,
+            fanout_used: 7,
+            fanout_capacity: 14,
+            oracle_load: 42,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable() {
+        let s = sample();
+        let json = lagover_jsonio::to_string(&s);
+        let back: HealthSample = lagover_jsonio::from_str(&json).expect("parses");
+        assert_eq!(back, s);
+        assert_eq!(lagover_jsonio::to_string(&back), json);
+    }
+
+    #[test]
+    fn utilization_handles_zero_capacity() {
+        let mut s = sample();
+        assert_eq!(s.fanout_utilization(), Some(0.5));
+        s.fanout_capacity = 0;
+        assert_eq!(s.fanout_utilization(), None);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        assert_eq!(
+            HealthSample::render_header().len(),
+            sample().render_row().len()
+        );
+    }
+}

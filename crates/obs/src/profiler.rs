@@ -1,0 +1,316 @@
+//! The deterministic cost-model profiler.
+//!
+//! Wall clocks are nondeterministic, so profiles built on them can
+//! never be byte-compared across runs — and byte comparison is how
+//! this repo audits everything (`cargo xtask replay-diff`). The
+//! profiler therefore measures *work*, not time: per-phase counts of
+//! oracle contacts, pairwise interactions, structural operations, lost
+//! messages, and RNG draws. Two runs of the same seed produce the
+//! same profile, bit for bit, on any machine.
+//!
+//! The opt-in `wall-clock` cargo feature adds elapsed wall time per
+//! phase for local investigation. Wall times appear in the *rendered*
+//! report only; they are always excluded from the JSON form, so replay
+//! artifacts stay byte-stable even when the feature is enabled.
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+use serde::{Deserialize, Serialize};
+
+/// Work performed during some span of a run — the profiler's unit of
+/// account.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Work {
+    /// Peer actions taken (construction or maintenance steps).
+    pub actions: u64,
+    /// RNG draws consumed (`SimRng::draws` delta).
+    pub rng_draws: u64,
+    /// Oracle queries issued.
+    pub oracle_queries: u64,
+    /// Pairwise interactions performed.
+    pub interactions: u64,
+    /// Attach operations.
+    pub attaches: u64,
+    /// Detach operations.
+    pub detaches: u64,
+    /// Interactions lost in flight.
+    pub messages_lost: u64,
+}
+
+impl Work {
+    /// Field-wise sum.
+    pub fn add(&mut self, other: Work) {
+        self.actions += other.actions;
+        self.rng_draws += other.rng_draws;
+        self.oracle_queries += other.oracle_queries;
+        self.interactions += other.interactions;
+        self.attaches += other.attaches;
+        self.detaches += other.detaches;
+        self.messages_lost += other.messages_lost;
+    }
+}
+
+/// Accumulated work for one named phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name (e.g. `"construction"`).
+    pub name: String,
+    /// Total work attributed to the phase.
+    pub work: Work,
+    /// Elapsed wall time, only measured under the `wall-clock`
+    /// feature. Never serialized: replay artifacts must not depend on
+    /// the machine.
+    #[cfg(feature = "wall-clock")]
+    #[serde(skip)]
+    pub wall_nanos: u64,
+}
+
+// Equality deliberately ignores `wall_nanos`: wall time is a local
+// diagnostic, and two profiles that did the same work are the same
+// profile (matching the serialized form, which omits it).
+impl PartialEq for PhaseStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.work == other.work
+    }
+}
+
+impl Eq for PhaseStats {}
+
+/// An opaque wall-clock mark. Zero-sized (and free) unless the
+/// `wall-clock` feature is enabled, so instrumented code can take
+/// marks unconditionally without dragging `std::time` into replayed
+/// paths.
+#[derive(Debug, Clone, Copy)]
+pub struct WallMark {
+    #[cfg(feature = "wall-clock")]
+    at: std::time::Instant,
+}
+
+/// Takes a wall-clock mark (a no-op without the `wall-clock` feature).
+pub fn wall_mark() -> WallMark {
+    WallMark {
+        #[cfg(feature = "wall-clock")]
+        at: std::time::Instant::now(),
+    }
+}
+
+/// Per-phase work accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profiler {
+    phases: Vec<PhaseStats>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    fn phase_slot(&mut self, name: &str) -> &mut PhaseStats {
+        if let Some(at) = self.phases.iter().position(|p| p.name == name) {
+            return &mut self.phases[at];
+        }
+        self.phases.push(PhaseStats {
+            name: name.to_string(),
+            ..Default::default()
+        });
+        self.phases.last_mut().expect("just pushed")
+    }
+
+    /// Attributes `work` (and, under the `wall-clock` feature, the time
+    /// since `mark`) to the phase `name`.
+    pub fn record(&mut self, name: &str, work: Work, mark: WallMark) {
+        let slot = self.phase_slot(name);
+        slot.work.add(work);
+        #[cfg(feature = "wall-clock")]
+        {
+            slot.wall_nanos += mark.at.elapsed().as_nanos() as u64;
+        }
+        #[cfg(not(feature = "wall-clock"))]
+        let _ = mark;
+    }
+
+    /// The phases, in first-recorded order.
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
+    /// Stats for the phase `name`, if it was ever recorded.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Total work across all phases.
+    pub fn total(&self) -> Work {
+        let mut total = Work::default();
+        for phase in &self.phases {
+            total.add(phase.work);
+        }
+        total
+    }
+
+    /// Merges another profiler's phases into this one (multi-run
+    /// aggregation; phase order follows first sight).
+    pub fn merge(&mut self, other: &Profiler) {
+        for phase in &other.phases {
+            let slot = self.phase_slot(&phase.name);
+            slot.work.add(phase.work);
+            #[cfg(feature = "wall-clock")]
+            {
+                slot.wall_nanos += phase.wall_nanos;
+            }
+        }
+    }
+
+    /// Renders the per-phase table. Wall times are appended only when
+    /// the `wall-clock` feature measured them.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<14} {:>9} {:>9} {:>8} {:>9} {:>8} {:>8} {:>7}",
+            "phase", "actions", "draws", "oracle", "interact", "attach", "detach", "lost"
+        );
+        #[cfg(feature = "wall-clock")]
+        out.push_str(&format!(" {:>10}", "wall_ms"));
+        for phase in &self.phases {
+            let w = &phase.work;
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<14} {:>9} {:>9} {:>8} {:>9} {:>8} {:>8} {:>7}",
+                phase.name,
+                w.actions,
+                w.rng_draws,
+                w.oracle_queries,
+                w.interactions,
+                w.attaches,
+                w.detaches,
+                w.messages_lost
+            ));
+            #[cfg(feature = "wall-clock")]
+            out.push_str(&format!(" {:>10.3}", phase.wall_nanos as f64 / 1_000_000.0));
+        }
+        out
+    }
+}
+
+impl ToJson for Work {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("actions", self.actions.to_json()),
+            ("rng_draws", self.rng_draws.to_json()),
+            ("oracle_queries", self.oracle_queries.to_json()),
+            ("interactions", self.interactions.to_json()),
+            ("attaches", self.attaches.to_json()),
+            ("detaches", self.detaches.to_json()),
+            ("messages_lost", self.messages_lost.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Work {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Work {
+            actions: u64::from_json(value.get("actions")?)?,
+            rng_draws: u64::from_json(value.get("rng_draws")?)?,
+            oracle_queries: u64::from_json(value.get("oracle_queries")?)?,
+            interactions: u64::from_json(value.get("interactions")?)?,
+            attaches: u64::from_json(value.get("attaches")?)?,
+            detaches: u64::from_json(value.get("detaches")?)?,
+            messages_lost: u64::from_json(value.get("messages_lost")?)?,
+        })
+    }
+}
+
+impl ToJson for PhaseStats {
+    fn to_json(&self) -> Json {
+        // wall_nanos is intentionally absent: JSON profiles are replay
+        // artifacts and must be machine-independent.
+        object(vec![
+            ("name", self.name.to_json()),
+            ("work", self.work.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PhaseStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(PhaseStats {
+            name: String::from_json(value.get("name")?)?,
+            work: Work::from_json(value.get("work")?)?,
+            #[cfg(feature = "wall-clock")]
+            wall_nanos: 0,
+        })
+    }
+}
+
+impl ToJson for Profiler {
+    fn to_json(&self) -> Json {
+        object(vec![(
+            "phases",
+            Json::Array(self.phases.iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for Profiler {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Profiler {
+            phases: Vec::from_json(value.get("phases")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(actions: u64, draws: u64) -> Work {
+        Work {
+            actions,
+            rng_draws: draws,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn phases_accumulate_in_first_sight_order() {
+        let mut profiler = Profiler::new();
+        profiler.record("construction", work(1, 2), wall_mark());
+        profiler.record("maintenance", work(1, 0), wall_mark());
+        profiler.record("construction", work(1, 3), wall_mark());
+        assert_eq!(profiler.phases().len(), 2);
+        assert_eq!(profiler.phases()[0].name, "construction");
+        assert_eq!(profiler.phase("construction").unwrap().work.rng_draws, 5);
+        assert_eq!(profiler.total().actions, 3);
+    }
+
+    #[test]
+    fn merge_sums_matching_phases() {
+        let mut a = Profiler::new();
+        a.record("schedule", work(0, 10), wall_mark());
+        let mut b = Profiler::new();
+        b.record("schedule", work(0, 5), wall_mark());
+        b.record("churn", work(0, 1), wall_mark());
+        a.merge(&b);
+        assert_eq!(a.phase("schedule").unwrap().work.rng_draws, 15);
+        assert_eq!(a.phase("churn").unwrap().work.rng_draws, 1);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable_and_wall_free() {
+        let mut profiler = Profiler::new();
+        profiler.record("construction", work(4, 7), wall_mark());
+        let json = lagover_jsonio::to_string(&profiler);
+        assert!(!json.contains("wall"), "wall time must stay out of JSON");
+        let back: Profiler = lagover_jsonio::from_str(&json).expect("parses");
+        assert_eq!(lagover_jsonio::to_string(&back), json);
+    }
+
+    #[test]
+    fn render_lists_every_phase() {
+        let mut profiler = Profiler::new();
+        profiler.record("construction", work(1, 1), wall_mark());
+        profiler.record("detection", work(0, 0), wall_mark());
+        let text = profiler.render();
+        assert!(text.contains("construction"));
+        assert!(text.contains("detection"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property test: the registry's `events.*` counters are exactly a
+//! fold over the raw journal. When the journal capacity covers the
+//! whole stream, `Registry::sample` and `Journal::counts_by_kind`
+//! agree on every [`EventKind`], so neither surface can silently lose
+//! or double-count events.
+
+use lagover_obs::{DetachCause, Event, EventKind, Journal, Node, Registry};
+use proptest::prelude::*;
+
+fn node() -> impl Strategy<Value = Node> {
+    prop_oneof![Just(Node::Source), (0u32..64).prop_map(Node::Peer)]
+}
+
+fn cause() -> impl Strategy<Value = DetachCause> {
+    (0usize..DetachCause::ALL.len()).prop_map(|i| DetachCause::ALL[i])
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..100, 0u32..64, node()).prop_map(|(round, child, parent)| Event::Attach {
+            round,
+            child,
+            parent
+        }),
+        (0u64..100, 0u32..64, node(), cause()).prop_map(|(round, child, parent, cause)| {
+            Event::Detach {
+                round,
+                child,
+                parent,
+                cause,
+            }
+        }),
+        (0u64..100, 0u32..64, 0u32..64).prop_map(|(round, peer, target)| Event::OracleHit {
+            round,
+            peer,
+            target
+        }),
+        (0u64..100, 0u32..64).prop_map(|(round, peer)| Event::OracleMiss { round, peer }),
+        (0u64..100, 0u32..64).prop_map(|(round, peer)| Event::OracleOutage { round, peer }),
+        (0u64..100, 0u32..64).prop_map(|(round, peer)| Event::SourceContact { round, peer }),
+        (0u64..100, 0u32..64, 0u32..8).prop_map(|(round, peer, remaining)| Event::Backoff {
+            round,
+            peer,
+            remaining
+        }),
+        (0u64..100, 0u32..64).prop_map(|(round, peer)| Event::MessageLost { round, peer }),
+        (0u64..100, 0u32..64).prop_map(|(round, peer)| Event::Crash { round, peer }),
+        (0u64..100, 0u32..64, 0u32..64).prop_map(|(round, peer, parent)| Event::FaultDetected {
+            round,
+            peer,
+            parent
+        }),
+        (0u64..100, 0u32..64, 0u32..12).prop_map(|(round, peer, depth)| Event::Delivery {
+            round,
+            peer,
+            depth
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn registry_sample_is_a_fold_over_the_journal(
+        events in proptest::collection::vec(event(), 0..200),
+    ) {
+        let mut journal = Journal::new(events.len().max(1));
+        let mut registry = Registry::new();
+        for e in &events {
+            journal.push(*e);
+            registry.record_event(e);
+        }
+        prop_assert_eq!(journal.dropped(), 0, "capacity covers the stream");
+
+        let scrape = registry.sample(0);
+        for kind in EventKind::ALL {
+            let folded = journal.iter().filter(|e| e.kind() == kind).count() as u64;
+            prop_assert_eq!(
+                scrape.counter(&format!("events.{}", kind.name())),
+                folded,
+                "kind {}",
+                kind.name()
+            );
+        }
+        // The journal's own rollup must agree with the same fold.
+        for (kind, count) in journal.counts_by_kind() {
+            let folded = journal.iter().filter(|e| e.kind() == kind).count() as u64;
+            prop_assert_eq!(count, folded, "counts_by_kind {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn a_bounded_journal_never_undercounts_the_registry(
+        events in proptest::collection::vec(event(), 1..200),
+        capacity in 1usize..64,
+    ) {
+        // With a ring smaller than the stream, the registry keeps exact
+        // totals while the journal keeps the newest `capacity` events
+        // and reports the overflow in `dropped()`.
+        let mut journal = Journal::new(capacity);
+        let mut registry = Registry::new();
+        for e in &events {
+            journal.push(*e);
+            registry.record_event(e);
+        }
+        let scrape = registry.sample(0);
+        let registry_total: u64 = EventKind::ALL
+            .into_iter()
+            .map(|kind| scrape.counter(&format!("events.{}", kind.name())))
+            .sum();
+        prop_assert_eq!(registry_total, events.len() as u64);
+        prop_assert_eq!(journal.len() as u64 + journal.dropped(), events.len() as u64);
+    }
+}

@@ -40,10 +40,25 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// let mut b = SimRng::seed_from(7);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimRng {
     s: [u64; 4],
+    /// Lifetime count of `next_u64` calls — the observability cost
+    /// model's currency. Not part of the generator's identity: equality
+    /// and serialization cover the xoshiro state only, so snapshots
+    /// taken before this field existed still round-trip byte-for-byte.
+    #[serde(skip)]
+    draws: u64,
 }
+
+// Identity is the xoshiro state alone; `draws` is bookkeeping.
+impl PartialEq for SimRng {
+    fn eq(&self, other: &Self) -> bool {
+        self.s == other.s
+    }
+}
+
+impl Eq for SimRng {}
 
 impl SimRng {
     /// Creates a generator from a single `u64` master seed.
@@ -59,9 +74,12 @@ impl SimRng {
         // seed cannot produce four zero outputs in a row, but guard
         // against it defensively.
         if s == [0, 0, 0, 0] {
-            return SimRng { s: [1, 2, 3, 4] };
+            return SimRng {
+                s: [1, 2, 3, 4],
+                draws: 0,
+            };
         }
-        SimRng { s }
+        SimRng { s, draws: 0 }
     }
 
     /// Derives an independent child stream identified by `stream`.
@@ -83,9 +101,12 @@ impl SimRng {
             splitmix64(&mut sm),
         ];
         if s == [0, 0, 0, 0] {
-            return SimRng { s: [1, 2, 3, 4] };
+            return SimRng {
+                s: [1, 2, 3, 4],
+                draws: 0,
+            };
         }
-        SimRng { s }
+        SimRng { s, draws: 0 }
     }
 
     /// Draws a uniform index in `0..bound`.
@@ -184,9 +205,20 @@ impl SimRng {
     /// same non-degenerate state the seeding paths use).
     pub fn from_state(s: [u64; 4]) -> Self {
         if s == [0, 0, 0, 0] {
-            return SimRng { s: [1, 2, 3, 4] };
+            return SimRng {
+                s: [1, 2, 3, 4],
+                draws: 0,
+            };
         }
-        SimRng { s }
+        SimRng { s, draws: 0 }
+    }
+
+    /// Lifetime count of `next_u64` draws (every derived draw — `index`,
+    /// `f64`, `fill_bytes`, … — bottoms out there). The cost-model
+    /// profiler attributes per-phase RNG work from deltas of this value;
+    /// it restarts at zero on deserialized or split generators.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 }
 
@@ -217,6 +249,7 @@ impl RngCore for SimRng {
     }
 
     fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         let s = &mut self.s;
         let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
@@ -260,7 +293,7 @@ impl SeedableRng for SimRng {
         if s == [0, 0, 0, 0] {
             s = [1, 2, 3, 4];
         }
-        SimRng { s }
+        SimRng { s, draws: 0 }
     }
 }
 
@@ -396,6 +429,22 @@ mod tests {
         let mut a = SimRng::from_seed(seed);
         let mut b = SimRng::from_seed(seed);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn draws_count_every_underlying_next_u64() {
+        let mut rng = SimRng::seed_from(21);
+        assert_eq!(rng.draws(), 0);
+        let _ = rng.next_u64();
+        let _ = rng.index(5); // one u64
+        let _ = rng.f64(); // one u64
+        let mut buf = [0u8; 13]; // two u64s (8 + remainder)
+        rng.fill_bytes(&mut buf);
+        assert_eq!(rng.draws(), 5);
+        // Equality and child streams ignore the counter.
+        let peer = SimRng::from_state(rng.state());
+        assert_eq!(peer, rng);
+        assert_eq!(rng.split(1).draws(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `unordered-iter`     | `HashMap`, `HashSet`                   | serialization-adjacent files (mention `to_json`/`jsonio`, or live in `crates/experiments/src`) |
 //! | `float-accumulation` | `.sum(`/`.sum::`                       | `crates/sim/src/stats.rs` |
 //! | `bare-unwrap`        | `.unwrap()`, `.expect("")`             | `crates/core/src` |
+//! | `obs-bypass`         | `println!`/`eprintln!`, `struct *Counters` | `crates/core/src` (telemetry goes through the `lagover-obs` facade) |
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -235,6 +236,30 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
         // surviving `""` really was empty in the source.
         for offset in find_idents(&masked, ".expect(\"\")") {
             emit(offset, "bare-unwrap");
+        }
+        // Telemetry must flow through the `lagover-obs` facade: no raw
+        // stdout/stderr printing and no ad-hoc `*Counters` structs in
+        // the engine crate (the one blessed set lives in
+        // `crates/obs/src/counters.rs`).
+        for offset in find_idents(&masked, "println!") {
+            emit(offset, "obs-bypass");
+        }
+        for offset in find_idents(&masked, "eprintln!") {
+            emit(offset, "obs-bypass");
+        }
+        let bytes = masked.as_bytes();
+        for offset in find_idents(&masked, "struct") {
+            let mut j = offset + "struct".len();
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let start = j;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            if masked[start..j].ends_with("Counters") {
+                emit(offset, "obs-bypass");
+            }
         }
     }
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
@@ -510,6 +535,31 @@ mod tests {
             ["bare-unwrap", "bare-unwrap"]
         );
         assert!(rules_of("crates/workload/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn fixture_obs_bypass_is_caught_in_core_only() {
+        let source = include_str!("../fixtures/obs_bypass.rs");
+        let findings = scan_source("crates/core/src/engine.rs", source);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["obs-bypass", "obs-bypass", "obs-bypass"]);
+        // One print of each stream plus the shadow-counter struct —
+        // and none of the decoys.
+        assert!(findings[0].excerpt.contains("println!"));
+        assert!(findings[1].excerpt.contains("eprintln!"));
+        assert!(findings[2].excerpt.contains("ShadowCounters"));
+        // Outside the engine crate the rule does not apply (the obs
+        // crate itself defines the blessed `EngineCounters`).
+        assert!(rules_of("crates/obs/src/counters.rs", source).is_empty());
+    }
+
+    #[test]
+    fn obs_bypass_requires_the_counters_suffix() {
+        let source = "struct Countersign { field: u8 }\nstruct Counters { a: u64 }\n";
+        assert_eq!(
+            rules_of("crates/core/src/engine.rs", source),
+            ["obs-bypass"]
+        );
     }
 
     #[test]

@@ -15,9 +15,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-/// Figure drivers diffed by default: the paper figures plus the
-/// scaling sweep, which exercises the widest parallel fan-out.
-const DEFAULT_FIGURES: &[&str] = &["fig2", "fig3", "fig4", "scaling", "recovery"];
+/// Figure drivers diffed by default: the paper figures, the scaling
+/// sweep (widest parallel fan-out), and the observability report
+/// (journal + scrape + profile serialization).
+const DEFAULT_FIGURES: &[&str] = &["fig2", "fig3", "fig4", "scaling", "recovery", "obs"];
 
 /// The four schedules; the first is the baseline the rest diff against.
 const VARIANTS: &[(&str, &str, Option<&str>)] = &[

@@ -10,11 +10,19 @@
 
 use lagover::core::node::{Constraints, Member, PeerId, Population};
 use lagover::core::{Algorithm, ConstructionConfig, Engine, OracleKind};
+use lagover::obs::{Event, Node, Pipeline};
 
 const NAMES: [&str; 10] = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
 
 fn name(p: PeerId) -> &'static str {
     NAMES[p.index()]
+}
+
+fn node_name(node: Node) -> &'static str {
+    match node {
+        Node::Source => "source",
+        Node::Peer(id) => NAMES[id as usize],
+    }
 }
 
 fn render(engine: &Engine, population: &Population) -> String {
@@ -82,6 +90,12 @@ fn main() {
     let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay);
     let mut engine = Engine::new(&population, &config, 20);
 
+    // Record the run's structural history through the unified
+    // observability pipeline (replaces the old `core::trace` API).
+    let mut pipeline = Pipeline::disabled();
+    pipeline.enable_journal(4_096);
+    engine.set_obs(pipeline);
+
     let mut last = String::new();
     println!("round 0:\n{}", render(&engine, &population));
     for round in 1..=500 {
@@ -102,5 +116,41 @@ fn main() {
     // the paper's final configuration shows.
     for strict in [PeerId::new(0), PeerId::new(3)] {
         assert_eq!(engine.overlay().parent(strict), Some(Member::Source));
+    }
+
+    // Replay the journal: every attach/detach the run went through,
+    // told in the paper's peer names.
+    let journal = engine
+        .obs_mut()
+        .take_journal()
+        .expect("journal was enabled above");
+    println!("\nstructural history ({} events):", journal.len());
+    for event in journal.iter() {
+        match *event {
+            Event::Attach {
+                round,
+                child,
+                parent,
+            } => println!(
+                "  r{round}: {} <- {}",
+                NAMES[child as usize],
+                node_name(parent)
+            ),
+            Event::Detach {
+                round,
+                child,
+                parent,
+                cause,
+            } => println!(
+                "  r{round}: {} !<- {} ({cause})",
+                NAMES[child as usize],
+                node_name(parent)
+            ),
+            _ => {}
+        }
+    }
+    println!("event totals:");
+    for (kind, count) in journal.counts_by_kind() {
+        println!("  {kind}: {count}");
     }
 }
