@@ -1,56 +1,32 @@
-//! Construction-throughput harness: runs the standard N=10k
-//! Random-Delay scenario and emits `BENCH_construction.json` with
-//! rounds/sec and wall-clock, so successive PRs have a perf trajectory
-//! to track.
+//! Construction-throughput harness: thin wrapper over
+//! [`lagover_perf::construction_throughput`]. Runs the standard N=10k
+//! Random-Delay scenario and emits `BENCH_construction.json` in the
+//! unified baseline-document shape, with a work-unit layer plus
+//! wall-clock samples.
+//!
+//! Because the wall layer is environment-dependent, this file is a
+//! **CI artifact only** — never commit it (`.gitignore` enforces
+//! this). See DESIGN.md §12 for the artifact policy.
 //!
 //! Usage: `construction_bench [OUTPUT_PATH]` (default
 //! `BENCH_construction.json` in the current directory).
 
-use std::time::Instant;
-
-use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind};
-use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+use lagover_perf::construction_throughput;
 
 /// The standard scenario every run of this harness measures.
 const PEERS: usize = 10_000;
 const ROUNDS: u64 = 100;
 const SEED: u64 = 0xB_E7C1_0000;
+const WALL_SAMPLES: usize = 3;
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_construction.json".into());
 
-    let gen_start = Instant::now();
-    let population = WorkloadSpec::new(TopologicalConstraint::Rand, PEERS)
-        .generate(SEED)
-        .expect("Rand at 10k peers is repairable");
-    let generation_secs = gen_start.elapsed().as_secs_f64();
-
-    let config =
-        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(ROUNDS);
-    let mut engine = Engine::new(&population, &config, SEED);
-    let run_start = Instant::now();
-    let mut converged_at: Option<u64> = None;
-    for _ in 0..ROUNDS {
-        engine.step();
-        if converged_at.is_none() && engine.is_converged() {
-            converged_at = Some(engine.round().get());
-            break;
-        }
-    }
-    let wall_clock_secs = run_start.elapsed().as_secs_f64();
-    let rounds_run = engine.round().get();
-    let rounds_per_sec = rounds_run as f64 / wall_clock_secs;
-
-    // Hand-formatted JSON: the harness must not depend on any JSON
-    // crate so it stays runnable in minimal environments.
-    let json = format!(
-        "{{\n  \"scenario\": \"rand_n{PEERS}_hybrid_random_delay\",\n  \"peers\": {PEERS},\n  \"seed\": {SEED},\n  \"rounds_run\": {rounds_run},\n  \"converged_at\": {},\n  \"wall_clock_secs\": {wall_clock_secs:.6},\n  \"rounds_per_sec\": {rounds_per_sec:.2},\n  \"workload_generation_secs\": {generation_secs:.6},\n  \"final_satisfied_fraction\": {:.6}\n}}\n",
-        converged_at.map_or("null".into(), |r| r.to_string()),
-        engine.satisfied_fraction(),
-    );
-    std::fs::write(&out_path, &json).expect("writable output path");
+    let doc = construction_throughput(PEERS, ROUNDS, SEED, WALL_SAMPLES);
+    let json = lagover_jsonio::to_string_pretty(&doc);
+    std::fs::write(&out_path, format!("{json}\n")).expect("writable output path");
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

@@ -1,78 +1,38 @@
-//! Observability-cost harness: runs the standard N=1k Rand/Hybrid
-//! construction with the full `lagover-obs` pipeline enabled (journal +
-//! registry + profiler) and emits `BENCH_obs.json` with the event
-//! volume, per-phase work totals, and health endpoints, so successive
-//! PRs have an instrumentation-footprint trajectory to track.
+//! Observability-cost harness: thin wrapper over the `obs` scenario of
+//! [`lagover_perf`]. Runs the standard N=1k Rand/Hybrid construction
+//! with the full `lagover-obs` pipeline enabled and emits
+//! `BENCH_obs.json` in the unified baseline-document shape.
 //!
-//! Like `recovery_bench` this harness records no wall-clock at all:
-//! every reported number is a deterministic function of the seed, so
-//! the JSON is byte-stable across machines and thread counts.
+//! The harness records no wall-clock at all: every reported number is
+//! a deterministic function of the seed, so the JSON is byte-stable
+//! across machines and thread counts and the file is **committed** —
+//! CI regenerates it and fails on any drift. See DESIGN.md §12 for the
+//! artifact policy.
 //!
 //! Usage: `obs_bench [OUTPUT_PATH]` (default `BENCH_obs.json` in the
 //! current directory).
 
-use lagover_core::{construct_observed, Algorithm, ConstructionConfig, OracleKind};
-use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+use lagover_perf::{single_scenario_document, PerfParams};
 
 /// The standard scenario every run of this harness measures.
 const PEERS: usize = 1_000;
 const MAX_ROUNDS: u64 = 2_000;
 const SEED: u64 = 0xB_E7C1_0002;
-const JOURNAL_CAPACITY: usize = 1 << 16;
-const SAMPLE_INTERVAL: u64 = 50;
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_obs.json".into());
 
-    let population = WorkloadSpec::new(TopologicalConstraint::Rand, PEERS)
-        .generate(SEED)
-        .expect("Rand at 1k peers is repairable");
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(MAX_ROUNDS);
-    let observed = construct_observed(
-        &population,
-        &config,
-        SEED,
-        JOURNAL_CAPACITY,
-        SAMPLE_INTERVAL,
-    );
-
-    let work = observed.profile.total();
-    let kinds: String = observed
-        .journal
-        .counts_by_kind()
-        .into_iter()
-        .map(|(kind, count)| format!("    \"{kind}\": {count}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let last_health = observed.health.last().expect("at least the round-0 probe");
-
-    // Hand-formatted JSON: the harness must not depend on any JSON
-    // crate so it stays runnable in minimal environments.
-    let json = format!(
-        "{{\n  \"scenario\": \"rand_n{PEERS}_hybrid_observed\",\n  \"peers\": {PEERS},\n  \"seed\": {SEED},\n  \"converged_at\": {},\n  \"rounds_run\": {},\n  \"journal_events\": {},\n  \"journal_dropped\": {},\n  \"events_by_kind\": {{\n{kinds}\n  }},\n  \"scrapes\": {},\n  \"health_probes\": {},\n  \"work_actions\": {},\n  \"work_rng_draws\": {},\n  \"work_oracle_queries\": {},\n  \"work_interactions\": {},\n  \"work_attaches\": {},\n  \"work_detaches\": {},\n  \"final_satisfied_fraction\": {:.6},\n  \"final_max_depth\": {},\n  \"final_mean_depth\": {:.6}\n}}\n",
-        observed
-            .outcome
-            .converged_at
-            .map_or("null".into(), |r| r.to_string()),
-        observed.outcome.rounds_run,
-        observed.journal.len(),
-        observed.journal.dropped(),
-        observed.scrapes.len(),
-        observed.health.len(),
-        work.actions,
-        work.rng_draws,
-        work.oracle_queries,
-        work.interactions,
-        work.attaches,
-        work.detaches,
-        last_health.satisfied_fraction,
-        last_health.max_depth,
-        last_health.mean_depth,
-    );
-    std::fs::write(&out_path, &json).expect("writable output path");
+    let params = PerfParams {
+        peers: PEERS,
+        runs: 1,
+        max_rounds: MAX_ROUNDS,
+        seed: SEED,
+    };
+    let doc = single_scenario_document("obs", &params, 0).expect("obs is a registry scenario");
+    let json = lagover_jsonio::to_string_pretty(&doc);
+    std::fs::write(&out_path, format!("{json}\n")).expect("writable output path");
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

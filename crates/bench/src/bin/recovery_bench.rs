@@ -1,22 +1,22 @@
-//! Recovery-quality harness: runs the standard N=1k compound-fault
-//! scenario (interior crashes + oracle blackout + message loss) and
-//! emits `BENCH_recovery.json` with re-convergence rounds, orphan
-//! counts, and fault counters, so successive PRs have a robustness
-//! trajectory to track.
+//! Recovery-quality harness: thin wrapper over the `recovery` scenario
+//! of [`lagover_perf`]. Runs the standard N=1k compound-fault scenario
+//! (interior crashes + oracle blackout + message loss) and emits
+//! `BENCH_recovery.json` in the unified baseline-document shape.
 //!
-//! Unlike `construction_bench` this harness records no wall-clock at
-//! all: every reported number is a deterministic function of the seed,
-//! so the JSON is byte-stable across machines and thread counts.
+//! The harness records no wall-clock at all: every reported number is
+//! a deterministic function of the seed, so the JSON is byte-stable
+//! across machines and thread counts and the file is **committed** —
+//! CI regenerates it and fails on any drift. See DESIGN.md §12 for the
+//! artifact policy.
 //!
 //! Usage: `recovery_bench [OUTPUT_PATH]` (default
 //! `BENCH_recovery.json` in the current directory).
 
-use lagover_core::{run_recovery, Algorithm, ConstructionConfig, FaultScenario, OracleKind};
-use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+use lagover_perf::{single_scenario_document, PerfParams};
 
 /// The standard scenario every run of this harness measures.
 const PEERS: usize = 1_000;
-const HORIZON: u64 = 2_000;
+const MAX_ROUNDS: u64 = 2_000;
 const SEED: u64 = 0xB_E7C1_0001;
 
 fn main() {
@@ -24,40 +24,16 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_recovery.json".into());
 
-    let population = WorkloadSpec::new(TopologicalConstraint::Rand, PEERS)
-        .generate(SEED)
-        .expect("Rand at 1k peers is repairable");
-    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
-        .with_max_rounds(HORIZON);
-    let scenario = FaultScenario {
-        crash_fraction: 0.10,
-        message_loss: 0.05,
-        blackout_rounds: 30,
+    let params = PerfParams {
+        peers: PEERS,
+        runs: 1,
+        max_rounds: MAX_ROUNDS,
+        seed: SEED,
     };
-    let outcome = run_recovery(&population, &config, &scenario, HORIZON, SEED);
-    let c = &outcome.counters;
-
-    // Hand-formatted JSON: the harness must not depend on any JSON
-    // crate so it stays runnable in minimal environments.
-    let json = format!(
-        "{{\n  \"scenario\": \"rand_n{PEERS}_hybrid_compound_fault\",\n  \"peers\": {PEERS},\n  \"seed\": {SEED},\n  \"crash_fraction\": 0.10,\n  \"message_loss\": 0.05,\n  \"blackout_rounds\": 30,\n  \"construction_converged_at\": {},\n  \"crash_round\": {},\n  \"crashed_peers\": {},\n  \"recovery_rounds\": {},\n  \"rounds_run\": {},\n  \"orphan_peak\": {},\n  \"stale_rounds\": {},\n  \"failure_detections\": {},\n  \"messages_lost\": {},\n  \"oracle_outages\": {},\n  \"backoff_rounds\": {}\n}}\n",
-        outcome
-            .construction_converged_at
-            .map_or("null".into(), |r| r.to_string()),
-        outcome.crash_round,
-        outcome.crashed_peers,
-        outcome
-            .recovery_rounds
-            .map_or("null".into(), |r| r.to_string()),
-        outcome.rounds_run,
-        outcome.orphan_peak,
-        outcome.stale_rounds,
-        c.failure_detections,
-        c.messages_lost,
-        c.oracle_outages,
-        c.backoff_rounds,
-    );
-    std::fs::write(&out_path, &json).expect("writable output path");
+    let doc =
+        single_scenario_document("recovery", &params, 0).expect("recovery is a registry scenario");
+    let json = lagover_jsonio::to_string_pretty(&doc);
+    std::fs::write(&out_path, format!("{json}\n")).expect("writable output path");
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

@@ -13,6 +13,7 @@
 //! lagover evolve     (--spec FILE | --workload …) [--trace N]
 //! lagover recover    (--spec FILE | --workload …) [--crash-fraction F] [--message-loss P] [--blackout N]
 //! lagover obs        (--spec FILE | --workload …) [--runs N] [--json]
+//! lagover perf       [--scenario NAME]... [--wall K] [--peers N] [--runs N] [--json]
 //! ```
 //!
 //! `spec` emits a population as JSON (editable by hand); every other
@@ -84,6 +85,12 @@ pub struct Options {
     pub runs: usize,
     /// `--json` (obs: emit the report as JSON instead of text).
     pub json: bool,
+    /// `--wall K` (perf: wall-clock samples per scenario; 0 keeps the
+    /// document fully deterministic).
+    pub wall: usize,
+    /// `--scenario NAME` (perf: repeatable scenario subset; empty runs
+    /// the full registry).
+    pub scenarios: Vec<String>,
 }
 
 impl Default for Options {
@@ -106,17 +113,21 @@ impl Default for Options {
             blackout: 0,
             runs: 1,
             json: false,
+            wall: 0,
+            scenarios: Vec::new(),
         }
     }
 }
 
 /// The usage string.
-pub const USAGE: &str = "usage: lagover <spec|check|construct|disseminate|evolve|recover|obs> \
+pub const USAGE: &str =
+    "usage: lagover <spec|check|construct|disseminate|evolve|recover|obs|perf> \
 [--spec FILE] [--workload tf1|rand|bicorr|biuncorr|adversarial|zipf] [--peers N] [--seed N] \
 [--source-fanout F] [--algorithm greedy|hybrid] \
 [--oracle random|random-capacity|random-delay-capacity|random-delay] \
 [--max-rounds N] [--rounds N] [--pull-interval T] [--trace N] \
-[--crash-fraction F] [--message-loss P] [--blackout N] [--runs N] [--json]";
+[--crash-fraction F] [--message-loss P] [--blackout N] [--runs N] [--json] \
+[--wall K] [--scenario fig2|fig3|fig4|recovery|obs]";
 
 /// Parses the argument list (without the program name).
 ///
@@ -134,6 +145,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         "evolve",
         "recover",
         "obs",
+        "perf",
     ]
     .contains(&command.as_str())
     {
@@ -143,6 +155,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         command,
         ..Options::default()
     };
+    if opts.command == "perf" {
+        // `lagover perf` defaults to the pinned baseline parameters so a
+        // bare invocation reproduces the committed BENCH_baseline.json.
+        let p = lagover_perf::baseline_params();
+        opts.peers = p.peers;
+        opts.runs = p.runs;
+        opts.max_rounds = p.max_rounds;
+        opts.seed = p.seed;
+    }
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -233,6 +254,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 }
             }
             "--json" => opts.json = true,
+            "--wall" => {
+                opts.wall = value()?
+                    .parse()
+                    .map_err(|_| err("--wall needs an integer"))?
+            }
+            "--scenario" => {
+                let name = value()?;
+                if !lagover_perf::scenario_names().contains(&name.as_str()) {
+                    return Err(err(format!(
+                        "unknown scenario '{name}' (expected one of {})",
+                        lagover_perf::scenario_names().join(", ")
+                    )));
+                }
+                opts.scenarios.push(name);
+            }
             other => return Err(err(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
@@ -280,6 +316,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         "evolve" => cmd_evolve(opts),
         "recover" => cmd_recover(opts),
         "obs" => cmd_obs(opts),
+        "perf" => cmd_perf(opts),
         other => Err(err(format!("unknown command '{other}'"))),
     }
 }
@@ -553,6 +590,21 @@ fn cmd_obs(opts: &Options) -> Result<String, CliError> {
     }
 }
 
+fn cmd_perf(opts: &Options) -> Result<String, CliError> {
+    let params = lagover_perf::PerfParams {
+        peers: opts.peers,
+        runs: opts.runs,
+        max_rounds: opts.max_rounds,
+        seed: opts.seed,
+    };
+    let baseline = lagover_perf::collect_baseline(&params, opts.wall, &opts.scenarios);
+    if opts.json {
+        Ok(lagover_jsonio::to_string_pretty(&baseline))
+    } else {
+        Ok(baseline.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -686,6 +738,43 @@ mod tests {
     #[test]
     fn obs_rejects_zero_runs() {
         assert!(parse_args(&args("obs --runs 0")).is_err());
+    }
+
+    #[test]
+    fn perf_defaults_to_the_pinned_baseline_params() {
+        let opts = parse_args(&args("perf")).unwrap();
+        let pinned = lagover_perf::baseline_params();
+        assert_eq!(opts.peers, pinned.peers);
+        assert_eq!(opts.runs, pinned.runs);
+        assert_eq!(opts.max_rounds, pinned.max_rounds);
+        assert_eq!(opts.seed, pinned.seed);
+        assert_eq!(opts.wall, 0, "deterministic by default");
+    }
+
+    #[test]
+    fn perf_rejects_unknown_scenarios() {
+        assert!(parse_args(&args("perf --scenario nope")).is_err());
+        assert!(parse_args(&args("perf --wall x")).is_err());
+    }
+
+    #[test]
+    fn perf_renders_table_and_json_round_trips() {
+        let opts = parse_args(&args(
+            "perf --peers 24 --runs 2 --max-rounds 300 --seed 7 --scenario fig2",
+        ))
+        .unwrap();
+        let table = run(&opts).unwrap();
+        assert!(table.contains("fig2"), "{table}");
+        assert!(table.contains("schema v"), "{table}");
+        let json_opts = Options {
+            json: true,
+            ..opts.clone()
+        };
+        let json = run(&json_opts).unwrap();
+        let baseline: lagover_perf::Baseline = lagover_jsonio::from_str(&json).unwrap();
+        assert_eq!(baseline.scenarios.len(), 1);
+        assert_eq!(baseline.scenarios[0].name, "fig2");
+        assert!(baseline.scenarios[0].wall.is_none());
     }
 
     #[test]

@@ -37,6 +37,21 @@ pub struct Work {
 }
 
 impl Work {
+    /// Every field as a `(name, value)` pair, in the serialization
+    /// order — the perf-baseline exporter and the report renderer both
+    /// consume this.
+    pub fn to_named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("actions", self.actions),
+            ("rng_draws", self.rng_draws),
+            ("oracle_queries", self.oracle_queries),
+            ("interactions", self.interactions),
+            ("attaches", self.attaches),
+            ("detaches", self.detaches),
+            ("messages_lost", self.messages_lost),
+        ]
+    }
+
     /// Field-wise sum.
     pub fn add(&mut self, other: Work) {
         self.actions += other.actions;
@@ -146,6 +161,20 @@ impl Profiler {
             total.add(phase.work);
         }
         total
+    }
+
+    /// Flattens the per-phase work counters into `(name, value)` pairs
+    /// — `"<phase>.<field>"`, phases in first-recorded order — the
+    /// export surface the perf baseline (`lagover-perf`) commits and
+    /// `cargo xtask bench-gate` diffs.
+    pub fn to_named(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.phases.len() * 7);
+        for phase in &self.phases {
+            for (field, value) in phase.work.to_named() {
+                out.push((format!("{}.{field}", phase.name), value));
+            }
+        }
+        out
     }
 
     /// Merges another profiler's phases into this one (multi-run
@@ -302,6 +331,20 @@ mod tests {
         assert!(!json.contains("wall"), "wall time must stay out of JSON");
         let back: Profiler = lagover_jsonio::from_str(&json).expect("parses");
         assert_eq!(lagover_jsonio::to_string(&back), json);
+    }
+
+    #[test]
+    fn named_export_flattens_phases_in_first_sight_order() {
+        let mut profiler = Profiler::new();
+        profiler.record("construction", work(4, 7), wall_mark());
+        profiler.record("maintenance", work(1, 0), wall_mark());
+        let named = profiler.to_named();
+        assert_eq!(named.len(), 14, "7 work fields per phase");
+        assert_eq!(named[0], ("construction.actions".to_string(), 4));
+        assert_eq!(named[1], ("construction.rng_draws".to_string(), 7));
+        assert_eq!(named[7], ("maintenance.actions".to_string(), 1));
+        let total = profiler.total();
+        assert_eq!(total.to_named()[0], ("actions", 5));
     }
 
     #[test]

@@ -152,6 +152,18 @@ impl Scrape {
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
+
+    /// The scrape as flat `(name, value)` pairs — the round stamp
+    /// followed by every counter in registration order. Gauges are
+    /// deliberately excluded: this is the exact-compare export surface
+    /// the perf baseline commits, and only integer metrics diff
+    /// byte-exactly across toolchains.
+    pub fn to_named(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(1 + self.counters.len());
+        out.push(("round".to_string(), self.round));
+        out.extend(self.counters.iter().cloned());
+        out
+    }
 }
 
 fn pairs_to_json<V: ToJson>(pairs: &[(String, V)]) -> Json {
@@ -278,6 +290,19 @@ mod tests {
         registry.histogram_mut("depth").record(1);
         assert_eq!(registry.histograms()[0].count(), 2);
         assert_eq!(registry.histograms().len(), 1, "found, not duplicated");
+    }
+
+    #[test]
+    fn scrape_named_export_keeps_round_and_counter_order() {
+        let mut registry = Registry::new();
+        registry.add("events.attach", 4);
+        registry.add("events.detach", 1);
+        registry.set_gauge("orphans", 2.0);
+        let named = registry.sample(12).to_named();
+        assert_eq!(named[0], ("round".to_string(), 12));
+        assert_eq!(named[1], ("events.attach".to_string(), 4));
+        assert_eq!(named[2], ("events.detach".to_string(), 1));
+        assert_eq!(named.len(), 3, "gauges stay out of the exact export");
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The two-layer baseline document model.
+//!
+//! A [`Baseline`] is what the harness emits and `cargo xtask
+//! bench-gate` diffs: a schema version, the parameters every scenario
+//! ran under, and one [`ScenarioBaseline`] per scenario. The work
+//! layer is deterministic and committed; the wall layer is optional,
+//! environment-tagged, and never committed (see the crate docs and
+//! DESIGN.md §12 for the rationale).
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+use lagover_obs::ObsReport;
+
+use crate::wall::WallLayer;
+
+/// Version stamp of the baseline document layout. `cargo xtask
+/// bench-gate` refuses to diff documents with mismatched versions, so
+/// bump this whenever the metric set or the layer structure changes
+/// incompatibly (and regenerate `BENCH_baseline.json` in the same PR).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Experiment sizing parameters, re-exported so harness callers sit on
+/// the same knobs as the figure drivers.
+pub type PerfParams = lagover_experiments::Params;
+
+/// The fixed parameters the committed `BENCH_baseline.json` is
+/// generated under. Pinned as literals (not `Params::paper()`) so a
+/// figure-protocol change cannot silently re-seed the perf baseline.
+pub fn baseline_params() -> PerfParams {
+    PerfParams {
+        peers: 120,
+        runs: 5,
+        max_rounds: 3_000,
+        seed: 42,
+    }
+}
+
+/// The deterministic layer of one scenario: convergence outcome plus a
+/// flat, insertion-ordered list of named work-unit metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkLayer {
+    /// Rounds executed, summed over the scenario's runs.
+    pub rounds: u64,
+    /// Runs that converged (for recovery: runs that fully healed).
+    pub converged: u64,
+    /// Convergence round, summed over converged runs.
+    pub converged_rounds: u64,
+    /// Named work-unit metrics, in a fixed emission order:
+    /// `counters.*` (engine counters), `work.*` (profiler totals),
+    /// `phase.*` (per-phase profiler deltas), `events.*` /
+    /// `journal.*` (first-run journal), `scrape.*` (final first-run
+    /// registry scrape), and the sampling tallies.
+    pub metrics: Vec<(String, u64)>,
+}
+
+impl WorkLayer {
+    /// Extracts the work layer from a (possibly multi-run, merged)
+    /// observability report. Every value here is a deterministic
+    /// function of the run seeds.
+    pub fn from_report(report: &ObsReport) -> WorkLayer {
+        let mut metrics = Vec::new();
+        for (name, value) in report.counters.to_named() {
+            metrics.push((format!("counters.{name}"), value));
+        }
+        for (name, value) in report.profile.total().to_named() {
+            metrics.push((format!("work.{name}"), value));
+        }
+        for (name, value) in report.profile.to_named() {
+            metrics.push((format!("phase.{name}"), value));
+        }
+        if let Some(journal) = &report.journal {
+            metrics.push(("journal.events".to_string(), journal.len() as u64));
+            metrics.push(("journal.dropped".to_string(), journal.dropped()));
+            for (kind, count) in journal.counts_by_kind() {
+                if count > 0 {
+                    metrics.push((format!("events.{}", kind.name()), count));
+                }
+            }
+        }
+        metrics.push(("scrapes".to_string(), report.scrapes.len() as u64));
+        metrics.push(("health_probes".to_string(), report.health.len() as u64));
+        if let Some(last) = report.scrapes.last() {
+            for (name, value) in last.to_named() {
+                metrics.push((format!("scrape.{name}"), value));
+            }
+        }
+        WorkLayer {
+            rounds: report.rounds,
+            converged: report.converged,
+            converged_rounds: report.converged_rounds,
+            metrics,
+        }
+    }
+
+    /// Value of the metric `name`, if present.
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// One scenario's entry in the baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBaseline {
+    /// Scenario identifier (`fig2`, `fig3`, `fig4`, `recovery`, `obs`).
+    pub name: String,
+    /// Human-readable description of what ran.
+    pub label: String,
+    /// The deterministic work-unit layer (committed, diffed exactly).
+    pub work: WorkLayer,
+    /// The wall-clock layer, when sampling was requested (never
+    /// committed; compared only same-runner, within a % budget).
+    pub wall: Option<WallLayer>,
+}
+
+/// The full baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Layout version; see [`SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Parameters every scenario ran under.
+    pub params: PerfParams,
+    /// Per-scenario entries, in harness order.
+    pub scenarios: Vec<ScenarioBaseline>,
+}
+
+impl Baseline {
+    /// The scenario entry named `name`, if present.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioBaseline> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the fixed-width summary table `lagover perf` prints.
+    pub fn render(&self) -> String {
+        let p = &self.params;
+        let mut out = format!(
+            "perf baseline (schema v{}) — peers {} runs {} max_rounds {} seed {}\n",
+            self.schema_version, p.peers, p.runs, p.max_rounds, p.seed
+        );
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>6} {:>10} {:>11} {:>9} {:>11}\n",
+            "scenario", "rounds", "conv", "actions", "rng_draws", "oracle", "interact"
+        ));
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>4}/{:<1} {:>10} {:>11} {:>9} {:>11}\n",
+                s.name,
+                s.work.rounds,
+                s.work.converged,
+                p.runs,
+                s.work.metric("work.actions").unwrap_or(0),
+                s.work.metric("work.rng_draws").unwrap_or(0),
+                s.work.metric("work.oracle_queries").unwrap_or(0),
+                s.work.metric("work.interactions").unwrap_or(0),
+            ));
+            if let Some(wall) = &s.wall {
+                out.push_str(&format!("           {}\n", wall.render_line()));
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for WorkLayer {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("rounds", self.rounds.to_json()),
+            ("converged", self.converged.to_json()),
+            ("converged_rounds", self.converged_rounds.to_json()),
+            (
+                "metrics",
+                Json::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(name, value)| (name.clone(), value.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for WorkLayer {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let metrics = match value.get("metrics")? {
+            Json::Object(entries) => entries
+                .iter()
+                .map(|(name, v)| Ok((name.clone(), u64::from_json(v)?)))
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            _ => return Err(JsonError("metrics must be an object".into())),
+        };
+        Ok(WorkLayer {
+            rounds: u64::from_json(value.get("rounds")?)?,
+            converged: u64::from_json(value.get("converged")?)?,
+            converged_rounds: u64::from_json(value.get("converged_rounds")?)?,
+            metrics,
+        })
+    }
+}
+
+impl ToJson for ScenarioBaseline {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", self.name.to_json()),
+            ("label", self.label.to_json()),
+            ("work", self.work.to_json()),
+        ];
+        if let Some(wall) = &self.wall {
+            fields.push(("wall", wall.to_json()));
+        }
+        object(fields)
+    }
+}
+
+impl FromJson for ScenarioBaseline {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ScenarioBaseline {
+            name: String::from_json(value.get("name")?)?,
+            label: String::from_json(value.get("label")?)?,
+            work: WorkLayer::from_json(value.get("work")?)?,
+            wall: match value.get_opt("wall")? {
+                Some(v) => Some(WallLayer::from_json(v)?),
+                None => None,
+            },
+        })
+    }
+}
+
+impl ToJson for Baseline {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("schema_version", self.schema_version.to_json()),
+            ("params", self.params.to_json()),
+            (
+                "scenarios",
+                Json::Array(self.scenarios.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Baseline {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let p = value.get("params")?;
+        let params = PerfParams {
+            peers: u64::from_json(p.get("peers")?)? as usize,
+            runs: u64::from_json(p.get("runs")?)? as usize,
+            max_rounds: u64::from_json(p.get("max_rounds")?)?,
+            seed: u64::from_json(p.get("seed")?)?,
+        };
+        Ok(Baseline {
+            schema_version: u64::from_json(value.get("schema_version")?)?,
+            params,
+            scenarios: Vec::from_json(value.get("scenarios")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> WorkLayer {
+        WorkLayer {
+            rounds: 40,
+            converged: 5,
+            converged_rounds: 35,
+            metrics: vec![
+                ("work.actions".to_string(), 100),
+                ("work.rng_draws".to_string(), 250),
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_json_round_trips_byte_stable() {
+        let baseline = Baseline {
+            schema_version: SCHEMA_VERSION,
+            params: baseline_params(),
+            scenarios: vec![ScenarioBaseline {
+                name: "fig2".to_string(),
+                label: "fig2 tf1".to_string(),
+                work: layer(),
+                wall: None,
+            }],
+        };
+        let json = lagover_jsonio::to_string_pretty(&baseline);
+        let back: Baseline = lagover_jsonio::from_str(&json).expect("parses");
+        assert_eq!(back, baseline);
+        assert_eq!(lagover_jsonio::to_string_pretty(&back), json);
+        assert!(
+            !json.contains("wall"),
+            "work-only baselines must not mention the wall layer"
+        );
+    }
+
+    #[test]
+    fn metric_lookup_finds_named_entries() {
+        let layer = layer();
+        assert_eq!(layer.metric("work.actions"), Some(100));
+        assert_eq!(layer.metric("missing"), None);
+    }
+
+    #[test]
+    fn render_lists_scenarios() {
+        let baseline = Baseline {
+            schema_version: SCHEMA_VERSION,
+            params: baseline_params(),
+            scenarios: vec![ScenarioBaseline {
+                name: "fig3".to_string(),
+                label: "fig3".to_string(),
+                work: layer(),
+                wall: None,
+            }],
+        };
+        let text = baseline.render();
+        assert!(text.contains("schema v1"));
+        assert!(text.contains("fig3"));
+    }
+}

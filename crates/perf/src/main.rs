@@ -1,0 +1,89 @@
+//! The `lagover-perf` binary: emits the baseline document.
+//!
+//! ```text
+//! lagover-perf [--out PATH] [--wall K] [--scenario NAME]...
+//!              [--peers N] [--runs N] [--seed N] [--max-rounds N] [--quick]
+//! ```
+//!
+//! With no flags it runs every scenario at the pinned baseline
+//! parameters and prints the work-only (fully deterministic) document
+//! to stdout — exactly what is committed as `BENCH_baseline.json` and
+//! what `cargo xtask bench-gate` regenerates to diff against it.
+//! `--wall K` attaches median-of-K wall-clock samples (never commit
+//! that form). `--quick` switches to the small test parameters.
+
+use std::process::ExitCode;
+
+use lagover_perf::{baseline_params, collect_baseline, scenario_names, PerfParams};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lagover-perf [--out PATH] [--wall K] [--scenario <{}>]... \
+         [--peers N] [--runs N] [--seed N] [--max-rounds N] [--quick]",
+        scenario_names().join("|")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = baseline_params();
+    let mut out_path: Option<String> = None;
+    let mut wall_samples = 0usize;
+    let mut only: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => return usage(),
+            },
+            "--wall" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => wall_samples = k,
+                None => return usage(),
+            },
+            "--scenario" => match it.next() {
+                Some(v) if scenario_names().contains(&v.as_str()) => only.push(v.clone()),
+                Some(v) => {
+                    eprintln!("lagover-perf: unknown scenario `{v}`");
+                    return usage();
+                }
+                None => return usage(),
+            },
+            "--peers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.peers = v,
+                None => return usage(),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.runs = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.seed = v,
+                None => return usage(),
+            },
+            "--max-rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => params.max_rounds = v,
+                None => return usage(),
+            },
+            "--quick" => params = PerfParams::quick(),
+            other => {
+                eprintln!("lagover-perf: unknown flag `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let baseline = collect_baseline(&params, wall_samples, &only);
+    let json = lagover_jsonio::to_string_pretty(&baseline);
+    println!("{json}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("lagover-perf: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

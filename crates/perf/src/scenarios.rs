@@ -1,0 +1,254 @@
+//! The scenario registry: which instrumented drivers the harness runs
+//! and how their reports become baseline entries.
+//!
+//! Every scenario reuses an `observed()` hook from
+//! `lagover-experiments`, so the work units the baseline commits are
+//! the *same numbers* the figures report — the perf trajectory and the
+//! paper reproduction cannot drift apart. All hooks derive per-run
+//! seeds from the master seed, so the work layer is byte-identical
+//! across `LAGOVER_THREADS` settings and chunkings.
+
+use lagover_core::{construct, construct_observed, Algorithm, ConstructionConfig, OracleKind};
+use lagover_experiments::{fig2, fig3, fig4, obs_exp, recovery};
+use lagover_obs::ObsReport;
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+
+use crate::baseline::{Baseline, PerfParams, ScenarioBaseline, WorkLayer, SCHEMA_VERSION};
+use crate::wall::WallLayer;
+
+/// Salt for the `obs` footprint scenario's run seeds (distinct from
+/// every experiment salt in `lagover-experiments`).
+const OBS_SALT: u64 = 7_000;
+
+/// The scenarios the harness runs, in baseline order.
+pub fn scenario_names() -> &'static [&'static str] {
+    &["fig2", "fig3", "fig4", "recovery", "obs"]
+}
+
+/// Runs one named scenario and returns its merged observability
+/// report, or `None` for an unknown name.
+pub fn run_scenario(name: &str, params: &PerfParams) -> Option<ObsReport> {
+    match name {
+        "fig2" => Some(fig2::observed(params)),
+        "fig3" => Some(fig3::observed(params)),
+        "fig4" => Some(fig4::observed(params)),
+        "recovery" => Some(recovery::observed(params)),
+        "obs" => Some(obs_footprint(params)),
+        _ => None,
+    }
+}
+
+/// The `obs` scenario: the instrumentation footprint of a fully
+/// observed Rand/Hybrid construction — journal volume, scrape count,
+/// and pipeline work — mirroring what `obs_bench` tracks.
+fn obs_footprint(params: &PerfParams) -> ObsReport {
+    obs_exp::observe_construction(
+        &format!("obs rand hybrid/oracle-random-delay n={}", params.peers),
+        params,
+        OBS_SALT,
+        |seed| {
+            WorkloadSpec::new(TopologicalConstraint::Rand, params.peers)
+                .generate(seed)
+                .expect("Rand workloads are repairable")
+        },
+        || {
+            ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+                .with_max_rounds(params.max_rounds)
+        },
+    )
+}
+
+/// Runs every scenario (or the `only` subset, when non-empty) and
+/// assembles the baseline document. `wall_samples > 0` re-runs each
+/// scenario that many times to attach the environment-tagged
+/// wall-clock layer; `0` keeps the document fully deterministic.
+pub fn collect_baseline(params: &PerfParams, wall_samples: usize, only: &[String]) -> Baseline {
+    let mut scenarios = Vec::new();
+    for &name in scenario_names() {
+        if !only.is_empty() && !only.iter().any(|o| o == name) {
+            continue;
+        }
+        let report = run_scenario(name, params).expect("registry names are valid");
+        let wall = (wall_samples > 0).then(|| {
+            WallLayer::measure(wall_samples, || {
+                run_scenario(name, params);
+            })
+        });
+        scenarios.push(ScenarioBaseline {
+            name: name.to_string(),
+            label: report.label.clone(),
+            work: WorkLayer::from_report(&report),
+            wall,
+        });
+    }
+    Baseline {
+        schema_version: SCHEMA_VERSION,
+        params: *params,
+        scenarios,
+    }
+}
+
+/// Wraps a single scenario report into a standalone one-scenario
+/// baseline document — the unified `BENCH_<name>.json` shape the
+/// `lagover-bench` thin wrappers emit.
+pub fn single_scenario_document(
+    name: &str,
+    params: &PerfParams,
+    wall_samples: usize,
+) -> Option<Baseline> {
+    let report = run_scenario(name, params)?;
+    let wall = (wall_samples > 0).then(|| {
+        WallLayer::measure(wall_samples, || {
+            run_scenario(name, params);
+        })
+    });
+    Some(Baseline {
+        schema_version: SCHEMA_VERSION,
+        params: *params,
+        scenarios: vec![ScenarioBaseline {
+            name: name.to_string(),
+            label: report.label.clone(),
+            work: WorkLayer::from_report(&report),
+            wall,
+        }],
+    })
+}
+
+/// The construction-throughput scenario behind `construction_bench`:
+/// one observed run for the work layer plus `wall_samples` plain
+/// (uninstrumented) constructions for the wall layer, at whatever
+/// scale the caller asks for.
+pub fn construction_throughput(
+    peers: usize,
+    max_rounds: u64,
+    seed: u64,
+    wall_samples: usize,
+) -> Baseline {
+    let population = WorkloadSpec::new(TopologicalConstraint::Rand, peers)
+        .generate(seed)
+        .expect("Rand workloads are repairable");
+    let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+        .with_max_rounds(max_rounds);
+    let observed = construct_observed(&population, &config, seed, 1 << 16, 50);
+    let report = ObsReport {
+        label: format!("construction rand hybrid/oracle-random-delay n={peers}"),
+        peers: peers as u64,
+        runs: 1,
+        seed,
+        rounds: observed.outcome.rounds_run,
+        converged: observed.outcome.converged() as u64,
+        converged_rounds: observed.outcome.converged_at.unwrap_or(0),
+        counters: observed.outcome.counters,
+        profile: observed.profile,
+        scrapes: observed.scrapes,
+        health: observed.health,
+        journal: Some(observed.journal),
+    };
+    let wall = (wall_samples > 0).then(|| {
+        WallLayer::measure(wall_samples, || {
+            construct(&population, &config, seed);
+        })
+    });
+    Baseline {
+        schema_version: SCHEMA_VERSION,
+        params: PerfParams {
+            peers,
+            runs: 1,
+            max_rounds,
+            seed,
+        },
+        scenarios: vec![ScenarioBaseline {
+            name: "construction".to_string(),
+            label: format!("construction rand hybrid/oracle-random-delay n={peers}"),
+            work: WorkLayer::from_report(&report),
+            wall,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagover_experiments::Params;
+
+    fn quick() -> Params {
+        let mut p = Params::quick();
+        p.runs = 2;
+        p
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(run_scenario("nope", &quick()).is_none());
+    }
+
+    #[test]
+    fn collect_covers_the_registry_in_order() {
+        let baseline = collect_baseline(&quick(), 0, &[]);
+        let names: Vec<&str> = baseline.scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, scenario_names());
+        for s in &baseline.scenarios {
+            assert!(s.wall.is_none(), "{}: wall layer off by default", s.name);
+            assert!(s.work.converged > 0, "{}: nothing converged", s.name);
+            assert!(
+                s.work.metric("work.actions").unwrap_or(0) > 0,
+                "{}: no work recorded",
+                s.name
+            );
+            assert!(
+                s.work.metric("journal.events").unwrap_or(0) > 0,
+                "{}: empty journal",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn subset_filter_selects_scenarios() {
+        let baseline = collect_baseline(&quick(), 0, &["fig2".to_string()]);
+        assert_eq!(baseline.scenarios.len(), 1);
+        assert_eq!(baseline.scenarios[0].name, "fig2");
+    }
+
+    #[test]
+    fn work_layer_is_deterministic_across_collections() {
+        let params = quick();
+        let a = collect_baseline(&params, 0, &[]);
+        let b = collect_baseline(&params, 0, &[]);
+        assert_eq!(a, b, "work units must not depend on the run");
+        assert_eq!(
+            lagover_jsonio::to_string_pretty(&a),
+            lagover_jsonio::to_string_pretty(&b),
+        );
+    }
+
+    #[test]
+    fn wall_sampling_attaches_the_layer_without_touching_work() {
+        let params = quick();
+        let dry = collect_baseline(&params, 0, &["fig2".to_string()]);
+        let wet = collect_baseline(&params, 2, &["fig2".to_string()]);
+        assert_eq!(wet.scenarios[0].work, dry.scenarios[0].work);
+        let wall = wet.scenarios[0].wall.as_ref().expect("wall layer present");
+        assert_eq!(wall.samples_secs.len(), 2);
+    }
+
+    #[test]
+    fn single_scenario_document_matches_collection_entry() {
+        let params = quick();
+        let single = single_scenario_document("recovery", &params, 0).expect("known scenario");
+        let full = collect_baseline(&params, 0, &[]);
+        assert_eq!(
+            single.scenarios[0],
+            *full.scenario("recovery").expect("in registry")
+        );
+        assert!(single_scenario_document("nope", &params, 0).is_none());
+    }
+
+    #[test]
+    fn construction_throughput_emits_one_converged_scenario() {
+        let doc = construction_throughput(60, 2_000, 7, 0);
+        assert_eq!(doc.scenarios.len(), 1);
+        assert_eq!(doc.scenarios[0].name, "construction");
+        assert_eq!(doc.scenarios[0].work.converged, 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The environment-tagged wall-clock layer.
+//!
+//! Everything in this module is **nondeterministic by design** — it
+//! measures the machine, not the protocol — which is exactly why it is
+//! quarantined here: the work-unit layer never touches a clock, wall
+//! samples never enter the committed `BENCH_baseline.json`, and
+//! `cargo xtask bench-gate` only compares wall layers whose
+//! [`EnvTag`]s match (same runner class). This file carries the one
+//! `xtask lint` wall-clock allowance for the perf crate.
+
+use std::time::Instant;
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+
+/// Where a set of wall samples was taken. Two wall layers are only
+/// comparable when their tags are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvTag {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Effective `LAGOVER_THREADS` setting (`"auto"` when unset).
+    pub threads: String,
+    /// Available hardware parallelism at sampling time.
+    pub cpus: u64,
+}
+
+impl EnvTag {
+    /// Captures the current environment.
+    pub fn capture() -> EnvTag {
+        EnvTag {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            threads: std::env::var("LAGOVER_THREADS").unwrap_or_else(|_| "auto".to_string()),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        }
+    }
+
+    /// One-line rendering (`linux/x86_64 threads=auto cpus=8`).
+    pub fn render(&self) -> String {
+        format!(
+            "{}/{} threads={} cpus={}",
+            self.os, self.arch, self.threads, self.cpus
+        )
+    }
+}
+
+/// Median-of-K wall-clock samples for one scenario, plus peak RSS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallLayer {
+    /// The environment the samples were taken in.
+    pub env: EnvTag,
+    /// Raw elapsed-seconds samples, in measurement order.
+    pub samples_secs: Vec<f64>,
+    /// Median of the samples.
+    pub median_secs: f64,
+    /// Interquartile range of the samples (spread estimate that is
+    /// robust to one slow outlier sample).
+    pub iqr_secs: f64,
+    /// Process peak RSS in kilobytes after the scenario ran, when the
+    /// platform exposes it (`/proc/self/status` `VmHWM` on Linux).
+    /// Monotonic across the process, so treat it as an upper bound per
+    /// scenario, not an isolated measurement.
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl WallLayer {
+    /// Runs `job` `samples` times (at least once) and collects the
+    /// layer from the measured durations.
+    pub fn measure(samples: usize, mut job: impl FnMut()) -> WallLayer {
+        let mut secs = Vec::with_capacity(samples.max(1));
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            job();
+            secs.push(start.elapsed().as_secs_f64());
+        }
+        WallLayer::from_samples(secs)
+    }
+
+    /// Builds the layer from pre-measured elapsed-seconds samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample list.
+    pub fn from_samples(samples_secs: Vec<f64>) -> WallLayer {
+        assert!(!samples_secs.is_empty(), "at least one wall sample");
+        let mut sorted = samples_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = percentile(&sorted, 0.50);
+        let iqr = percentile(&sorted, 0.75) - percentile(&sorted, 0.25);
+        WallLayer {
+            env: EnvTag::capture(),
+            samples_secs,
+            median_secs: median,
+            iqr_secs: iqr,
+            peak_rss_kb: peak_rss_kb(),
+        }
+    }
+
+    /// One-line rendering for tables.
+    pub fn render_line(&self) -> String {
+        let rss = self
+            .peak_rss_kb
+            .map_or(String::from("rss=n/a"), |kb| format!("rss={kb}kB"));
+        format!(
+            "wall: median {:.4}s iqr {:.4}s over {} sample(s), {} [{}]",
+            self.median_secs,
+            self.iqr_secs,
+            self.samples_secs.len(),
+            rss,
+            self.env.render()
+        )
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Peak resident set size of this process in kB, from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or when the probe
+/// fails.
+pub fn peak_rss_kb() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+impl ToJson for EnvTag {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("os", self.os.to_json()),
+            ("arch", self.arch.to_json()),
+            ("threads", self.threads.to_json()),
+            ("cpus", self.cpus.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EnvTag {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(EnvTag {
+            os: String::from_json(value.get("os")?)?,
+            arch: String::from_json(value.get("arch")?)?,
+            threads: String::from_json(value.get("threads")?)?,
+            cpus: u64::from_json(value.get("cpus")?)?,
+        })
+    }
+}
+
+impl ToJson for WallLayer {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("env", self.env.to_json()),
+            (
+                "samples_secs",
+                Json::Array(self.samples_secs.iter().map(ToJson::to_json).collect()),
+            ),
+            ("median_secs", self.median_secs.to_json()),
+            ("iqr_secs", self.iqr_secs.to_json()),
+        ];
+        if let Some(kb) = self.peak_rss_kb {
+            fields.push(("peak_rss_kb", kb.to_json()));
+        }
+        object(fields)
+    }
+}
+
+impl FromJson for WallLayer {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(WallLayer {
+            env: EnvTag::from_json(value.get("env")?)?,
+            samples_secs: Vec::from_json(value.get("samples_secs")?)?,
+            median_secs: f64::from_json(value.get("median_secs")?)?,
+            iqr_secs: f64::from_json(value.get("iqr_secs")?)?,
+            peak_rss_kb: match value.get_opt("peak_rss_kb")? {
+                Some(v) => Some(u64::from_json(v)?),
+                None => None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_iqr_from_known_samples() {
+        let layer = WallLayer::from_samples(vec![4.0, 1.0, 2.0, 3.0, 5.0]);
+        assert_eq!(layer.median_secs, 3.0);
+        assert_eq!(layer.iqr_secs, 2.0, "p75 (4.0) - p25 (2.0)");
+        assert_eq!(layer.samples_secs[0], 4.0, "raw order preserved");
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let layer = WallLayer::from_samples(vec![0.5]);
+        assert_eq!(layer.median_secs, 0.5);
+        assert_eq!(layer.iqr_secs, 0.0);
+    }
+
+    #[test]
+    fn measure_runs_the_job_the_requested_number_of_times() {
+        let mut count = 0;
+        let layer = WallLayer::measure(3, || count += 1);
+        assert_eq!(count, 3);
+        assert_eq!(layer.samples_secs.len(), 3);
+    }
+
+    #[test]
+    fn env_tag_round_trips() {
+        let tag = EnvTag::capture();
+        let json = lagover_jsonio::to_string(&tag);
+        let back: EnvTag = lagover_jsonio::from_str(&json).expect("parses");
+        assert_eq!(back, tag);
+        assert!(tag.render().contains(&tag.os));
+    }
+
+    #[test]
+    fn wall_layer_json_round_trips() {
+        let layer = WallLayer::from_samples(vec![0.25, 0.5]);
+        let json = lagover_jsonio::to_string(&layer);
+        let back: WallLayer = lagover_jsonio::from_str(&json).expect("parses");
+        assert_eq!(back, layer);
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().expect("VmHWM readable") > 0);
+        }
+    }
+}

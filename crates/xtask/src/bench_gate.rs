@@ -1,0 +1,603 @@
+//! `cargo xtask bench-gate` — the perf regression gate.
+//!
+//! Regenerates the baseline document with the release `lagover-perf`
+//! harness and diffs it against the committed `BENCH_baseline.json`
+//! under the `perf.gate.toml` tolerances:
+//!
+//! * **work units** are exact — any drift in any deterministic metric
+//!   is a regression (or an unacknowledged improvement: either way the
+//!   baseline must be regenerated in the same PR);
+//! * **wall clock** is compared only when both documents carry a wall
+//!   layer *and* their environment tags match (same runner class),
+//!   within the configured percentage budget;
+//! * **added** metrics or scenarios are warnings, promoted to failures
+//!   by `--strict` (the weekly full-matrix job runs strict).
+//!
+//! The verdict is rendered as a markdown regression table, printed and
+//! written to `target/bench-gate/REGRESSIONS.md` for the CI artifact
+//! upload. `--compare A.json B.json` diffs two existing documents
+//! instead of running the harness — CI uses it to compare the
+//! committed `BENCH_obs.json` between base and head.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use lagover_perf::Baseline;
+
+use crate::gate_config::{self, GateConfig};
+
+/// How bad one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate.
+    Regression,
+    /// Reported; fails only under `--strict`.
+    Warning,
+}
+
+/// One divergence between the baseline and the fresh document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Scenario the divergence is in.
+    pub scenario: String,
+    /// Metric name (or a structural pseudo-metric like `scenario`).
+    pub metric: String,
+    /// Baseline-side value, rendered.
+    pub baseline: String,
+    /// Fresh-side value, rendered.
+    pub fresh: String,
+    /// Regression or warning.
+    pub severity: Severity,
+    /// One-line explanation.
+    pub note: String,
+}
+
+/// Everything the gate found, plus coverage tallies for the report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Divergences, in scenario order.
+    pub findings: Vec<Finding>,
+    /// Scenarios compared.
+    pub scenarios: usize,
+    /// Work-unit metrics compared exactly.
+    pub work_metrics: usize,
+    /// Wall layers compared within budget.
+    pub wall_compared: usize,
+    /// Wall layers skipped (missing on one side or env mismatch).
+    pub wall_skipped: usize,
+}
+
+impl GateReport {
+    /// Number of regression-severity findings.
+    pub fn regressions(&self) -> usize {
+        self.count(Severity::Regression)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether the gate fails: any regression, or any warning under
+    /// `--strict`.
+    pub fn failed(&self, strict: bool) -> bool {
+        self.regressions() > 0 || (strict && self.warnings() > 0)
+    }
+
+    /// Renders the markdown regression table CI uploads.
+    pub fn render_markdown(&self, strict: bool) -> String {
+        let mut out = String::from("# bench-gate report\n\n");
+        out.push_str(&format!(
+            "Compared {} scenario(s): {} work-unit metrics exactly, \
+             {} wall layer(s) within budget, {} wall layer(s) skipped.\n\n",
+            self.scenarios, self.work_metrics, self.wall_compared, self.wall_skipped
+        ));
+        if self.findings.is_empty() {
+            out.push_str("No divergences.\n\n");
+        } else {
+            out.push_str("| scenario | metric | baseline | fresh | severity | note |\n");
+            out.push_str("|---|---|---|---|---|---|\n");
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} |\n",
+                    f.scenario,
+                    f.metric,
+                    f.baseline,
+                    f.fresh,
+                    match f.severity {
+                        Severity::Regression => "REGRESSION",
+                        Severity::Warning => "warning",
+                    },
+                    f.note
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "Verdict: **{}** ({} regression(s), {} warning(s){})\n",
+            if self.failed(strict) { "FAIL" } else { "PASS" },
+            self.regressions(),
+            self.warnings(),
+            if strict { ", strict mode" } else { "" }
+        ));
+        out
+    }
+}
+
+/// Diffs `fresh` against `baseline` under `config`. Errors (schema or
+/// parameter mismatch) mean the documents are not comparable at all —
+/// distinct from a regression verdict.
+pub fn compare(
+    baseline: &Baseline,
+    fresh: &Baseline,
+    config: &GateConfig,
+) -> Result<GateReport, String> {
+    if baseline.schema_version != fresh.schema_version {
+        return Err(format!(
+            "schema version mismatch: baseline v{}, fresh v{} — \
+             regenerate BENCH_baseline.json in the PR that bumped the schema",
+            baseline.schema_version, fresh.schema_version
+        ));
+    }
+    if baseline.params != fresh.params {
+        let p = &baseline.params;
+        let q = &fresh.params;
+        return Err(format!(
+            "parameter mismatch: baseline peers={} runs={} max_rounds={} seed={}, \
+             fresh peers={} runs={} max_rounds={} seed={}",
+            p.peers, p.runs, p.max_rounds, p.seed, q.peers, q.runs, q.max_rounds, q.seed
+        ));
+    }
+
+    let mut report = GateReport::default();
+    for base in &baseline.scenarios {
+        let Some(new) = fresh.scenario(&base.name) else {
+            report.findings.push(Finding {
+                scenario: base.name.clone(),
+                metric: "scenario".into(),
+                baseline: "present".into(),
+                fresh: "missing".into(),
+                severity: Severity::Regression,
+                note: "scenario disappeared from the harness".into(),
+            });
+            continue;
+        };
+        report.scenarios += 1;
+        compare_work(base, new, &mut report);
+        compare_wall(base, new, config, &mut report);
+    }
+    for new in &fresh.scenarios {
+        if baseline.scenario(&new.name).is_none() {
+            report.findings.push(Finding {
+                scenario: new.name.clone(),
+                metric: "scenario".into(),
+                baseline: "missing".into(),
+                fresh: "present".into(),
+                severity: Severity::Warning,
+                note: "new scenario not in the committed baseline".into(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Exact comparison of the deterministic layer.
+fn compare_work(
+    base: &lagover_perf::ScenarioBaseline,
+    new: &lagover_perf::ScenarioBaseline,
+    report: &mut GateReport,
+) {
+    let scenario = &base.name;
+    fn exact(report: &mut GateReport, scenario: &str, metric: &str, b: u64, f: u64) {
+        report.work_metrics += 1;
+        if b != f {
+            report.findings.push(Finding {
+                scenario: scenario.to_string(),
+                metric: metric.to_string(),
+                baseline: b.to_string(),
+                fresh: f.to_string(),
+                severity: Severity::Regression,
+                note: "work units are exact; regenerate the baseline if intended".into(),
+            });
+        }
+    }
+    exact(
+        report,
+        scenario,
+        "rounds",
+        base.work.rounds,
+        new.work.rounds,
+    );
+    exact(
+        report,
+        scenario,
+        "converged",
+        base.work.converged,
+        new.work.converged,
+    );
+    exact(
+        report,
+        scenario,
+        "converged_rounds",
+        base.work.converged_rounds,
+        new.work.converged_rounds,
+    );
+    for (name, b) in &base.work.metrics {
+        match new.work.metric(name) {
+            Some(f) => exact(report, scenario, name, *b, f),
+            None => report.findings.push(Finding {
+                scenario: scenario.clone(),
+                metric: name.clone(),
+                baseline: b.to_string(),
+                fresh: "missing".into(),
+                severity: Severity::Regression,
+                note: "metric disappeared".into(),
+            }),
+        }
+    }
+    for (name, f) in &new.work.metrics {
+        if base.work.metric(name).is_none() {
+            report.findings.push(Finding {
+                scenario: scenario.clone(),
+                metric: name.clone(),
+                baseline: "missing".into(),
+                fresh: f.to_string(),
+                severity: Severity::Warning,
+                note: "new metric not in the committed baseline".into(),
+            });
+        }
+    }
+}
+
+/// Budgeted comparison of the wall layer, when comparable.
+fn compare_wall(
+    base: &lagover_perf::ScenarioBaseline,
+    new: &lagover_perf::ScenarioBaseline,
+    config: &GateConfig,
+    report: &mut GateReport,
+) {
+    let (Some(b), Some(f)) = (&base.wall, &new.wall) else {
+        if base.wall.is_some() || new.wall.is_some() {
+            report.wall_skipped += 1;
+        }
+        return;
+    };
+    if b.env != f.env {
+        report.wall_skipped += 1;
+        report.findings.push(Finding {
+            scenario: base.name.clone(),
+            metric: "wall.median_secs".into(),
+            baseline: b.env.render(),
+            fresh: f.env.render(),
+            severity: Severity::Warning,
+            note: "environment tags differ; wall clock not comparable".into(),
+        });
+        return;
+    }
+    report.wall_compared += 1;
+    let budget_pct = config.budget_for(&base.name);
+    let limit = b.median_secs * (1.0 + budget_pct / 100.0);
+    if f.median_secs > limit {
+        report.findings.push(Finding {
+            scenario: base.name.clone(),
+            metric: "wall.median_secs".into(),
+            baseline: format!("{:.4}s", b.median_secs),
+            fresh: format!("{:.4}s", f.median_secs),
+            severity: Severity::Regression,
+            note: format!("exceeds the {budget_pct}% budget ({limit:.4}s)"),
+        });
+    }
+}
+
+/// Entry point for `cargo xtask bench-gate [FLAGS]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let root = crate::workspace_root();
+    let mut strict = false;
+    let mut baseline_path = root.join("BENCH_baseline.json");
+    let mut fresh_path: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut compare_paths: Option<(PathBuf, PathBuf)> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--strict" => strict = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--fresh" => match it.next() {
+                Some(p) => fresh_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--compare" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) => compare_paths = Some((PathBuf::from(a), PathBuf::from(b))),
+                _ => return usage(),
+            },
+            other => {
+                eprintln!("xtask bench-gate: unknown flag `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let config = match load_config(&root, config_path.as_deref()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask bench-gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (baseline, fresh) = if let Some((a, b)) = &compare_paths {
+        match (read_baseline(a), read_baseline(b)) {
+            (Ok(x), Ok(y)) => (x, y),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("xtask bench-gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let baseline = match read_baseline(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask bench-gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fresh = match fresh_path {
+            Some(path) => read_baseline(&path),
+            None => run_harness(&root),
+        };
+        match fresh {
+            Ok(f) => (baseline, f),
+            Err(e) => {
+                eprintln!("xtask bench-gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let report = match compare(&baseline, &fresh, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench-gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let markdown = report.render_markdown(strict);
+    print!("{markdown}");
+    let out_dir = crate::target_dir(&root).join("bench-gate");
+    let out_path = out_dir.join("REGRESSIONS.md");
+    if let Err(e) = fs::create_dir_all(&out_dir).and_then(|()| fs::write(&out_path, &markdown)) {
+        eprintln!("xtask bench-gate: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("(table written to {})", out_path.display());
+    if report.failed(strict) {
+        eprintln!("xtask bench-gate: FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask bench-gate: PASS");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask bench-gate [--strict] [--baseline PATH] [--fresh PATH] \
+         [--config PATH] [--compare BASE.json HEAD.json]"
+    );
+    ExitCode::from(2)
+}
+
+/// Loads `perf.gate.toml`: an explicit `--config` must exist; the
+/// default root file falls back to built-in tolerances when absent.
+fn load_config(root: &Path, explicit: Option<&Path>) -> Result<GateConfig, String> {
+    let path = explicit
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("perf.gate.toml"));
+    match fs::read_to_string(&path) {
+        Ok(text) => gate_config::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if explicit.is_none() && e.kind() == std::io::ErrorKind::NotFound => {
+            println!(
+                "xtask bench-gate: no {} — using default tolerances",
+                path.display()
+            );
+            Ok(GateConfig::default())
+        }
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn read_baseline(path: &Path) -> Result<Baseline, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    lagover_jsonio::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Builds (no-op when current) and runs the release `lagover-perf`
+/// harness for the fresh work-only document.
+fn run_harness(root: &Path) -> Result<Baseline, String> {
+    println!("xtask bench-gate: building lagover-perf (release)");
+    let status = Command::new(crate::cargo())
+        .current_dir(root)
+        .args(["build", "--release", "-p", "lagover-perf"])
+        .status()
+        .map_err(|e| format!("cannot invoke cargo: {e}"))?;
+    if !status.success() {
+        return Err("building lagover-perf failed".to_string());
+    }
+    let binary = crate::target_dir(root)
+        .join("release")
+        .join(format!("lagover-perf{}", std::env::consts::EXE_SUFFIX));
+    println!("xtask bench-gate: running {}", binary.display());
+    let out = Command::new(&binary)
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("cannot run {}: {e}", binary.display()))?;
+    if !out.status.success() {
+        return Err(format!(
+            "lagover-perf exited with {}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    lagover_jsonio::from_str(&text).map_err(|e| format!("cannot parse harness output: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(text: &str) -> Baseline {
+        lagover_jsonio::from_str(text).expect("fixture parses")
+    }
+
+    fn baseline() -> Baseline {
+        fixture(include_str!("../fixtures/bench_gate/baseline.json"))
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let report = compare(
+            &baseline(),
+            &fixture(include_str!("../fixtures/bench_gate/fresh_identical.json")),
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.findings, vec![]);
+        assert!(!report.failed(false));
+        assert!(!report.failed(true));
+        assert_eq!(report.scenarios, 2);
+        assert!(report.work_metrics > 0);
+        let md = report.render_markdown(false);
+        assert!(md.contains("**PASS**"), "{md}");
+        assert!(md.contains("No divergences"), "{md}");
+    }
+
+    #[test]
+    fn work_unit_drift_is_a_regression() {
+        let report = compare(
+            &baseline(),
+            &fixture(include_str!("../fixtures/bench_gate/fresh_work_drift.json")),
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(report.failed(false), "exact layer must fail on any drift");
+        assert_eq!(report.regressions(), 1);
+        let f = &report.findings[0];
+        assert_eq!(f.scenario, "fig2");
+        assert_eq!(f.metric, "work.rng_draws");
+        assert_eq!((f.baseline.as_str(), f.fresh.as_str()), ("250", "251"));
+        let md = report.render_markdown(false);
+        assert!(
+            md.contains("| fig2 | work.rng_draws | 250 | 251 | REGRESSION |"),
+            "{md}"
+        );
+        assert!(md.contains("**FAIL**"), "{md}");
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_an_error_not_a_verdict() {
+        let e = compare(
+            &baseline(),
+            &fixture(include_str!("../fixtures/bench_gate/fresh_schema.json")),
+            &GateConfig::default(),
+        )
+        .unwrap_err();
+        assert!(e.contains("schema version mismatch"), "{e}");
+    }
+
+    #[test]
+    fn added_metric_warns_and_strict_promotes_it() {
+        let report = compare(
+            &baseline(),
+            &fixture(include_str!(
+                "../fixtures/bench_gate/fresh_added_metric.json"
+            )),
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.warnings(), 1);
+        assert!(!report.failed(false), "warnings pass by default");
+        assert!(report.failed(true), "--strict fails on warnings");
+        let md = report.render_markdown(true);
+        assert!(md.contains("strict mode"), "{md}");
+        assert!(md.contains("| warning |"), "{md}");
+    }
+
+    #[test]
+    fn missing_scenario_and_metric_are_regressions() {
+        let mut fresh = baseline();
+        fresh.scenarios[1].work.metrics.remove(0);
+        fresh.scenarios.remove(0);
+        let report = compare(&baseline(), &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.regressions(), 2);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.metric == "scenario" && f.fresh == "missing"));
+    }
+
+    #[test]
+    fn parameter_mismatch_is_an_error() {
+        let mut fresh = baseline();
+        fresh.params.seed += 1;
+        let e = compare(&baseline(), &fresh, &GateConfig::default()).unwrap_err();
+        assert!(e.contains("parameter mismatch"), "{e}");
+    }
+
+    #[test]
+    fn wall_layers_compare_within_budget_same_env_only() {
+        use lagover_perf::WallLayer;
+        let mut base = baseline();
+        let mut fresh = baseline();
+        base.scenarios[0].wall = Some(WallLayer::from_samples(vec![1.0, 1.0, 1.0]));
+        fresh.scenarios[0].wall = Some(WallLayer::from_samples(vec![1.2, 1.2, 1.2]));
+        let config = GateConfig::default(); // 25% budget
+        let report = compare(&base, &fresh, &config).unwrap();
+        assert_eq!(report.wall_compared, 1);
+        assert_eq!(report.regressions(), 0, "20% growth is inside the budget");
+
+        fresh.scenarios[0].wall = Some(WallLayer::from_samples(vec![1.3, 1.3, 1.3]));
+        let report = compare(&base, &fresh, &config).unwrap();
+        assert_eq!(report.regressions(), 1, "30% growth blows the budget");
+        assert!(report.findings[0].note.contains("25% budget"));
+
+        // Mismatched environment tags: skipped with a warning.
+        let mut other_env = WallLayer::from_samples(vec![9.9]);
+        other_env.env.threads = "weird".into();
+        fresh.scenarios[0].wall = Some(other_env);
+        let report = compare(&base, &fresh, &config).unwrap();
+        assert_eq!(report.wall_compared, 0);
+        assert_eq!(report.wall_skipped, 1);
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.warnings(), 1);
+    }
+
+    #[test]
+    fn one_sided_wall_layer_is_skipped_silently() {
+        use lagover_perf::WallLayer;
+        let base = baseline();
+        let mut fresh = baseline();
+        fresh.scenarios[0].wall = Some(WallLayer::from_samples(vec![0.1]));
+        let report = compare(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.wall_skipped, 1);
+        assert_eq!(report.findings, vec![], "work-only baseline stays clean");
+    }
+}

@@ -1,0 +1,194 @@
+//! Hand-rolled parser for `perf.gate.toml` — the bench-gate tolerance
+//! file. Like `lint.allow.toml` it sticks to a tiny TOML subset so the
+//! workspace needs no external TOML crate: a `[wall]` table of
+//! `key = NUMBER` pairs, repeated `[[scenario]]` tables carrying a
+//! quoted `name` plus a per-scenario `budget_pct` override, and `#`
+//! comments. Anything else is a parse error.
+//!
+//! Work units are never configurable: they are exact by definition
+//! (DESIGN.md §12), so the file only tunes the wall-clock layer.
+
+/// Bench-gate tolerances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    /// Allowed wall-clock median growth, percent (`[wall] budget_pct`).
+    pub wall_budget_pct: f64,
+    /// Wall samples the gate takes when asked to measure
+    /// (`[wall] samples`).
+    pub wall_samples: u64,
+    /// Per-scenario `budget_pct` overrides (`[[scenario]]` tables).
+    pub scenario_budgets: Vec<(String, f64)>,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            wall_budget_pct: 25.0,
+            wall_samples: 3,
+            scenario_budgets: Vec::new(),
+        }
+    }
+}
+
+impl GateConfig {
+    /// The wall budget for `scenario`, honouring overrides.
+    pub fn budget_for(&self, scenario: &str) -> f64 {
+        self.scenario_budgets
+            .iter()
+            .find(|(name, _)| name == scenario)
+            .map(|(_, pct)| *pct)
+            .unwrap_or(self.wall_budget_pct)
+    }
+}
+
+/// Which table the parser is currently inside.
+#[derive(PartialEq)]
+enum Section {
+    Top,
+    Wall,
+    Scenario,
+}
+
+/// Parses `perf.gate.toml` text.
+pub fn parse(text: &str) -> Result<GateConfig, String> {
+    let mut config = GateConfig::default();
+    let mut section = Section::Top;
+    // (name, budget_pct) of the [[scenario]] table being filled.
+    let mut pending: Vec<(Option<String>, Option<f64>)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "[wall]" => {
+                section = Section::Wall;
+                continue;
+            }
+            "[[scenario]]" => {
+                section = Section::Scenario;
+                pending.push((None, None));
+                continue;
+            }
+            _ if line.starts_with('[') => {
+                return Err(format!("line {lineno}: unknown table `{line}`"));
+            }
+            _ => {}
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `[wall]`, `[[scenario]]`, or `key = value`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match (&section, key) {
+            (Section::Wall, "budget_pct") => config.wall_budget_pct = number(value, lineno)?,
+            (Section::Wall, "samples") => {
+                let n = number(value, lineno)?;
+                if n.fract() != 0.0 || n < 0.0 {
+                    return Err(format!("line {lineno}: samples must be a whole number"));
+                }
+                config.wall_samples = n as u64;
+            }
+            (Section::Scenario, "name") => {
+                let name = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: name must be a quoted string"))?;
+                let entry = pending.last_mut().expect("inside a [[scenario]] table");
+                if entry.0.is_some() {
+                    return Err(format!("line {lineno}: duplicate `name`"));
+                }
+                entry.0 = Some(name.to_string());
+            }
+            (Section::Scenario, "budget_pct") => {
+                let entry = pending.last_mut().expect("inside a [[scenario]] table");
+                if entry.1.is_some() {
+                    return Err(format!("line {lineno}: duplicate `budget_pct`"));
+                }
+                entry.1 = Some(number(value, lineno)?);
+            }
+            (Section::Top, _) => {
+                return Err(format!("line {lineno}: `{key}` outside a table"));
+            }
+            (_, other) => {
+                return Err(format!("line {lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    for (i, (name, pct)) in pending.into_iter().enumerate() {
+        let name = name.ok_or_else(|| format!("[[scenario]] entry {}: missing `name`", i + 1))?;
+        let pct =
+            pct.ok_or_else(|| format!("[[scenario]] entry {}: missing `budget_pct`", i + 1))?;
+        config.scenario_budgets.push((name, pct));
+    }
+    if config.wall_budget_pct < 0.0 {
+        return Err("[wall] budget_pct must be non-negative".to_string());
+    }
+    if let Some((name, pct)) = config.scenario_budgets.iter().find(|(_, pct)| *pct < 0.0) {
+        return Err(format!("scenario `{name}`: budget_pct {pct} is negative"));
+    }
+    Ok(config)
+}
+
+fn number(value: &str, lineno: usize) -> Result<f64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("line {lineno}: `{value}` is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_committed_fixture() {
+        let config = parse(include_str!("../fixtures/bench_gate/gate.toml")).unwrap();
+        assert_eq!(config.wall_budget_pct, 25.0);
+        assert_eq!(config.wall_samples, 3);
+        assert_eq!(
+            config.scenario_budgets,
+            vec![("construction".to_string(), 40.0)]
+        );
+        assert_eq!(config.budget_for("construction"), 40.0);
+        assert_eq!(config.budget_for("fig2"), 25.0, "falls back to [wall]");
+    }
+
+    #[test]
+    fn rejects_the_malformed_fixture() {
+        let e = parse(include_str!("../fixtures/bench_gate/gate_bad.toml")).unwrap_err();
+        assert!(e.contains("not a number"), "{e}");
+    }
+
+    #[test]
+    fn empty_file_yields_defaults() {
+        assert_eq!(parse("# nothing\n").unwrap(), GateConfig::default());
+    }
+
+    #[test]
+    fn scenario_tables_need_both_fields() {
+        assert!(parse("[[scenario]]\nname = \"fig2\"\n")
+            .unwrap_err()
+            .contains("missing `budget_pct`"));
+        assert!(parse("[[scenario]]\nbudget_pct = 10\n")
+            .unwrap_err()
+            .contains("missing `name`"));
+    }
+
+    #[test]
+    fn stray_keys_and_tables_are_rejected() {
+        assert!(parse("budget_pct = 10\n").unwrap_err().contains("outside"));
+        assert!(parse("[walls]\n").unwrap_err().contains("unknown table"));
+        assert!(parse("[wall]\nbudget = 10\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse("[wall]\nsamples = 1.5\n")
+            .unwrap_err()
+            .contains("whole number"));
+        assert!(parse("[wall]\nbudget_pct = -4\n")
+            .unwrap_err()
+            .contains("non-negative"));
+    }
+}

@@ -14,8 +14,14 @@
 //!   (`crates/core/tests/parallel_protocol.rs`).
 //! * `miri` — runs the core + sim unit tests under Miri when the
 //!   component is installed; detects its absence and skips cleanly.
+//! * `bench-gate` — regenerates the perf baseline with the
+//!   `lagover-perf` harness and diffs it against the committed
+//!   `BENCH_baseline.json` under the `perf.gate.toml` tolerances,
+//!   rendering a markdown regression table.
 
 mod allowlist;
+mod bench_gate;
+mod gate_config;
 mod lint;
 mod replay;
 
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
         Some("replay-diff") => replay::run(&args[1..]),
         Some("loom") => run_loom(),
         Some("miri") => run_miri(),
+        Some("bench-gate") => bench_gate::run(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -52,7 +59,11 @@ fn print_usage() {
          \x20                       --full for paper-scale parameters)\n\
          \x20 loom                  run the parallel_runs interleaving model suite\n\
          \x20 miri                  run core+sim unit tests under Miri (skips if\n\
-         \x20                       the component is not installed)"
+         \x20                       the component is not installed)\n\
+         \x20 bench-gate            diff a fresh lagover-perf run against the\n\
+         \x20                       committed BENCH_baseline.json ([--strict]\n\
+         \x20                       [--baseline P] [--fresh P] [--config P]\n\
+         \x20                       [--compare BASE.json HEAD.json])"
     );
 }
 
@@ -71,6 +82,13 @@ fn workspace_root() -> PathBuf {
 /// directly as a binary).
 fn cargo() -> String {
     std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string())
+}
+
+/// The cargo target directory (honours `CARGO_TARGET_DIR`).
+fn target_dir(root: &std::path::Path) -> PathBuf {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("target"))
 }
 
 fn run_loom() -> ExitCode {

@@ -169,11 +169,7 @@ fn experiments_binary(root: &std::path::Path) -> Result<PathBuf, String> {
     }
 }
 
-fn target_dir(root: &std::path::Path) -> PathBuf {
-    std::env::var_os("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| root.join("target"))
-}
+use crate::target_dir;
 
 /// The core comparison `replay-diff` is built on: byte offset of the
 /// first divergence between two outputs, or `None` when they are
