@@ -16,7 +16,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{Algorithm, ConstructionConfig};
 use crate::node::{Member, PeerId, Population};
-use crate::oracle::{Oracle, OracleView};
+use crate::oracle::{Oracle, OracleKind, OracleView};
+use crate::oracle_index::OracleIndex;
 use crate::overlay::Overlay;
 use crate::trace::{member_to_node, DetachCause, TraceLog};
 use crate::{greedy, hybrid, maintenance};
@@ -25,6 +26,13 @@ use crate::{greedy, hybrid, maintenance};
 // material); re-exported here so `lagover_core::engine::EngineCounters`
 // stays a valid path with identical serialization.
 pub use lagover_obs::EngineCounters;
+
+/// Populations at or below this size get the full O(N·depth)
+/// [`Overlay::validate`] cross-check after every round in debug builds.
+/// Larger debug runs fall back to the O(1) rotating spot-check alone —
+/// full validation at 10⁵ peers would make debug construction unusable.
+#[cfg(debug_assertions)]
+const FULL_VALIDATE_LIMIT: usize = 4096;
 
 /// Victim-selection policy for [`Engine::displace_into`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +149,18 @@ pub struct Engine {
     pub(crate) proto: Vec<ProtoState>,
     pub(crate) counters: EngineCounters,
     oracle: Box<dyn Oracle>,
+    /// Incremental sampling index serving the reference oracles in
+    /// O(log n) per query. `None` when disabled or when a custom
+    /// oracle is installed (its logic cannot be indexed). Kept current
+    /// lazily: the overlay records cache deltas and
+    /// [`Engine::sync_oracle_index`] drains them before each query.
+    index: Option<OracleIndex>,
+    /// Whether `oracle` is one of the four reference implementations —
+    /// the only case the index replicates bit-exactly.
+    uses_reference_oracle: bool,
+    /// Reusable buffers for draining the overlay's delta records.
+    delay_delta_scratch: Vec<(PeerId, Option<u32>)>,
+    fanout_delta_scratch: Vec<PeerId>,
     pub(crate) rng: SimRng,
     round: Round,
     /// The observability pipeline (journal + registry + profiler).
@@ -180,9 +200,13 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Creates an engine using the reference oracle named in `config`.
+    /// Creates an engine using the reference oracle named in `config`,
+    /// with the incremental sampling index enabled.
     pub fn new(population: &Population, config: &ConstructionConfig, seed: u64) -> Self {
-        Self::with_oracle(population, config, config.oracle.build(), seed)
+        let mut engine = Self::with_oracle(population, config, config.oracle.build(), seed);
+        engine.uses_reference_oracle = true;
+        engine.set_oracle_indexing(true);
+        engine
     }
 
     /// Creates an engine with a custom oracle implementation (used to
@@ -202,6 +226,10 @@ impl Engine {
             proto: vec![ProtoState::default(); n],
             counters: EngineCounters::default(),
             oracle,
+            index: None,
+            uses_reference_oracle: false,
+            delay_delta_scratch: Vec::new(),
+            fanout_delta_scratch: Vec::new(),
             rng: SimRng::seed_from(seed),
             round: Round::ZERO,
             obs: Pipeline::disabled(),
@@ -297,20 +325,32 @@ impl Engine {
     /// and should be re-injected via [`Engine::restore_with_oracle`].
     pub fn restore(snapshot: EngineSnapshot) -> Self {
         let oracle = snapshot.config.oracle.build();
-        Self::restore_with_oracle(snapshot, oracle)
+        let mut engine = Self::restore_with_oracle(snapshot, oracle);
+        engine.uses_reference_oracle = true;
+        engine.set_oracle_indexing(true);
+        engine
     }
 
     /// [`Engine::restore`] with a custom oracle.
     pub fn restore_with_oracle(snapshot: EngineSnapshot, oracle: Box<dyn Oracle>) -> Self {
         let crashed_total = snapshot.crashed.iter().filter(|&&c| c).count();
+        // An in-memory snapshot cloned from a delta-tracking engine may
+        // carry stale delta records; the restored engine rebuilds its
+        // index from scratch, so drop them.
+        let mut overlay = snapshot.overlay;
+        overlay.set_delta_tracking(false);
         Engine {
             population: snapshot.population,
             config: snapshot.config,
-            overlay: snapshot.overlay,
+            overlay,
             online: snapshot.online,
             proto: snapshot.proto,
             counters: snapshot.counters,
             oracle,
+            index: None,
+            uses_reference_oracle: false,
+            delay_delta_scratch: Vec::new(),
+            fanout_delta_scratch: Vec::new(),
             rng: snapshot.rng,
             round: snapshot.round,
             obs: Pipeline::disabled(),
@@ -321,6 +361,93 @@ impl Engine {
             crash_silent: snapshot.crash_silent,
             next_crash: snapshot.next_crash,
             crashed_total,
+        }
+    }
+
+    /// Switches the incremental oracle sampling index on or off.
+    ///
+    /// On by default for engines built by [`Engine::new`] /
+    /// [`Engine::restore`] (reference oracles); a no-op request for
+    /// engines carrying a custom oracle, whose sampling logic the index
+    /// cannot replicate. Indexed and unindexed runs are bit-identical —
+    /// the toggle changes per-query cost (O(log n) vs O(n)), never the
+    /// sampled peers or the RNG stream — which is exactly what the
+    /// equivalence suite in `tests/properties.rs` pins.
+    pub fn set_oracle_indexing(&mut self, enabled: bool) {
+        if enabled && self.uses_reference_oracle {
+            self.index = Some(OracleIndex::build(
+                &self.overlay,
+                &self.population,
+                &self.online,
+            ));
+            // (Re)starting tracking clears any stale delta records; the
+            // fresh index already reflects the current overlay.
+            self.overlay.set_delta_tracking(true);
+        } else {
+            self.index = None;
+            self.overlay.set_delta_tracking(false);
+        }
+    }
+
+    /// Whether the incremental sampling index is active.
+    pub fn oracle_indexing(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Drains the overlay's delta records into the index. Replaying the
+    /// whole queue is idempotent: membership updates re-derive each
+    /// peer's target state from the mirrored online bit (and, for
+    /// fanout, from the *current* overlay), and the queue's last delay
+    /// record per peer matches the overlay's current cache, so the
+    /// index always converges to the live state.
+    fn sync_oracle_index(&mut self) {
+        if !self.overlay.has_pending_deltas() {
+            return;
+        }
+        let index = self.index.as_mut().expect("sync only runs when indexed");
+        let mut delays = std::mem::take(&mut self.delay_delta_scratch);
+        let mut fanouts = std::mem::take(&mut self.fanout_delta_scratch);
+        self.overlay.take_deltas_into(&mut delays, &mut fanouts);
+        for &(p, delay) in &delays {
+            index.note_delay(p, delay);
+        }
+        for &p in &fanouts {
+            index.note_free_fanout(p, self.overlay.has_free_fanout(Member::Peer(p)));
+        }
+        delays.clear();
+        fanouts.clear();
+        self.delay_delta_scratch = delays;
+        self.fanout_delta_scratch = fanouts;
+    }
+
+    /// Answers one oracle query for `p` — through the incremental index
+    /// when enabled, else the installed [`Oracle`]'s own scan. Both
+    /// paths draw the same RNG stream and return the same peer.
+    fn oracle_sample(&mut self, p: PeerId) -> Option<PeerId> {
+        if self.index.is_some() {
+            self.sync_oracle_index();
+            let index = self.index.as_ref().expect("checked above");
+            let sampled = match self.config.oracle {
+                OracleKind::Random => index.sample_uniform(p, &mut self.rng),
+                OracleKind::RandomCapacity => index.sample_free_capacity(p, &mut self.rng),
+                OracleKind::RandomDelayCapacity => {
+                    index.sample_delay_below_free(p, self.population.latency(p), &mut self.rng)
+                }
+                OracleKind::RandomDelay => {
+                    index.sample_delay_below(p, self.population.latency(p), &mut self.rng)
+                }
+            };
+            debug_assert!(
+                sampled.is_none_or(|j| j != p && self.online[j.index()]),
+                "index produced an invalid candidate"
+            );
+            sampled
+        } else {
+            let view = OracleView::new(&self.overlay, &self.population, &self.online);
+            match self.oracle.sample(p, &view, &mut self.rng) {
+                Some(j) if j != p && self.online[j.index()] => Some(j),
+                Some(_) | None => None,
+            }
         }
     }
 
@@ -387,18 +514,30 @@ impl Engine {
     }
 
     /// Fraction of *online* peers currently satisfied (1.0 when nobody
-    /// is online).
+    /// is online). Scans the population in parallel chunks on large
+    /// inputs (`LAGOVER_THREADS`-wide, byte-identical at any width).
     pub fn satisfied_fraction(&self) -> f64 {
-        let mut online = 0usize;
-        let mut satisfied = 0usize;
-        for p in self.population.peer_ids() {
-            if self.online[p.index()] {
-                online += 1;
-                if self.is_satisfied(p) {
-                    satisfied += 1;
+        let overlay = &self.overlay;
+        let latencies = self.population.latencies();
+        let online_bits = &self.online;
+        let (online, satisfied) = crate::runner::parallel_fold(
+            self.population.len(),
+            |range| {
+                let mut online = 0usize;
+                let mut satisfied = 0usize;
+                for i in range {
+                    if online_bits[i] {
+                        online += 1;
+                        if matches!(overlay.delay(PeerId::new(i as u32)), Some(d) if d <= latencies[i])
+                        {
+                            satisfied += 1;
+                        }
+                    }
                 }
-            }
-        }
+                (online, satisfied)
+            },
+            |(oa, sa), (ob, sb)| (oa + ob, sa + sb),
+        );
         if online == 0 {
             1.0
         } else {
@@ -407,11 +546,22 @@ impl Engine {
     }
 
     /// Whether every online peer is satisfied — the paper's convergence
-    /// criterion for construction latency.
+    /// criterion for construction latency. Parallel-chunked like
+    /// [`Engine::satisfied_fraction`].
     pub fn is_converged(&self) -> bool {
-        self.population
-            .peer_ids()
-            .all(|p| !self.online[p.index()] || self.is_satisfied(p))
+        let overlay = &self.overlay;
+        let latencies = self.population.latencies();
+        let online_bits = &self.online;
+        crate::runner::parallel_fold(
+            self.population.len(),
+            |range| {
+                range.into_iter().all(|i| {
+                    !online_bits[i]
+                        || matches!(overlay.delay(PeerId::new(i as u32)), Some(d) if d <= latencies[i])
+                })
+            },
+            |a, b| a && b,
+        )
     }
 
     /// Installs a fault plan, replacing any previous one. The crash
@@ -437,6 +587,9 @@ impl Engine {
             return false;
         }
         self.online[p.index()] = false;
+        if let Some(index) = self.index.as_mut() {
+            index.set_offline(p);
+        }
         self.crashed[p.index()] = true;
         self.crash_silent[p.index()] = 0;
         self.crashed_total += 1;
@@ -462,12 +615,21 @@ impl Engine {
     }
 
     /// Number of online peers currently without a parent (fragment
-    /// roots still negotiating re-attachment).
+    /// roots still negotiating re-attachment). Parallel-chunked like
+    /// [`Engine::satisfied_fraction`].
     pub fn orphan_count(&self) -> usize {
-        self.population
-            .peer_ids()
-            .filter(|&p| self.online[p.index()] && self.overlay.parent(p).is_none())
-            .count()
+        let overlay = &self.overlay;
+        let online_bits = &self.online;
+        crate::runner::parallel_fold(
+            self.population.len(),
+            |range| {
+                range
+                    .into_iter()
+                    .filter(|&i| online_bits[i] && overlay.parent(PeerId::new(i as u32)).is_none())
+                    .count()
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Number of online peers whose ancestor chain crosses an offline
@@ -476,25 +638,21 @@ impl Engine {
     /// Always zero under graceful churn, which clears such edges in the
     /// departure round.
     pub fn stale_chain_count(&self) -> usize {
-        self.population
-            .peer_ids()
-            .filter(|&p| self.online[p.index()] && self.chain_is_stale(p))
-            .count()
-    }
-
-    fn chain_is_stale(&self, p: PeerId) -> bool {
-        let mut cur = p;
-        loop {
-            match self.overlay.parent(cur) {
-                Some(Member::Peer(q)) => {
-                    if !self.online[q.index()] {
-                        return true;
-                    }
-                    cur = q;
-                }
-                Some(Member::Source) | None => return false,
-            }
-        }
+        let overlay = &self.overlay;
+        let online_bits = &self.online;
+        crate::runner::parallel_fold(
+            self.population.len(),
+            |range| {
+                range
+                    .into_iter()
+                    .filter(|&i| {
+                        online_bits[i]
+                            && chain_is_stale(overlay, online_bits, PeerId::new(i as u32))
+                    })
+                    .count()
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Fires the fault plan's scheduled crashes whose round has come —
@@ -531,7 +689,7 @@ impl Engine {
             }
         }
         #[cfg(debug_assertions)]
-        {
+        if self.population.len() <= FULL_VALIDATE_LIMIT {
             let detected: Vec<bool> = (0..self.online.len())
                 .map(|i| self.crashed[i] && self.crash_silent[i] >= self.config.detection_timeout)
                 .collect();
@@ -638,7 +796,22 @@ impl Engine {
             self.obs.record_phase("detection", work, mark);
         }
         self.round = self.round.next();
-        debug_assert_eq!(self.overlay.validate(), Ok(()));
+        self.check_invariants();
+    }
+
+    /// Post-round structural checking. The full O(N·depth)
+    /// [`Overlay::validate`] cross-check runs only in debug builds on
+    /// populations up to [`FULL_VALIDATE_LIMIT`] — at 10⁵ peers it
+    /// would dominate the round — while a rotating O(1)
+    /// [`Overlay::spot_check`] stays on in every build as a cheap
+    /// corruption tripwire that covers the whole population over time.
+    fn check_invariants(&self) {
+        #[cfg(debug_assertions)]
+        if self.population.len() <= FULL_VALIDATE_LIMIT {
+            assert_eq!(self.overlay.validate(), Ok(()));
+        }
+        let probe = PeerId::new((self.round.get() % self.population.len() as u64) as u32);
+        assert_eq!(self.overlay.spot_check(probe), Ok(()));
     }
 
     /// Performs one action for peer `p`: a construction step if it has
@@ -698,12 +871,7 @@ impl Engine {
                     None
                 } else {
                     self.counters.oracle_queries += 1;
-                    let view = OracleView::new(&self.overlay, &self.population, &self.online);
-                    let sampled = match self.oracle.sample(p, &view, &mut self.rng) {
-                        Some(j) if j != p && self.online[j.index()] => Some(j),
-                        Some(_) | None => None,
-                    };
-                    match sampled {
+                    match self.oracle_sample(p) {
                         Some(j) => {
                             if self.obs.is_enabled() {
                                 self.obs.record(Event::OracleHit {
@@ -1148,6 +1316,9 @@ impl Engine {
             if was && !now {
                 self.counters.churn_departures += 1;
                 self.online[p.index()] = false;
+                if let Some(index) = self.index.as_mut() {
+                    index.set_offline(p);
+                }
                 if let Some(parent) = self.overlay.parent(p) {
                     self.emit_detach(p, parent, DetachCause::Churn);
                 }
@@ -1165,6 +1336,9 @@ impl Engine {
                 }
                 self.counters.churn_arrivals += 1;
                 self.online[p.index()] = true;
+                if let Some(index) = self.index.as_mut() {
+                    index.set_online(p, &self.overlay);
+                }
                 self.proto[p.index()].reset();
             }
         }
@@ -1173,7 +1347,7 @@ impl Engine {
             let work = self.work_since(draws0, &counters0, 0);
             self.obs.record_phase("churn", work, mark);
         }
-        debug_assert_eq!(self.overlay.validate(), Ok(()));
+        self.check_invariants();
     }
 
     /// Steps until convergence or the configured round cap, returning
@@ -1242,6 +1416,25 @@ impl Engine {
             health.fanout_utilization().unwrap_or(0.0),
         );
         Some(registry.sample(round))
+    }
+}
+
+/// Whether `p`'s ancestor chain crosses an offline peer. Free function
+/// over the Sync components so the parallel-chunked probes can call it
+/// from worker threads (the engine itself is not `Sync` — it owns a
+/// `Box<dyn Oracle>`).
+fn chain_is_stale(overlay: &Overlay, online: &[bool], p: PeerId) -> bool {
+    let mut cur = p;
+    loop {
+        match overlay.parent(cur) {
+            Some(Member::Peer(q)) => {
+                if !online[q.index()] {
+                    return true;
+                }
+                cur = q;
+            }
+            Some(Member::Source) | None => return false,
+        }
     }
 }
 

@@ -61,6 +61,7 @@ pub mod trace;
 mod greedy;
 mod hybrid;
 mod maintenance;
+mod oracle_index;
 
 pub use async_engine::{
     as_construction_outcome, run_async, run_async_lockstep, run_async_observed,
@@ -73,9 +74,9 @@ pub use oracle::{Oracle, OracleKind, OracleView};
 pub use overlay::{ChainRoot, Overlay, OverlayError};
 pub use runner::{
     chunk_plan, construct, construct_many, construct_observed, construct_with_oracle,
-    parallel_runs, parallel_runs_with, run_recovery, run_recovery_observed, run_with_churn,
-    ChurnOutcome, ConstructionOutcome, FaultScenario, ObservedRecovery, ObservedRun,
-    RecoveryOutcome,
+    parallel_fold, parallel_runs, parallel_runs_with, run_recovery, run_recovery_observed,
+    run_with_churn, ChurnOutcome, ConstructionOutcome, FaultScenario, ObservedRecovery,
+    ObservedRun, RecoveryOutcome,
 };
 pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
 pub use trace::{DetachCause, TraceEvent, TraceLog};

@@ -120,10 +120,15 @@ impl fmt::Display for Constraints {
 /// assert_eq!(pop.source_fanout(), 3);
 /// assert_eq!(pop.constraints(lagover_core::node::PeerId::new(1)).latency, 2);
 /// ```
+/// Stored struct-of-arrays: the engine's hot loops read latency and
+/// fanout in independent streaks over dense `PeerId` indices, so each
+/// constraint lives in its own parallel array rather than a
+/// `Vec<Constraints>` of interleaved pairs (DESIGN.md §13).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Population {
     source_fanout: u32,
-    peers: Vec<Constraints>,
+    fanout: Vec<u32>,
+    latency: Vec<u32>,
 }
 
 impl Population {
@@ -138,18 +143,19 @@ impl Population {
         assert!(!peers.is_empty(), "population must be non-empty");
         Population {
             source_fanout,
-            peers,
+            fanout: peers.iter().map(|c| c.fanout).collect(),
+            latency: peers.iter().map(|c| c.latency).collect(),
         }
     }
 
     /// Number of consumers.
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.latency.len()
     }
 
     /// Whether there are no consumers (never true by construction).
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.latency.is_empty()
     }
 
     /// The source's fanout budget (`f_0`).
@@ -163,40 +169,56 @@ impl Population {
     ///
     /// Panics if the peer id is out of range.
     pub fn constraints(&self, p: PeerId) -> Constraints {
-        self.peers[p.index()]
+        Constraints {
+            fanout: self.fanout[p.index()],
+            latency: self.latency[p.index()],
+        }
     }
 
     /// Latency constraint `l_p`.
     pub fn latency(&self, p: PeerId) -> u32 {
-        self.peers[p.index()].latency
+        self.latency[p.index()]
     }
 
     /// Fanout constraint `f_p`.
     pub fn fanout(&self, p: PeerId) -> u32 {
-        self.peers[p.index()].fanout
+        self.fanout[p.index()]
+    }
+
+    /// The latency column, indexed by `PeerId`.
+    pub fn latencies(&self) -> &[u32] {
+        &self.latency
+    }
+
+    /// The fanout column, indexed by `PeerId`.
+    pub fn fanouts(&self) -> &[u32] {
+        &self.fanout
     }
 
     /// Iterates over `(PeerId, Constraints)`.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, Constraints)> + '_ {
-        self.peers
+        self.fanout
             .iter()
+            .zip(&self.latency)
             .enumerate()
-            .map(|(i, &c)| (PeerId::new(i as u32), c))
+            .map(|(i, (&fanout, &latency))| {
+                (PeerId::new(i as u32), Constraints { fanout, latency })
+            })
     }
 
     /// All peer ids.
     pub fn peer_ids(&self) -> impl Iterator<Item = PeerId> + '_ {
-        (0..self.peers.len() as u32).map(PeerId::new)
+        (0..self.latency.len() as u32).map(PeerId::new)
     }
 
     /// The largest latency constraint present.
     pub fn max_latency(&self) -> u32 {
-        self.peers.iter().map(|c| c.latency).max().unwrap_or(0)
+        self.latency.iter().copied().max().unwrap_or(0)
     }
 
     /// Total consumer-side fanout capacity.
     pub fn total_fanout(&self) -> u64 {
-        self.peers.iter().map(|c| u64::from(c.fanout)).sum()
+        self.fanout.iter().map(|&f| u64::from(f)).sum()
     }
 }
 
@@ -254,9 +276,12 @@ impl FromJson for Constraints {
 
 impl ToJson for Population {
     fn to_json(&self) -> Json {
+        // The wire shape stays the AoS `peers` list from before the SoA
+        // split, so committed documents and snapshots are unaffected.
+        let peers: Vec<Constraints> = self.iter().map(|(_, c)| c).collect();
         object(vec![
             ("source_fanout", self.source_fanout.to_json()),
-            ("peers", self.peers.to_json()),
+            ("peers", peers.to_json()),
         ])
     }
 }
@@ -271,10 +296,7 @@ impl FromJson for Population {
         if peers.is_empty() {
             return Err(JsonError("population must not be empty".into()));
         }
-        Ok(Population {
-            source_fanout,
-            peers,
-        })
+        Ok(Population::new(source_fanout, peers))
     }
 }
 

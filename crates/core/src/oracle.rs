@@ -229,6 +229,67 @@ impl Oracle for RandomCapacityOracle {
     }
 }
 
+/// Uniform sampling over candidates with `DelayAt < l` that also pass
+/// `extra`, excluding the enquirer and offline peers — enumerated in
+/// *(delay asc, id asc)* order. Shared by O2b/O3.
+///
+/// The delay-filtered oracles enumerate by delay bucket rather than by
+/// id because that is the only order the engine's incremental sampling
+/// index ([`crate::oracle_index`]) can serve in O(log n); this naive
+/// path mirrors it so indexed and unindexed runs draw identical peers
+/// from identical RNG streams. The draw-order contract is unchanged:
+/// one `rng.index(count)` draw when any candidate exists, none
+/// otherwise, and the selection is uniform over the same candidate set
+/// as the historical id-order scan.
+fn sample_delay_ordered<F>(
+    enquirer: PeerId,
+    view: &OracleView<'_>,
+    rng: &mut SimRng,
+    extra: F,
+) -> Option<PeerId>
+where
+    F: Fn(PeerId) -> bool,
+{
+    let l = view.latency(enquirer);
+    let eligible = |p: PeerId| -> Option<u32> {
+        if p == enquirer || !view.is_online(p) || !extra(p) {
+            return None;
+        }
+        match view.delay(p) {
+            Some(d) if d < l => Some(d),
+            _ => None,
+        }
+    };
+    // Observed delays never exceed the population size (depth of the
+    // deepest possible chain), so the histogram stays O(n) even for
+    // huge latency constraints.
+    let lim = (l as usize).min(view.len() + 1);
+    let mut hist = vec![0usize; lim];
+    let mut count = 0usize;
+    for p in (0..view.len() as u32).map(PeerId::new) {
+        if let Some(d) = eligible(p) {
+            hist[d as usize] += 1;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let mut k = rng.index(count);
+    let mut target = 0u32;
+    for (d, &c) in hist.iter().enumerate() {
+        if k < c {
+            target = d as u32;
+            break;
+        }
+        k -= c;
+    }
+    (0..view.len() as u32)
+        .map(PeerId::new)
+        .filter(|&p| eligible(p) == Some(target))
+        .nth(k)
+}
+
 /// Oracle O2b: observed delay satisfies the enquirer's constraint
 /// (`DelayAt(j) < l_i`) *and* unused fanout.
 #[derive(Debug, Clone, Copy, Default)]
@@ -241,10 +302,7 @@ impl Oracle for RandomDelayCapacityOracle {
         view: &OracleView<'_>,
         rng: &mut SimRng,
     ) -> Option<PeerId> {
-        let l = view.latency(enquirer);
-        sample_filtered(enquirer, view, rng, |p| {
-            matches!(view.delay(p), Some(d) if d < l) && view.has_free_fanout(p)
-        })
+        sample_delay_ordered(enquirer, view, rng, |p| view.has_free_fanout(p))
     }
 
     fn name(&self) -> &'static str {
@@ -265,13 +323,7 @@ impl Oracle for RandomDelayOracle {
         view: &OracleView<'_>,
         rng: &mut SimRng,
     ) -> Option<PeerId> {
-        let l = view.latency(enquirer);
-        sample_filtered(
-            enquirer,
-            view,
-            rng,
-            |p| matches!(view.delay(p), Some(d) if d < l),
-        )
+        sample_delay_ordered(enquirer, view, rng, |_| true)
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,477 @@
+//! Incremental sampling index for the four reference oracles.
+//!
+//! The naive oracle path answers every query with an O(n) scan; one
+//! construction round issues O(n) queries, so rounds cost O(n²) — the
+//! wall that kept the reproduction at 10⁴ peers. This index answers the
+//! same queries in O(log n) by maintaining, under the engine's delta
+//! feed (DESIGN.md §13):
+//!
+//! * a Fenwick tree over the online bitmap (O1),
+//! * a Fenwick tree over "online with unused fanout" (O2a),
+//! * per-delay sorted id sets of online rooted peers (O3), plus the
+//!   free-fanout subset of each (O2b).
+//!
+//! # Draw-order contract
+//!
+//! Every sampler consumes **exactly** the RNG stream of the naive
+//! reference path: one `rng.index(count)` draw when any candidate
+//! exists, none otherwise. O1/O2a enumerate candidates in id order —
+//! the historical order — so they are bit-compatible with the original
+//! scan. O3/O2b enumerate in *(delay asc, id asc)* order, the only
+//! order the bucketed index can serve in O(log n); the naive
+//! implementations in [`crate::oracle`] use the same order, so indexed
+//! and unindexed runs stay bit-identical (the distribution is uniform
+//! over the same candidate set either way).
+//!
+//! All mirror updates are idempotent — the index recomputes each peer's
+//! target membership from its mirrored online bit, so replaying stale
+//! deltas after an online transition converges to the current overlay
+//! state.
+
+use lagover_sim::SimRng;
+
+use crate::node::{Member, PeerId, Population};
+use crate::overlay::Overlay;
+
+/// Packed "not in any delay bucket" sentinel (offline or unrooted).
+const DELAY_NONE: u32 = u32::MAX;
+
+/// Target size of one [`IdSet`] block; blocks split at twice this.
+const BLOCK: usize = 512;
+
+/// A Fenwick (binary indexed) tree over 0/1 slot occupancy, supporting
+/// O(log n) point update, prefix count, and k-th-member selection.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    /// 1-based tree; `tree[0]` unused.
+    tree: Vec<u32>,
+    total: u32,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    /// Adds `delta` (±1) to slot `i` (0-based).
+    fn add(&mut self, i: usize, delta: i32) {
+        self.total = (i64::from(self.total) + i64::from(delta)) as u32;
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (i64::from(self.tree[i]) + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of set slots with index `< i`.
+    fn prefix(&self, i: usize) -> u32 {
+        let mut sum = 0;
+        let mut i = i;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// 0-based index of the `(k+1)`-th set slot (`k < total`).
+    fn select(&self, mut k: u32) -> usize {
+        debug_assert!(k < self.total);
+        let mut pos = 0usize;
+        let mut mask = (self.tree.len() - 1).next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next < self.tree.len() && self.tree[next] <= k {
+                pos = next;
+                k -= self.tree[next];
+            }
+            mask >>= 1;
+        }
+        pos
+    }
+}
+
+/// A sorted set of peer ids stored as a list of bounded sorted blocks:
+/// O(√n)-ish insert/remove, O(blocks) select and rank. Block count
+/// stays small because bucket populations are a fraction of n.
+#[derive(Debug, Clone, Default)]
+struct IdSet {
+    blocks: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl IdSet {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Index of the block that holds (or should hold) `id`.
+    fn block_for(&self, id: u32) -> usize {
+        self.blocks
+            .partition_point(|b| *b.last().expect("blocks are never empty") < id)
+            .min(self.blocks.len().saturating_sub(1))
+    }
+
+    fn insert(&mut self, id: u32) {
+        self.len += 1;
+        if self.blocks.is_empty() {
+            self.blocks.push(vec![id]);
+            return;
+        }
+        let bi = self.block_for(id);
+        let block = &mut self.blocks[bi];
+        let pos = block.partition_point(|&x| x < id);
+        debug_assert!(pos >= block.len() || block[pos] != id, "duplicate insert");
+        block.insert(pos, id);
+        if block.len() > 2 * BLOCK {
+            let tail = block.split_off(BLOCK);
+            self.blocks.insert(bi + 1, tail);
+        }
+    }
+
+    fn remove(&mut self, id: u32) {
+        let bi = self.block_for(id);
+        let block = &mut self.blocks[bi];
+        let pos = block.partition_point(|&x| x < id);
+        debug_assert!(pos < block.len() && block[pos] == id, "remove of absent id");
+        block.remove(pos);
+        if block.is_empty() {
+            self.blocks.remove(bi);
+        }
+        self.len -= 1;
+    }
+
+    /// The `(k+1)`-th smallest member (`k < len`).
+    fn select(&self, mut k: usize) -> u32 {
+        for block in &self.blocks {
+            if k < block.len() {
+                return block[k];
+            }
+            k -= block.len();
+        }
+        unreachable!("select index out of range")
+    }
+
+    /// Number of members `< id`.
+    fn rank(&self, id: u32) -> usize {
+        let mut rank = 0;
+        for block in &self.blocks {
+            if *block.last().expect("blocks are never empty") < id {
+                rank += block.len();
+            } else {
+                return rank + block.partition_point(|&x| x < id);
+            }
+        }
+        rank
+    }
+}
+
+/// The engine-owned sampling index. Rebuilt in O(n log n) from any
+/// overlay/online state ([`OracleIndex::build`]); kept current through
+/// [`OracleIndex::note_delay`] / [`OracleIndex::note_free_fanout`]
+/// (fed by the overlay's delta records) and
+/// [`OracleIndex::set_online`] / [`OracleIndex::set_offline`] (called
+/// at membership transitions).
+#[derive(Debug, Clone)]
+pub(crate) struct OracleIndex {
+    /// Online peers, by id (O1's candidate set).
+    online_fw: Fenwick,
+    /// Online peers with unused fanout, by id (O2a's candidate set).
+    free_fw: Fenwick,
+    /// Online rooted peers bucketed by `DelayAt` (O3's candidate set).
+    by_delay: Vec<IdSet>,
+    /// The unused-fanout subset of each delay bucket (O2b).
+    free_by_delay: Vec<IdSet>,
+    /// Mirror of the engine's online bitmap.
+    online: Vec<bool>,
+    /// Whether the peer is currently a member of `free_fw`.
+    in_free: Vec<bool>,
+    /// The delay bucket each peer currently occupies ([`DELAY_NONE`]
+    /// when in none).
+    delay: Vec<u32>,
+}
+
+impl OracleIndex {
+    /// Builds the index from scratch for the given state.
+    pub(crate) fn build(overlay: &Overlay, population: &Population, online: &[bool]) -> Self {
+        let n = population.len();
+        let mut index = OracleIndex {
+            online_fw: Fenwick::new(n),
+            free_fw: Fenwick::new(n),
+            by_delay: Vec::new(),
+            free_by_delay: Vec::new(),
+            online: vec![false; n],
+            in_free: vec![false; n],
+            delay: vec![DELAY_NONE; n],
+        };
+        for (i, &on) in online.iter().enumerate() {
+            if on {
+                index.set_online(PeerId::new(i as u32), overlay);
+            }
+        }
+        index
+    }
+
+    /// Marks `p` online, pulling its free-fanout and delay state from
+    /// the (current) overlay.
+    pub(crate) fn set_online(&mut self, p: PeerId, overlay: &Overlay) {
+        if !self.online[p.index()] {
+            self.online[p.index()] = true;
+            self.online_fw.add(p.index(), 1);
+        }
+        self.note_free_fanout(p, overlay.has_free_fanout(Member::Peer(p)));
+        self.note_delay(p, overlay.delay(p));
+    }
+
+    /// Marks `p` offline, removing it from every candidate set.
+    pub(crate) fn set_offline(&mut self, p: PeerId) {
+        if self.online[p.index()] {
+            self.online[p.index()] = false;
+            self.online_fw.add(p.index(), -1);
+        }
+        // With the online mirror cleared, both target memberships
+        // resolve to "absent" regardless of the hint arguments.
+        self.note_free_fanout(p, false);
+        self.note_delay(p, None);
+    }
+
+    /// Applies a free-fanout change: `has_free` is the overlay's
+    /// current answer for `p`.
+    pub(crate) fn note_free_fanout(&mut self, p: PeerId, has_free: bool) {
+        let i = p.index();
+        let target = self.online[i] && has_free;
+        if self.in_free[i] == target {
+            return;
+        }
+        self.in_free[i] = target;
+        self.free_fw.add(i, if target { 1 } else { -1 });
+        let d = self.delay[i];
+        if d != DELAY_NONE {
+            if target {
+                self.free_by_delay[d as usize].insert(p.get());
+            } else {
+                self.free_by_delay[d as usize].remove(p.get());
+            }
+        }
+    }
+
+    /// Applies a delay-cache change: `new` is the overlay's current
+    /// `DelayAt(p)`.
+    pub(crate) fn note_delay(&mut self, p: PeerId, new: Option<u32>) {
+        let i = p.index();
+        let target = if self.online[i] {
+            new.unwrap_or(DELAY_NONE)
+        } else {
+            DELAY_NONE
+        };
+        let old = self.delay[i];
+        if old == target {
+            return;
+        }
+        if old != DELAY_NONE {
+            self.by_delay[old as usize].remove(p.get());
+            if self.in_free[i] {
+                self.free_by_delay[old as usize].remove(p.get());
+            }
+        }
+        if target != DELAY_NONE {
+            let d = target as usize;
+            if d >= self.by_delay.len() {
+                self.by_delay.resize_with(d + 1, IdSet::default);
+                self.free_by_delay.resize_with(d + 1, IdSet::default);
+            }
+            self.by_delay[d].insert(p.get());
+            if self.in_free[i] {
+                self.free_by_delay[d].insert(p.get());
+            }
+        }
+        self.delay[i] = target;
+    }
+
+    /// O1: uniform over online peers other than the enquirer.
+    pub(crate) fn sample_uniform(&self, enquirer: PeerId, rng: &mut SimRng) -> Option<PeerId> {
+        self.sample_fenwick(
+            &self.online_fw,
+            self.online[enquirer.index()],
+            enquirer,
+            rng,
+        )
+    }
+
+    /// O2a: uniform over online peers with unused fanout.
+    pub(crate) fn sample_free_capacity(
+        &self,
+        enquirer: PeerId,
+        rng: &mut SimRng,
+    ) -> Option<PeerId> {
+        self.sample_fenwick(&self.free_fw, self.in_free[enquirer.index()], enquirer, rng)
+    }
+
+    /// O3: uniform over online rooted peers with `DelayAt < l`.
+    pub(crate) fn sample_delay_below(
+        &self,
+        enquirer: PeerId,
+        l: u32,
+        rng: &mut SimRng,
+    ) -> Option<PeerId> {
+        // `DELAY_NONE` is `u32::MAX`, so `delay < l` also implies the
+        // enquirer occupies a bucket.
+        let enq_in = self.delay[enquirer.index()] < l;
+        self.sample_buckets(&self.by_delay, enq_in, enquirer, l, rng)
+    }
+
+    /// O2b: O3 restricted to peers with unused fanout.
+    pub(crate) fn sample_delay_below_free(
+        &self,
+        enquirer: PeerId,
+        l: u32,
+        rng: &mut SimRng,
+    ) -> Option<PeerId> {
+        let enq_in = self.delay[enquirer.index()] < l && self.in_free[enquirer.index()];
+        self.sample_buckets(&self.free_by_delay, enq_in, enquirer, l, rng)
+    }
+
+    /// One draw over a Fenwick candidate set, skipping the enquirer —
+    /// candidates enumerated in id order, matching the naive scan.
+    fn sample_fenwick(
+        &self,
+        fw: &Fenwick,
+        enq_in: bool,
+        enquirer: PeerId,
+        rng: &mut SimRng,
+    ) -> Option<PeerId> {
+        let mut count = fw.total as usize;
+        if enq_in {
+            count -= 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        let mut k = rng.index(count) as u32;
+        if enq_in && k >= fw.prefix(enquirer.index()) {
+            // The k-th non-enquirer candidate sits one past the
+            // enquirer's own slot.
+            k += 1;
+        }
+        Some(PeerId::new(fw.select(k) as u32))
+    }
+
+    /// One draw over the first `l` delay buckets, skipping the
+    /// enquirer — candidates enumerated in (delay asc, id asc) order.
+    fn sample_buckets(
+        &self,
+        buckets: &[IdSet],
+        enq_in: bool,
+        enquirer: PeerId,
+        l: u32,
+        rng: &mut SimRng,
+    ) -> Option<PeerId> {
+        let lim = (l as usize).min(buckets.len());
+        let mut count: usize = buckets[..lim].iter().map(IdSet::len).sum();
+        if enq_in {
+            count -= 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        let mut k = rng.index(count);
+        if enq_in {
+            let ed = self.delay[enquirer.index()] as usize;
+            let rank = buckets[..ed].iter().map(IdSet::len).sum::<usize>()
+                + buckets[ed].rank(enquirer.get());
+            if k >= rank {
+                k += 1;
+            }
+        }
+        for set in &buckets[..lim] {
+            if k < set.len() {
+                return Some(PeerId::new(set.select(k)));
+            }
+            k -= set.len();
+        }
+        unreachable!("count covers the scanned buckets")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fenwick_add_prefix_select_agree_with_a_bitmap() {
+        let n = 67;
+        let mut fw = Fenwick::new(n);
+        let mut bits = vec![false; n];
+        // Deterministic pseudo-random membership churn.
+        let mut x = 9u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % n;
+            if bits[i] {
+                bits[i] = false;
+                fw.add(i, -1);
+            } else {
+                bits[i] = true;
+                fw.add(i, 1);
+            }
+            let total = bits.iter().filter(|&&b| b).count();
+            assert_eq!(fw.total as usize, total);
+            for probe in [0, 1, n / 2, n] {
+                let expect = bits[..probe].iter().filter(|&&b| b).count();
+                assert_eq!(fw.prefix(probe) as usize, expect, "prefix({probe})");
+            }
+            let members: Vec<usize> = (0..n).filter(|&i| bits[i]).collect();
+            for (k, &m) in members.iter().enumerate() {
+                assert_eq!(fw.select(k as u32), m, "select({k})");
+            }
+        }
+    }
+
+    #[test]
+    fn idset_tracks_a_sorted_vec_through_churn() {
+        let mut set = IdSet::default();
+        let mut reference: Vec<u32> = Vec::new();
+        let mut x = 3u64;
+        for _ in 0..4_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = (x >> 40) as u32 % 2_048;
+            match reference.binary_search(&id) {
+                Ok(pos) => {
+                    reference.remove(pos);
+                    set.remove(id);
+                }
+                Err(pos) => {
+                    reference.insert(pos, id);
+                    set.insert(id);
+                }
+            }
+        }
+        assert_eq!(set.len(), reference.len());
+        for (k, &id) in reference.iter().enumerate() {
+            assert_eq!(set.select(k), id);
+            assert_eq!(set.rank(id), k);
+        }
+        // Rank of an absent id is its insertion point.
+        assert_eq!(set.rank(u32::MAX), reference.len());
+    }
+
+    #[test]
+    fn idset_splits_oversized_blocks() {
+        let mut set = IdSet::default();
+        for id in 0..(3 * BLOCK as u32) {
+            set.insert(id);
+        }
+        assert!(set.blocks.len() >= 2, "grown past one block");
+        assert!(set.blocks.iter().all(|b| b.len() <= 2 * BLOCK));
+        for id in 0..(3 * BLOCK as u32) {
+            assert_eq!(set.select(id as usize), id);
+        }
+    }
+}

@@ -10,12 +10,32 @@
 //! §3.2: a direct child of the source observes delay 1 (one pull
 //! interval), and every further hop adds one time unit, i.e.
 //! `DelayAt(i) = depth(i)`.
+//!
+//! # Memory layout
+//!
+//! Storage is arena-backed struct-of-arrays (DESIGN.md §13): peers are
+//! dense `PeerId` indices into parallel `parent`/`root`/`hops` arrays
+//! (parent and root packed into `u32` sentinels), and all child lists
+//! live in one shared pool, each peer owning the fixed slice
+//! `child_pool[child_off[i] .. child_off[i] + fanout[i]]` of which the
+//! first `child_cnt[i]` slots are live. Child insertion appends to the
+//! slice; removal swap-removes within it — exactly the `Vec::push` /
+//! `Vec::swap_remove` ordering of the previous per-peer `Vec` layout,
+//! so iteration order (and therefore every RNG-visible choice built on
+//! it) is unchanged.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::node::{Member, PeerId, Population};
+
+/// Packed `parent` sentinel: no parent.
+const NO_PARENT: u32 = u32::MAX;
+/// Packed `parent` sentinel: the source.
+const PARENT_SOURCE: u32 = u32::MAX - 1;
+/// Packed `root` sentinel: the chain reaches the source.
+const ROOT_SOURCE: u32 = u32::MAX;
 
 /// Root of a peer's chain: either the source (the chain can actually
 /// receive the feed) or the topmost parent-less peer of a fragment.
@@ -25,6 +45,43 @@ pub enum ChainRoot {
     Source,
     /// The chain dangles from a fragment root still seeking a parent.
     Fragment(PeerId),
+}
+
+impl ChainRoot {
+    #[inline]
+    fn pack(self) -> u32 {
+        match self {
+            ChainRoot::Source => ROOT_SOURCE,
+            ChainRoot::Fragment(p) => p.get(),
+        }
+    }
+
+    #[inline]
+    fn unpack(raw: u32) -> ChainRoot {
+        if raw == ROOT_SOURCE {
+            ChainRoot::Source
+        } else {
+            ChainRoot::Fragment(PeerId::new(raw))
+        }
+    }
+}
+
+#[inline]
+fn pack_parent(m: Option<Member>) -> u32 {
+    match m {
+        None => NO_PARENT,
+        Some(Member::Source) => PARENT_SOURCE,
+        Some(Member::Peer(p)) => p.get(),
+    }
+}
+
+#[inline]
+fn unpack_parent(raw: u32) -> Option<Member> {
+    match raw {
+        NO_PARENT => None,
+        PARENT_SOURCE => Some(Member::Source),
+        id => Some(Member::Peer(PeerId::new(id))),
+    }
 }
 
 /// Why a mutation was rejected.
@@ -74,42 +131,138 @@ impl std::error::Error for OverlayError {}
 /// assert_eq!(overlay.delay(b), Some(2));
 /// # Ok::<(), lagover_core::overlay::OverlayError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Overlay {
     source_fanout: u32,
     fanout: Vec<u32>,
-    parent: Vec<Option<Member>>,
-    children: Vec<Vec<PeerId>>,
+    /// Packed parent per peer: [`NO_PARENT`], [`PARENT_SOURCE`], or a
+    /// peer id.
+    parent: Vec<u32>,
+    /// Start of peer `i`'s child slice in `child_pool` (prefix sums of
+    /// `fanout`, one extra terminal entry).
+    child_off: Vec<u32>,
+    /// Live children of peer `i`: the first `child_cnt[i]` slots of its
+    /// slice.
+    child_cnt: Vec<u32>,
+    /// The shared child arena; slots beyond a peer's live count hold
+    /// stale garbage and never participate in equality or
+    /// serialization.
+    child_pool: Vec<PeerId>,
     source_children: Vec<PeerId>,
-    /// Cached chain root per peer, maintained incrementally on every
-    /// mutation so [`Overlay::root`] and friends are O(1) instead of
-    /// O(depth). A parent-less peer is its own fragment root.
-    root: Vec<ChainRoot>,
+    /// Cached chain root per peer (packed; [`ROOT_SOURCE`] or the
+    /// fragment head id), maintained incrementally on every mutation so
+    /// [`Overlay::root`] and friends are O(1) instead of O(depth). A
+    /// parent-less peer is its own fragment root.
+    root: Vec<u32>,
     /// Cached hops-to-root per peer (0 for a fragment root; depth for a
     /// peer rooted at the source), kept in lockstep with `root`.
     hops: Vec<u32>,
     /// Reusable traversal stack for subtree cache updates. Always left
-    /// empty between calls, so the derived `PartialEq` stays purely
-    /// structural and serialization carries no transient state.
+    /// empty between calls, so equality stays purely structural and
+    /// serialization carries no transient state.
     #[serde(skip)]
     scratch: Vec<PeerId>,
+    /// When set, cache updates append to the delta buffers below so an
+    /// external index (the engine's oracle index) can mirror this
+    /// structure without rescanning it.
+    #[serde(skip)]
+    track_deltas: bool,
+    /// Per-touched-peer `(peer, delay after the change)` records, in
+    /// mutation order. A peer may appear several times; applying the
+    /// records in order reproduces the final state.
+    #[serde(skip)]
+    delay_deltas: Vec<(PeerId, Option<u32>)>,
+    /// Peers whose child count changed (free-fanout candidates for the
+    /// index). May contain duplicates.
+    #[serde(skip)]
+    fanout_deltas: Vec<PeerId>,
 }
+
+// Equality is logical: live child slices only, never pool garbage or
+// the transient scratch/delta state.
+impl PartialEq for Overlay {
+    fn eq(&self, other: &Self) -> bool {
+        self.source_fanout == other.source_fanout
+            && self.fanout == other.fanout
+            && self.parent == other.parent
+            && self.source_children == other.source_children
+            && self.root == other.root
+            && self.hops == other.hops
+            && (0..self.fanout.len()).all(|i| self.kids(i) == other.kids(i))
+    }
+}
+
+impl Eq for Overlay {}
 
 impl Overlay {
     /// Creates an empty forest (every peer parent-less) for a population.
     pub fn new(population: &Population) -> Self {
         let n = population.len();
+        let fanout: Vec<u32> = population.fanouts().to_vec();
+        let mut child_off = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        for &f in &fanout {
+            child_off.push(total);
+            total += f;
+        }
+        child_off.push(total);
         Overlay {
             source_fanout: population.source_fanout(),
-            fanout: population.iter().map(|(_, c)| c.fanout).collect(),
-            parent: vec![None; n],
-            children: vec![Vec::new(); n],
+            fanout,
+            parent: vec![NO_PARENT; n],
+            child_off,
+            child_cnt: vec![0; n],
+            child_pool: vec![PeerId::new(u32::MAX); total as usize],
             source_children: Vec::new(),
-            root: (0..n)
-                .map(|i| ChainRoot::Fragment(PeerId::new(i as u32)))
-                .collect(),
+            root: (0..n as u32).collect(),
             hops: vec![0; n],
             scratch: Vec::new(),
+            track_deltas: false,
+            delay_deltas: Vec::new(),
+            fanout_deltas: Vec::new(),
+        }
+    }
+
+    /// The live child slice of peer index `i`.
+    #[inline]
+    fn kids(&self, i: usize) -> &[PeerId] {
+        let off = self.child_off[i] as usize;
+        &self.child_pool[off..off + self.child_cnt[i] as usize]
+    }
+
+    /// Turns delta recording on or off, clearing any pending records.
+    /// The engine enables this exactly while it maintains an oracle
+    /// index over the overlay.
+    pub fn set_delta_tracking(&mut self, on: bool) {
+        self.track_deltas = on;
+        self.delay_deltas.clear();
+        self.fanout_deltas.clear();
+    }
+
+    /// Moves the pending delta records into the caller's buffers
+    /// (swapping, so allocation capacity circulates instead of being
+    /// reallocated every drain). The caller's buffers must be empty.
+    pub fn take_deltas_into(
+        &mut self,
+        delays: &mut Vec<(PeerId, Option<u32>)>,
+        fanouts: &mut Vec<PeerId>,
+    ) {
+        debug_assert!(delays.is_empty() && fanouts.is_empty());
+        std::mem::swap(&mut self.delay_deltas, delays);
+        std::mem::swap(&mut self.fanout_deltas, fanouts);
+    }
+
+    /// Whether any delta records are pending.
+    pub fn has_pending_deltas(&self) -> bool {
+        !self.delay_deltas.is_empty() || !self.fanout_deltas.is_empty()
+    }
+
+    #[inline]
+    fn note_fanout_delta(&mut self, parent: Member) {
+        if self.track_deltas {
+            if let Member::Peer(p) = parent {
+                self.fanout_deltas.push(p);
+            }
         }
     }
 
@@ -117,14 +270,20 @@ impl Overlay {
     /// `delta` for every peer in the subtree of `top` (including `top`).
     /// O(subtree size); this is the *only* place the caches change.
     fn update_subtree_cache(&mut self, top: PeerId, new_root: ChainRoot, delta: i64) {
+        let packed_root = new_root.pack();
+        let rooted = packed_root == ROOT_SOURCE;
         let mut stack = std::mem::take(&mut self.scratch);
         debug_assert!(stack.is_empty());
         stack.push(top);
         while let Some(s) = stack.pop() {
             let i = s.index();
-            self.root[i] = new_root;
+            self.root[i] = packed_root;
             self.hops[i] = (i64::from(self.hops[i]) + delta) as u32;
-            stack.extend(self.children[i].iter().copied());
+            if self.track_deltas {
+                let delay = rooted.then_some(self.hops[i]);
+                self.delay_deltas.push((s, delay));
+            }
+            stack.extend_from_slice(self.kids(i));
         }
         self.scratch = stack; // drained by the loop; capacity retained
     }
@@ -141,12 +300,12 @@ impl Overlay {
 
     /// `Parent(p)`, if any.
     pub fn parent(&self, p: PeerId) -> Option<Member> {
-        self.parent[p.index()]
+        unpack_parent(self.parent[p.index()])
     }
 
     /// `Children(p)`.
     pub fn children(&self, p: PeerId) -> &[PeerId] {
-        &self.children[p.index()]
+        self.kids(p.index())
     }
 
     /// Children of the source.
@@ -158,7 +317,7 @@ impl Overlay {
     pub fn free_fanout(&self, m: Member) -> u32 {
         match m {
             Member::Source => self.source_fanout - self.source_children.len() as u32,
-            Member::Peer(p) => self.fanout[p.index()] - self.children[p.index()].len() as u32,
+            Member::Peer(p) => self.fanout[p.index()] - self.child_cnt[p.index()],
         }
     }
 
@@ -170,12 +329,12 @@ impl Overlay {
     /// `Root(p)`: the source or the fragment root of `p`'s chain. O(1)
     /// via the incrementally maintained cache.
     pub fn root(&self, p: PeerId) -> ChainRoot {
-        self.root[p.index()]
+        ChainRoot::unpack(self.root[p.index()])
     }
 
     /// Whether `p`'s chain reaches the source. O(1).
     pub fn is_rooted(&self, p: PeerId) -> bool {
-        matches!(self.root[p.index()], ChainRoot::Source)
+        self.root[p.index()] == ROOT_SOURCE
     }
 
     /// Number of edges between `p` and its chain root (0 when `p` *is*
@@ -188,9 +347,10 @@ impl Overlay {
     /// chain reaches the source. A direct child of the source observes
     /// delay 1 (§3.2 worked example); each hop adds one time unit. O(1).
     pub fn delay(&self, p: PeerId) -> Option<u32> {
-        match self.root[p.index()] {
-            ChainRoot::Source => Some(self.hops[p.index()]),
-            ChainRoot::Fragment(_) => None,
+        if self.root[p.index()] == ROOT_SOURCE {
+            Some(self.hops[p.index()])
+        } else {
+            None
         }
     }
 
@@ -199,9 +359,10 @@ impl Overlay {
     /// negotiating inside unrooted fragments. Equals [`Overlay::delay`]
     /// for rooted peers. O(1).
     pub fn speculative_delay(&self, p: PeerId) -> u32 {
-        match self.root[p.index()] {
-            ChainRoot::Source => self.hops[p.index()],
-            ChainRoot::Fragment(_) => self.hops[p.index()] + 1,
+        if self.root[p.index()] == ROOT_SOURCE {
+            self.hops[p.index()]
+        } else {
+            self.hops[p.index()] + 1
         }
     }
 
@@ -212,7 +373,7 @@ impl Overlay {
     pub fn walk_root(&self, p: PeerId) -> ChainRoot {
         let mut current = p;
         loop {
-            match self.parent[current.index()] {
+            match unpack_parent(self.parent[current.index()]) {
                 Some(Member::Source) => return ChainRoot::Source,
                 Some(Member::Peer(q)) => current = q,
                 None => return ChainRoot::Fragment(current),
@@ -226,7 +387,7 @@ impl Overlay {
         let mut hops = 0;
         let mut current = p;
         loop {
-            match self.parent[current.index()] {
+            match unpack_parent(self.parent[current.index()]) {
                 Some(Member::Source) => return hops + 1,
                 Some(Member::Peer(q)) => {
                     hops += 1;
@@ -259,7 +420,7 @@ impl Overlay {
         if parent == Member::Peer(child) {
             return Err(OverlayError::SelfParent);
         }
-        if self.parent[child.index()].is_some() {
+        if self.parent[child.index()] != NO_PARENT {
             return Err(OverlayError::HasParent);
         }
         if !self.has_free_fanout(parent) {
@@ -271,17 +432,26 @@ impl Overlay {
         let (new_root, base) = match parent {
             Member::Source => (ChainRoot::Source, 1),
             Member::Peer(p) => {
-                if self.root[p.index()] == ChainRoot::Fragment(child) {
+                if self.root[p.index()] == child.get() {
                     return Err(OverlayError::WouldCycle);
                 }
-                (self.root[p.index()], self.hops[p.index()] + 1)
+                (
+                    ChainRoot::unpack(self.root[p.index()]),
+                    self.hops[p.index()] + 1,
+                )
             }
         };
-        self.parent[child.index()] = Some(parent);
+        self.parent[child.index()] = pack_parent(Some(parent));
         match parent {
             Member::Source => self.source_children.push(child),
-            Member::Peer(p) => self.children[p.index()].push(child),
+            Member::Peer(p) => {
+                let i = p.index();
+                let slot = self.child_off[i] as usize + self.child_cnt[i] as usize;
+                self.child_pool[slot] = child;
+                self.child_cnt[i] += 1;
+            }
         }
+        self.note_fanout_delta(parent);
         // The child was a fragment root (hops 0), so its whole subtree
         // shifts down by the child's new depth and adopts the new root.
         debug_assert_eq!(self.hops[child.index()], 0);
@@ -296,17 +466,31 @@ impl Overlay {
     ///
     /// [`OverlayError::NoParent`] if the child has no parent.
     pub fn detach(&mut self, child: PeerId) -> Result<Member, OverlayError> {
-        let parent = self.parent[child.index()].ok_or(OverlayError::NoParent)?;
-        self.parent[child.index()] = None;
-        let list = match parent {
-            Member::Source => &mut self.source_children,
-            Member::Peer(p) => &mut self.children[p.index()],
-        };
-        let pos = list
-            .iter()
-            .position(|&c| c == child)
-            .expect("parent/child link consistency");
-        list.swap_remove(pos);
+        let parent = unpack_parent(self.parent[child.index()]).ok_or(OverlayError::NoParent)?;
+        self.parent[child.index()] = NO_PARENT;
+        match parent {
+            Member::Source => {
+                let pos = self
+                    .source_children
+                    .iter()
+                    .position(|&c| c == child)
+                    .expect("parent/child link consistency");
+                self.source_children.swap_remove(pos);
+            }
+            Member::Peer(p) => {
+                let i = p.index();
+                let off = self.child_off[i] as usize;
+                let cnt = self.child_cnt[i] as usize;
+                let pos = self.child_pool[off..off + cnt]
+                    .iter()
+                    .position(|&c| c == child)
+                    .expect("parent/child link consistency");
+                // Same ordering as `Vec::swap_remove` on the old layout.
+                self.child_pool[off + pos] = self.child_pool[off + cnt - 1];
+                self.child_cnt[i] -= 1;
+            }
+        }
+        self.note_fanout_delta(parent);
         // The detached subtree keeps its internal shape: every member's
         // depth drops by the child's old depth, rooted at the child.
         let old_hops = self.hops[child.index()];
@@ -321,12 +505,14 @@ impl Overlay {
     ///
     /// Returns the orphaned children.
     pub fn remove_peer(&mut self, p: PeerId) -> Vec<PeerId> {
-        if self.parent[p.index()].is_some() {
+        if self.parent[p.index()] != NO_PARENT {
             self.detach(p).expect("checked parent");
         }
-        let orphans = std::mem::take(&mut self.children[p.index()]);
+        let orphans: Vec<PeerId> = self.kids(p.index()).to_vec();
+        self.child_cnt[p.index()] = 0;
+        self.note_fanout_delta(Member::Peer(p));
         for &c in &orphans {
-            self.parent[c.index()] = None;
+            self.parent[c.index()] = NO_PARENT;
             // After the detach above `c` sits at depth 1 under the
             // fragment root `p`; it now becomes its own fragment root.
             debug_assert_eq!(self.hops[c.index()], 1);
@@ -340,7 +526,7 @@ impl Overlay {
         let mut out = vec![p];
         let mut i = 0;
         while i < out.len() {
-            out.extend(self.children[out[i].index()].iter().copied());
+            out.extend_from_slice(self.kids(out[i].index()));
             i += 1;
         }
         out
@@ -348,12 +534,63 @@ impl Overlay {
 
     /// Number of peers currently attached (having any parent).
     pub fn attached_count(&self) -> usize {
-        self.parent.iter().filter(|p| p.is_some()).count()
+        self.parent.iter().filter(|&&p| p != NO_PARENT).count()
+    }
+
+    /// A cheap O(fanout) local invariant probe for one peer, run even
+    /// in release builds where the full [`Overlay::validate`] sweep is
+    /// too expensive: parent/child backlinks in both directions, the
+    /// fanout bound, and cache coherence of `p` against its parent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn spot_check(&self, p: PeerId) -> Result<(), String> {
+        let i = p.index();
+        if self.child_cnt[i] > self.fanout[i] {
+            return Err(format!("{p} fanout exceeded"));
+        }
+        if self.source_children.len() as u32 > self.source_fanout {
+            return Err("source fanout exceeded".to_string());
+        }
+        match unpack_parent(self.parent[i]) {
+            None => {
+                if self.root[i] != p.get() || self.hops[i] != 0 {
+                    return Err(format!("parent-less {p} is not its own fragment root"));
+                }
+            }
+            Some(Member::Source) => {
+                if !self.source_children.contains(&p) {
+                    return Err(format!("{p} missing from source children"));
+                }
+                if self.root[i] != ROOT_SOURCE || self.hops[i] != 1 {
+                    return Err(format!("source child {p} has bad cache"));
+                }
+            }
+            Some(Member::Peer(q)) => {
+                if !self.kids(q.index()).contains(&p) {
+                    return Err(format!("{p} missing from children of {q}"));
+                }
+                if self.root[i] != self.root[q.index()] {
+                    return Err(format!("{p} root cache disagrees with parent {q}"));
+                }
+                if self.hops[i] != self.hops[q.index()] + 1 {
+                    return Err(format!("{p} hops cache disagrees with parent {q}"));
+                }
+            }
+        }
+        for &c in self.kids(i) {
+            if unpack_parent(self.parent[c.index()]) != Some(Member::Peer(p)) {
+                return Err(format!("{c} not linked back to {p}"));
+            }
+        }
+        Ok(())
     }
 
     /// Exhaustively checks structural invariants; used by tests and
     /// debug assertions. Cheap enough (O(n + edges)) to run after every
-    /// round in test builds.
+    /// round in test builds at paper scale — the engine size-gates it
+    /// (see `Engine`) so 10^5-peer debug runs stay usable.
     ///
     /// # Errors
     ///
@@ -366,29 +603,29 @@ impl Overlay {
                 self.source_fanout
             ));
         }
-        for (i, kids) in self.children.iter().enumerate() {
+        for i in 0..self.parent.len() {
             let p = PeerId::new(i as u32);
-            if kids.len() as u32 > self.fanout[i] {
+            if self.child_cnt[i] > self.fanout[i] {
                 return Err(format!("{p} fanout exceeded"));
             }
-            for &c in kids {
-                if self.parent[c.index()] != Some(Member::Peer(p)) {
+            for &c in self.kids(i) {
+                if self.parent[c.index()] != p.get() {
                     return Err(format!("{c} not linked back to {p}"));
                 }
             }
         }
         for &c in &self.source_children {
-            if self.parent[c.index()] != Some(Member::Source) {
+            if self.parent[c.index()] != PARENT_SOURCE {
                 return Err(format!("{c} not linked back to source"));
             }
         }
-        for (i, par) in self.parent.iter().enumerate() {
+        for i in 0..self.parent.len() {
             let p = PeerId::new(i as u32);
-            match par {
+            match unpack_parent(self.parent[i]) {
                 Some(Member::Source) if !self.source_children.contains(&p) => {
                     return Err(format!("{p} missing from source children"));
                 }
-                Some(Member::Peer(q)) if !self.children[q.index()].contains(&p) => {
+                Some(Member::Peer(q)) if !self.kids(q.index()).contains(&p) => {
                     return Err(format!("{p} missing from children of {q}"));
                 }
                 _ => {}
@@ -397,7 +634,7 @@ impl Overlay {
             // steps.
             let mut cur = p;
             let mut steps = 0;
-            while let Some(Member::Peer(q)) = self.parent[cur.index()] {
+            while let Some(Member::Peer(q)) = unpack_parent(self.parent[cur.index()]) {
                 cur = q;
                 steps += 1;
                 if steps > self.parent.len() {
@@ -406,10 +643,10 @@ impl Overlay {
             }
             // Cache coherence: the incrementally maintained root/hops
             // must match a fresh chain walk.
-            if self.root[i] != self.walk_root(p) {
+            if ChainRoot::unpack(self.root[i]) != self.walk_root(p) {
                 return Err(format!(
                     "cached root of {p} is {:?}, walk says {:?}",
-                    self.root[i],
+                    ChainRoot::unpack(self.root[i]),
                     self.walk_root(p)
                 ));
             }
@@ -447,14 +684,14 @@ impl Overlay {
         for (i, &dead) in detected.iter().enumerate() {
             let p = PeerId::new(i as u32);
             if dead {
-                if self.parent[i].is_some() {
+                if self.parent[i] != NO_PARENT {
                     return Err(format!("detected crash victim {p} still has a parent"));
                 }
-                if !self.children[i].is_empty() {
+                if self.child_cnt[i] != 0 {
                     return Err(format!("detected crash victim {p} still serves children"));
                 }
             }
-            if let Some(Member::Peer(q)) = self.parent[i] {
+            if let Some(Member::Peer(q)) = unpack_parent(self.parent[i]) {
                 if detected[q.index()] {
                     return Err(format!("{p} references detected crash victim {q}"));
                 }
@@ -486,13 +723,21 @@ impl FromJson for ChainRoot {
 
 impl ToJson for Overlay {
     fn to_json(&self) -> Json {
+        // The wire shape predates the arena layout (per-peer `children`
+        // lists, `Option<Member>` parents, `ChainRoot` roots) and is
+        // kept byte-compatible so committed snapshots stay valid.
+        let parent: Vec<Option<Member>> = self.parent.iter().map(|&r| unpack_parent(r)).collect();
+        let children: Vec<Vec<PeerId>> = (0..self.parent.len())
+            .map(|i| self.kids(i).to_vec())
+            .collect();
+        let root: Vec<ChainRoot> = self.root.iter().map(|&r| ChainRoot::unpack(r)).collect();
         object(vec![
             ("source_fanout", self.source_fanout.to_json()),
             ("fanout", self.fanout.to_json()),
-            ("parent", self.parent.to_json()),
-            ("children", self.children.to_json()),
+            ("parent", parent.to_json()),
+            ("children", children.to_json()),
             ("source_children", self.source_children.to_json()),
-            ("root", self.root.to_json()),
+            ("root", root.to_json()),
             ("hops", self.hops.to_json()),
         ])
     }
@@ -500,15 +745,48 @@ impl ToJson for Overlay {
 
 impl FromJson for Overlay {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let fanout = Vec::<u32>::from_json(value.get("fanout")?)?;
+        let parent = Vec::<Option<Member>>::from_json(value.get("parent")?)?;
+        let children = Vec::<Vec<PeerId>>::from_json(value.get("children")?)?;
+        let root = Vec::<ChainRoot>::from_json(value.get("root")?)?;
+        if children.len() != fanout.len() {
+            return Err(JsonError(format!(
+                "children lists ({}) disagree with fanout entries ({})",
+                children.len(),
+                fanout.len()
+            )));
+        }
+        let mut child_off = Vec::with_capacity(fanout.len() + 1);
+        let mut total = 0u32;
+        for &f in &fanout {
+            child_off.push(total);
+            total += f;
+        }
+        child_off.push(total);
+        let mut child_cnt = vec![0u32; fanout.len()];
+        let mut child_pool = vec![PeerId::new(u32::MAX); total as usize];
+        for (i, kids) in children.iter().enumerate() {
+            if kids.len() as u32 > fanout[i] {
+                return Err(JsonError(format!("peer {i} fanout exceeded")));
+            }
+            child_cnt[i] = kids.len() as u32;
+            let off = child_off[i] as usize;
+            child_pool[off..off + kids.len()].copy_from_slice(kids);
+        }
         let overlay = Overlay {
             source_fanout: u32::from_json(value.get("source_fanout")?)?,
-            fanout: Vec::from_json(value.get("fanout")?)?,
-            parent: Vec::from_json(value.get("parent")?)?,
-            children: Vec::from_json(value.get("children")?)?,
+            fanout,
+            parent: parent.into_iter().map(pack_parent).collect(),
+            child_off,
+            child_cnt,
+            child_pool,
             source_children: Vec::from_json(value.get("source_children")?)?,
-            root: Vec::from_json(value.get("root")?)?,
+            root: root.into_iter().map(ChainRoot::pack).collect(),
             hops: Vec::from_json(value.get("hops")?)?,
             scratch: Vec::new(),
+            track_deltas: false,
+            delay_deltas: Vec::new(),
+            fanout_deltas: Vec::new(),
         };
         overlay.validate().map_err(JsonError)?;
         Ok(overlay)
@@ -683,5 +961,79 @@ mod tests {
         o.attach(p(1), Member::Peer(p(0))).unwrap();
         assert_eq!(o.attached_count(), 2);
         assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_arena_garbage() {
+        // Drive two overlays to the same logical state along different
+        // mutation paths, leaving different garbage beyond the live
+        // child counts; they must still compare equal.
+        let population = pop(2, &[(2, 1), (0, 2), (0, 2)]);
+        let mut a = Overlay::new(&population);
+        a.attach(p(0), Member::Source).unwrap();
+        a.attach(p(1), Member::Peer(p(0))).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.attach(p(2), Member::Peer(p(0))).unwrap();
+        assert_ne!(a, b);
+        b.detach(p(2)).unwrap();
+        // b's pool slot 1 still holds stale garbage from peer 2's stay.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spot_check_accepts_every_peer_of_a_valid_forest() {
+        let population = pop(2, &[(2, 1), (1, 2), (0, 3), (0, 3)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(1))).unwrap();
+        for i in 0..4 {
+            assert_eq!(o.spot_check(p(i)), Ok(()), "peer {i}");
+        }
+        o.detach(p(1)).unwrap();
+        for i in 0..4 {
+            assert_eq!(o.spot_check(p(i)), Ok(()), "peer {i} after detach");
+        }
+    }
+
+    #[test]
+    fn delta_tracking_records_cache_movements() {
+        let population = pop(2, &[(2, 1), (1, 2), (0, 3)]);
+        let mut o = Overlay::new(&population);
+        o.set_delta_tracking(true);
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(0), Member::Source).unwrap();
+        let mut delays = Vec::new();
+        let mut fanouts = Vec::new();
+        o.take_deltas_into(&mut delays, &mut fanouts);
+        assert!(!o.has_pending_deltas());
+        // First attach roots nothing (fragment), second roots both.
+        assert!(delays.contains(&(p(1), None)));
+        assert!(delays.contains(&(p(0), Some(1))));
+        assert!(delays.contains(&(p(1), Some(2))));
+        assert_eq!(fanouts, vec![p(0)]);
+        // Replaying the final records per peer matches the live state.
+        for peer in [p(0), p(1), p(2)] {
+            let last = delays.iter().rev().find(|(q, _)| *q == peer);
+            match last {
+                Some((_, d)) => assert_eq!(*d, o.delay(peer)),
+                None => assert_eq!(o.delay(peer), None),
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_arena_state() {
+        let population = pop(2, &[(2, 1), (1, 2), (0, 3)]);
+        let mut o = Overlay::new(&population);
+        o.attach(p(0), Member::Source).unwrap();
+        o.attach(p(1), Member::Peer(p(0))).unwrap();
+        o.attach(p(2), Member::Peer(p(1))).unwrap();
+        o.detach(p(1)).unwrap();
+        let json = o.to_json();
+        let back = Overlay::from_json(&json).unwrap();
+        assert_eq!(o, back);
+        assert_eq!(back.children(p(1)), &[p(2)]);
     }
 }

@@ -284,6 +284,48 @@ where
         .collect()
 }
 
+/// Minimum index-space size for which [`parallel_fold`] goes wide.
+/// Below it, spawning scoped threads costs more than the scan itself.
+const PAR_FOLD_MIN: usize = 1 << 15;
+
+/// Deterministic fold over the index space `[0, count)`, split by the
+/// same [`chunk_plan`] that [`parallel_runs_with`] uses: each chunk is
+/// folded sequentially by `map`, and chunk results are combined
+/// left-to-right in chunk order. The output is therefore byte-identical
+/// for every `LAGOVER_THREADS` / `LAGOVER_CHUNK` setting — including
+/// order-sensitive accumulators — which is what lets the engine's O(N)
+/// probes go wide inside a *single* large run without perturbing it.
+///
+/// Small index spaces (below an internal threshold) and single-thread
+/// configurations fold inline with no thread setup at all.
+pub fn parallel_fold<T, M, C>(count: usize, map: M, combine: C) -> T
+where
+    T: Send,
+    M: Fn(std::ops::Range<usize>) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let threads = default_threads().min(count);
+    if count < PAR_FOLD_MIN || threads <= 1 {
+        return map(0..count);
+    }
+    let plan = chunk_plan(count, threads);
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(plan.len(), || None);
+    let map = &map;
+    std::thread::scope(|scope| {
+        for ((start, len), slot) in plan.iter().copied().zip(results.iter_mut()) {
+            scope.spawn(move || {
+                *slot = Some(map(start..start + len));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk folded by its thread"))
+        .reduce(combine)
+        .expect("count >= PAR_FOLD_MIN implies at least one chunk")
+}
+
 /// One construction run per seed, in parallel, results in seed order —
 /// the common inner loop of the figure drivers.
 pub fn construct_many(

@@ -425,6 +425,101 @@ proptest! {
     }
 }
 
+/// Deterministic population of `n` peers derived from `seed`: mixed
+/// fanout 0..=6 and latency 1..=10 so every oracle sees empty,
+/// partial, and saturated candidate sets over a run.
+fn sized_population(n: usize, seed: u64) -> Population {
+    let mut rng = SimRng::seed_from(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+    let source_fanout = 1 + rng.index(4) as u32;
+    let peers = (0..n)
+        .map(|_| Constraints::new(rng.index(7) as u32, 1 + rng.index(10) as u32))
+        .collect();
+    Population::new(source_fanout, peers)
+}
+
+/// Asserts two engines are on byte-identical trajectories: same RNG
+/// draw count, same counters, and the same overlay down to children
+/// order and online sets.
+fn engines_agree(a: &Engine, b: &Engine, population: &Population) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.rng_draws(), b.rng_draws(), "RNG streams diverged");
+    prop_assert_eq!(a.counters(), b.counters());
+    for p in population.peer_ids() {
+        prop_assert_eq!(
+            a.overlay().parent(p),
+            b.overlay().parent(p),
+            "parent of {}",
+            p
+        );
+        prop_assert_eq!(a.overlay().delay(p), b.overlay().delay(p), "delay of {}", p);
+        prop_assert_eq!(a.overlay().children(p), b.overlay().children(p));
+        prop_assert_eq!(a.is_online(p), b.is_online(p));
+    }
+    prop_assert_eq!(a.overlay().source_children(), b.overlay().source_children());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The indexed oracle sampler (Fenwick / delay-bucket path) against
+    /// the retained naive reference path: identical attach/detach
+    /// trajectories, depths, and RNG draw counts at the sizes the scale
+    /// scenarios care about, for every oracle kind.
+    #[test]
+    fn indexed_oracle_matches_reference_path(
+        size_idx in 0usize..3,
+        oracle_idx in 0usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let n = [16, 120, 1_000][size_idx];
+        let population = sized_population(n, seed);
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::ALL[oracle_idx])
+            .with_max_rounds(5_000);
+        let mut indexed = Engine::new(&population, &config, seed);
+        prop_assert!(indexed.oracle_indexing(), "indexing is the default");
+        let mut reference = Engine::new(&population, &config, seed);
+        reference.set_oracle_indexing(false);
+        prop_assert!(!reference.oracle_indexing());
+        let rounds = if n >= 1_000 { 25 } else { 60 };
+        for _ in 0..rounds {
+            indexed.step();
+            reference.step();
+            engines_agree(&indexed, &reference, &population)?;
+        }
+    }
+
+    /// The same equivalence through the fault paths: churn departures
+    /// and arrivals, plus a mid-run crash cohort, never let the index
+    /// drift from the reference sampler.
+    #[test]
+    fn indexed_oracle_matches_reference_under_churn_and_crashes(
+        oracle_idx in 0usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let population = sized_population(120, seed);
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::ALL[oracle_idx])
+            .with_max_rounds(5_000);
+        let mut indexed = Engine::new(&population, &config, seed);
+        let mut reference = Engine::new(&population, &config, seed);
+        reference.set_oracle_indexing(false);
+        let mut churn_a = BernoulliChurn::new(0.05, 0.25);
+        let mut churn_b = BernoulliChurn::new(0.05, 0.25);
+        for round in 0..40 {
+            indexed.apply_churn(&mut churn_a);
+            reference.apply_churn(&mut churn_b);
+            if round == 10 {
+                for p in population.peer_ids().filter(|p| p.index() % 7 == 3) {
+                    indexed.inject_crash(p);
+                    reference.inject_crash(p);
+                }
+            }
+            indexed.step();
+            reference.step();
+            engines_agree(&indexed, &reference, &population)?;
+        }
+    }
+}
+
 proptest! {
     /// Analysis profiles are consistent with the overlay they describe:
     /// depth counts + unrooted = population, slack classes partition the

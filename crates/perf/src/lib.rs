@@ -32,7 +32,7 @@ pub use baseline::{
     baseline_params, Baseline, PerfParams, ScenarioBaseline, WorkLayer, SCHEMA_VERSION,
 };
 pub use scenarios::{
-    collect_baseline, construction_throughput, run_scenario, scenario_names,
-    single_scenario_document,
+    collect_baseline, construction_throughput, default_scenario_names, replay_figures,
+    run_scenario, scenario_names, single_scenario_document,
 };
 pub use wall::{EnvTag, WallLayer};

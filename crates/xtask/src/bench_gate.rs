@@ -53,11 +53,36 @@ pub struct Finding {
     pub note: String,
 }
 
+/// One row of the ns/interaction normalization table: median wall
+/// nanoseconds divided by the scenario's deterministic interaction
+/// count. Normalizing by work units makes scenarios of different
+/// sizes comparable on one scale and separates "the code got slower"
+/// from "the scenario did more work".
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormRow {
+    /// Scenario the row describes.
+    pub scenario: String,
+    /// Baseline-side ns per interaction (`None` when the baseline has
+    /// no wall layer or no interaction count).
+    pub baseline_ns: Option<f64>,
+    /// Fresh-side ns per interaction.
+    pub fresh_ns: Option<f64>,
+}
+
+impl NormRow {
+    fn render_side(v: Option<f64>) -> String {
+        v.map_or_else(|| "n/a".into(), |ns| format!("{ns:.1}"))
+    }
+}
+
 /// Everything the gate found, plus coverage tallies for the report.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GateReport {
     /// Divergences, in scenario order.
     pub findings: Vec<Finding>,
+    /// ns/interaction rows for scenarios where at least one side
+    /// carries both a wall layer and an interaction count.
+    pub normalization: Vec<NormRow>,
     /// Scenarios compared.
     pub scenarios: usize,
     /// Work-unit metrics compared exactly.
@@ -121,6 +146,20 @@ impl GateReport {
             }
             out.push('\n');
         }
+        if !self.normalization.is_empty() {
+            out.push_str("## ns/interaction (median wall / deterministic interactions)\n\n");
+            out.push_str("| scenario | baseline | fresh |\n");
+            out.push_str("|---|---|---|\n");
+            for row in &self.normalization {
+                out.push_str(&format!(
+                    "| {} | {} | {} |\n",
+                    row.scenario,
+                    NormRow::render_side(row.baseline_ns),
+                    NormRow::render_side(row.fresh_ns),
+                ));
+            }
+            out.push('\n');
+        }
         out.push_str(&format!(
             "Verdict: **{}** ({} regression(s), {} warning(s){})\n",
             if self.failed(strict) { "FAIL" } else { "PASS" },
@@ -173,6 +212,15 @@ pub fn compare(
         report.scenarios += 1;
         compare_work(base, new, &mut report);
         compare_wall(base, new, config, &mut report);
+        let baseline_ns = ns_per_interaction(base);
+        let fresh_ns = ns_per_interaction(new);
+        if baseline_ns.is_some() || fresh_ns.is_some() {
+            report.normalization.push(NormRow {
+                scenario: base.name.clone(),
+                baseline_ns,
+                fresh_ns,
+            });
+        }
     }
     for new in &fresh.scenarios {
         if baseline.scenario(&new.name).is_none() {
@@ -187,6 +235,14 @@ pub fn compare(
         }
     }
     Ok(report)
+}
+
+/// Median wall nanoseconds per deterministic interaction for one
+/// scenario entry, when it carries both layers.
+fn ns_per_interaction(entry: &lagover_perf::ScenarioBaseline) -> Option<f64> {
+    let wall = entry.wall.as_ref()?;
+    let interactions = entry.work.metric("work.interactions").filter(|&i| i > 0)?;
+    Some(wall.median_secs * 1e9 / interactions as f64)
 }
 
 /// Exact comparison of the deterministic layer.
@@ -588,6 +644,55 @@ mod tests {
         assert_eq!(report.wall_skipped, 1);
         assert_eq!(report.regressions(), 0);
         assert_eq!(report.warnings(), 1);
+    }
+
+    #[test]
+    fn normalization_table_reports_ns_per_interaction() {
+        use lagover_perf::WallLayer;
+        let mut base = baseline();
+        let mut fresh = baseline();
+        for doc in [&mut base, &mut fresh] {
+            doc.scenarios[0]
+                .work
+                .metrics
+                .push(("work.interactions".to_string(), 2_000));
+        }
+        base.scenarios[0].wall = Some(WallLayer::from_samples(vec![1.0]));
+        fresh.scenarios[0].wall = Some(WallLayer::from_samples(vec![0.5]));
+        let report = compare(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.normalization.len(), 1);
+        let row = &report.normalization[0];
+        assert_eq!(row.scenario, "fig2");
+        assert_eq!(row.baseline_ns, Some(1e9 / 2_000.0));
+        assert_eq!(row.fresh_ns, Some(0.5e9 / 2_000.0));
+        let md = report.render_markdown(false);
+        assert!(md.contains("ns/interaction"), "{md}");
+        assert!(md.contains("| fig2 | 500000.0 | 250000.0 |"), "{md}");
+    }
+
+    #[test]
+    fn normalization_handles_a_one_sided_wall_layer() {
+        use lagover_perf::WallLayer;
+        let base = baseline();
+        let mut fresh = baseline();
+        fresh.scenarios[0]
+            .work
+            .metrics
+            .push(("work.interactions".to_string(), 1_000));
+        fresh.scenarios[0].wall = Some(WallLayer::from_samples(vec![0.1]));
+        let report = compare(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.normalization.len(), 1);
+        assert_eq!(report.normalization[0].baseline_ns, None);
+        assert!(report
+            .render_markdown(false)
+            .contains("| fig2 | n/a | 100000.0 |"));
+    }
+
+    #[test]
+    fn normalization_absent_without_wall_layers() {
+        let report = compare(&baseline(), &baseline(), &GateConfig::default()).unwrap();
+        assert!(report.normalization.is_empty());
+        assert!(!report.render_markdown(false).contains("ns/interaction"));
     }
 
     #[test]

@@ -15,11 +15,6 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-/// Figure drivers diffed by default: the paper figures, the scaling
-/// sweep (widest parallel fan-out), and the observability report
-/// (journal + scrape + profile serialization).
-const DEFAULT_FIGURES: &[&str] = &["fig2", "fig3", "fig4", "scaling", "recovery", "obs"];
-
 /// The four schedules; the first is the baseline the rest diff against.
 const VARIANTS: &[(&str, &str, Option<&str>)] = &[
     ("threads-1", "1", None),
@@ -29,24 +24,30 @@ const VARIANTS: &[(&str, &str, Option<&str>)] = &[
 ];
 
 /// Entry point for `cargo xtask replay-diff [FIGS..] [--full]`.
+///
+/// The figure list is derived from the perf scenario registry
+/// ([`lagover_perf::replay_figures`]), so a scenario added there is
+/// automatically replay-diffed here — no hand-maintained list to
+/// drift.
 pub fn run(args: &[String]) -> ExitCode {
+    let known = lagover_perf::replay_figures();
     let mut figures: Vec<String> = Vec::new();
     let mut full = false;
     for arg in args {
         match arg.as_str() {
             "--full" => full = true,
-            name if DEFAULT_FIGURES.contains(&name) => figures.push(name.to_string()),
+            name if known.contains(&name) => figures.push(name.to_string()),
             other => {
                 eprintln!(
                     "xtask replay-diff: unknown argument `{other}` (figures: {})",
-                    DEFAULT_FIGURES.join(", ")
+                    known.join(", ")
                 );
                 return ExitCode::from(2);
             }
         }
     }
     if figures.is_empty() {
-        figures = DEFAULT_FIGURES.iter().map(|s| s.to_string()).collect();
+        figures = known.iter().map(|s| s.to_string()).collect();
     }
 
     let root = crate::workspace_root();
