@@ -11,6 +11,8 @@
 //! Usage: `construction_bench [OUTPUT_PATH]` (default
 //! `BENCH_construction.json` in the current directory).
 
+#![forbid(unsafe_code)]
+
 use lagover_perf::construction_throughput;
 
 /// The standard scenario every run of this harness measures.

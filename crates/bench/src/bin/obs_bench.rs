@@ -12,6 +12,8 @@
 //! Usage: `obs_bench [OUTPUT_PATH]` (default `BENCH_obs.json` in the
 //! current directory).
 
+#![forbid(unsafe_code)]
+
 use lagover_perf::{single_scenario_document, PerfParams};
 
 /// The standard scenario every run of this harness measures.

@@ -16,6 +16,8 @@
 //! *scientific* outputs (medians, convergence rates) come from
 //! `lagover-experiments`.
 
+#![forbid(unsafe_code)]
+
 use lagover_core::node::Population;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 

@@ -1,5 +1,7 @@
 //! The `lagover` binary — see [`lagover_cli`] for the command set.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

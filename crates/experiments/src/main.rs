@@ -6,6 +6,8 @@
 //!                       [--quick] [--peers N] [--runs N] [--seed N] [--max-rounds N] [--json DIR]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use lagover_experiments::{

@@ -12,6 +12,8 @@
 //! `--wall K` attaches median-of-K wall-clock samples (never commit
 //! that form). `--quick` switches to the small test parameters.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use lagover_perf::{baseline_params, collect_baseline, scenario_names, PerfParams};

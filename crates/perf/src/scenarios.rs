@@ -17,7 +17,7 @@ use lagover_obs::ObsReport;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
 use crate::baseline::{Baseline, PerfParams, ScenarioBaseline, WorkLayer, SCHEMA_VERSION};
-use crate::wall::WallLayer;
+use crate::wall;
 
 /// Salt for the `obs` footprint scenario's run seeds (distinct from
 /// every experiment salt in `lagover-experiments`).
@@ -230,10 +230,8 @@ pub fn collect_baseline(params: &PerfParams, wall_samples: usize, only: &[String
             continue;
         }
         let report = run_scenario(name, params).expect("registry names are valid");
-        let wall = (wall_samples > 0).then(|| {
-            WallLayer::measure(wall_samples, || {
-                run_scenario(name, params);
-            })
+        let wall = wall::try_measure(wall_samples, || {
+            run_scenario(name, params);
         });
         scenarios.push(ScenarioBaseline {
             name: name.to_string(),
@@ -258,10 +256,8 @@ pub fn single_scenario_document(
     wall_samples: usize,
 ) -> Option<Baseline> {
     let report = run_scenario(name, params)?;
-    let wall = (wall_samples > 0).then(|| {
-        WallLayer::measure(wall_samples, || {
-            run_scenario(name, params);
-        })
+    let wall = wall::try_measure(wall_samples, || {
+        run_scenario(name, params);
     });
     Some(Baseline {
         schema_version: SCHEMA_VERSION,
@@ -305,10 +301,8 @@ pub fn construction_throughput(
         health: observed.health,
         journal: Some(observed.journal),
     };
-    let wall = (wall_samples > 0).then(|| {
-        WallLayer::measure(wall_samples, || {
-            construct(&population, &config, seed);
-        })
+    let wall = wall::try_measure(wall_samples, || {
+        construct(&population, &config, seed);
     });
     Baseline {
         schema_version: SCHEMA_VERSION,

@@ -6,8 +6,13 @@
 //! samples never enter the committed `BENCH_baseline.json`, and
 //! `cargo xtask bench-gate` only compares wall layers whose
 //! [`EnvTag`]s match (same runner class). This file carries the one
-//! `xtask lint` wall-clock allowance for the perf crate.
+//! `xtask lint` wall-clock allowance for the perf crate, and the
+//! actual clock reads are additionally compile-time scoped behind the
+//! default-on `wall-clock` feature (`cargo xtask analyze` rule
+//! `feature-gate`): building with `--no-default-features` produces a
+//! perf harness that records work units only and cannot touch a clock.
 
+#[cfg(feature = "wall-clock")]
 use std::time::Instant;
 
 use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
@@ -67,7 +72,10 @@ pub struct WallLayer {
 
 impl WallLayer {
     /// Runs `job` `samples` times (at least once) and collects the
-    /// layer from the measured durations.
+    /// layer from the measured durations. Only exists when the
+    /// `wall-clock` feature is on; deterministic callers use
+    /// [`try_measure`] and carry no wall layer otherwise.
+    #[cfg(feature = "wall-clock")]
     pub fn measure(samples: usize, mut job: impl FnMut()) -> WallLayer {
         let mut secs = Vec::with_capacity(samples.max(1));
         for _ in 0..samples.max(1) {
@@ -112,6 +120,22 @@ impl WallLayer {
             self.env.render()
         )
     }
+}
+
+/// Measures `samples` wall-clock runs of `job` when sampling is
+/// requested *and* the `wall-clock` feature is compiled in; `None`
+/// otherwise, in which case the baseline simply carries no wall layer.
+pub fn try_measure(samples: usize, job: impl FnMut()) -> Option<WallLayer> {
+    #[cfg(feature = "wall-clock")]
+    {
+        if samples > 0 {
+            return Some(WallLayer::measure(samples, job));
+        }
+    }
+    #[cfg(not(feature = "wall-clock"))]
+    let _ = job;
+    let _ = samples;
+    None
 }
 
 /// Linear-interpolated percentile of an ascending-sorted slice.
@@ -212,12 +236,24 @@ mod tests {
         assert_eq!(layer.iqr_secs, 0.0);
     }
 
+    #[cfg(feature = "wall-clock")]
     #[test]
     fn measure_runs_the_job_the_requested_number_of_times() {
         let mut count = 0;
         let layer = WallLayer::measure(3, || count += 1);
         assert_eq!(count, 3);
         assert_eq!(layer.samples_secs.len(), 3);
+    }
+
+    #[test]
+    fn try_measure_honours_sample_count_and_feature() {
+        assert!(try_measure(0, || {}).is_none(), "zero samples: no layer");
+        let sampled = try_measure(2, || {});
+        if cfg!(feature = "wall-clock") {
+            assert_eq!(sampled.expect("feature on").samples_secs.len(), 2);
+        } else {
+            assert!(sampled.is_none());
+        }
     }
 
     #[test]

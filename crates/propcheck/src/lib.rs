@@ -19,6 +19,8 @@
 //!   run draws the same deterministic case sequence, so there are no
 //!   "regression" cases to replay.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 

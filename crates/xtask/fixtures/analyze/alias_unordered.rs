@@ -1,0 +1,17 @@
+//! Fixture: alias-aware unordered-iteration detection — renamed
+//! imports and type aliases still reach the hash containers.
+use std::collections::BTreeMap;
+use std::collections::HashMap as Dict;
+use std::collections::{BTreeSet, HashSet as Seen};
+
+// `Index` chains through `Dict` back to HashMap.
+type Index = Dict<u64, usize>;
+
+fn f(m: &mut BTreeMap<u8, u8>) {
+    let d: Dict<u8, u8> = Default::default();
+    m.insert(0, 1);
+    let fine: BTreeSet<u8> = BTreeSet::new();
+    let i: Index = Default::default();
+    let s: Seen<u8> = Default::default();
+    drop((d, fine, i, s));
+}

@@ -1,0 +1,27 @@
+//! Fixture: wall-clock reads must be feature-gated.
+
+#[cfg(feature = "wall-clock")]
+fn gated() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(feature = "wall-clock")]
+mod gated_mod {
+    pub fn since_epoch() -> std::time::SystemTime {
+        std::time::SystemTime::now()
+    }
+}
+
+fn ungated() { let _t = std::time::Instant::now(); }
+
+// Instant::now in a comment is fine.
+
+#[cfg(not(feature = "wall-clock"))]
+fn negated() {
+    let _t = std::time::SystemTime::now();
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = std::time::Instant::now(); }
+}

@@ -1,0 +1,4 @@
+//! Fixture: crate root missing the forbid attribute.
+// #![forbid(unsafe_code)] — commented out, must not count.
+
+fn main() {}

@@ -1,0 +1,4 @@
+//! Fixture: crate root carrying the forbid attribute.
+#![forbid(unsafe_code)]
+
+fn main() {}

@@ -1,0 +1,40 @@
+//! Fixture: tiered panic-surface audit. The deny tier carries no
+//! invariant; the warn tier is messaged and only counted; test and
+//! debug_assertions regions are exempt.
+
+fn deny_tier(x: Option<u8>, v: &[u8]) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("");
+    if v.is_empty() {
+        panic!();
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => {}
+    }
+    a + b
+}
+
+fn warn_tier(x: Option<u8>, v: &[u8]) -> u8 {
+    let a = x.expect("invariant: filled upstream");
+    if v.len() < 2 {
+        panic!("fixture: need two elements");
+    }
+    if a == 255 {
+        unreachable!("fixture: capped at 254");
+    }
+    v[0] + v[usize::from(a)]
+}
+
+#[cfg(test)]
+mod tests {
+    fn masked(x: Option<u8>) {
+        x.unwrap();
+    }
+}
+
+#[cfg(debug_assertions)]
+fn debug_validate(x: Option<u8>) {
+    x.unwrap();
+}

@@ -4,6 +4,16 @@
 //! comments. Anything else is a parse error, which keeps the format
 //! honest.
 
+use crate::analyze::rules::Finding;
+
+/// Relative path of the allowlist, from the workspace root. Shared by
+/// `cargo xtask lint` and `cargo xtask analyze`.
+pub const ALLOWLIST_PATH: &str = "crates/xtask/lint.allow.toml";
+
+/// Hard cap on allowlist size — the list must stay a short set of
+/// justified exceptions, not an escape hatch.
+pub const MAX_ALLOW_ENTRIES: usize = 10;
+
 /// One justified lint exception.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
@@ -83,6 +93,47 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
         .collect()
 }
 
+/// Result of filtering findings through the allowlist.
+pub struct Applied {
+    /// Findings no entry covers — these fail the build.
+    pub violations: Vec<Finding>,
+    /// How many findings an entry absorbed.
+    pub allowed: usize,
+    /// Entries whose rule belongs to `scope` but which matched nothing.
+    /// The unused-entry warning is scoped per pass: a justified
+    /// `analyze` exception must not read as unused to `lint`, and vice
+    /// versa.
+    pub unused: Vec<AllowEntry>,
+}
+
+/// Filters `findings` through the allowlist, reporting unused entries
+/// only for rules in `scope`.
+pub fn apply(findings: Vec<Finding>, allow: &[AllowEntry], scope: &[&str]) -> Applied {
+    let mut used = vec![false; allow.len()];
+    let mut violations = Vec::new();
+    let mut allowed = 0usize;
+    for f in findings {
+        match allow.iter().position(|a| a.matches(&f.path, f.rule)) {
+            Some(i) => {
+                used[i] = true;
+                allowed += 1;
+            }
+            None => violations.push(f),
+        }
+    }
+    let unused = allow
+        .iter()
+        .zip(&used)
+        .filter(|(entry, used)| !**used && scope.contains(&entry.rule.as_str()))
+        .map(|(entry, _)| entry.clone())
+        .collect();
+    Applied {
+        violations,
+        allowed,
+        unused,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +188,31 @@ reason = "why"
     #[test]
     fn empty_file_parses_to_no_entries() {
         assert_eq!(parse("# nothing here\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn apply_scopes_the_unused_warning_per_pass() {
+        let entry = |path: &str, rule: &str| AllowEntry {
+            path: path.to_string(),
+            rule: rule.to_string(),
+            reason: "justified".to_string(),
+        };
+        let allow = vec![entry("a.rs", "wall-clock"), entry("b.rs", "panic-surface")];
+        let findings = vec![Finding {
+            path: "a.rs".to_string(),
+            line: 1,
+            rule: "wall-clock",
+            excerpt: String::new(),
+        }];
+        let applied = apply(findings, &allow, &["wall-clock"]);
+        assert!(applied.violations.is_empty());
+        assert_eq!(applied.allowed, 1);
+        // The panic-surface entry is unused but belongs to the other
+        // pass, so no warning here...
+        assert!(applied.unused.is_empty());
+        // ... and the analyze pass does report it.
+        let applied = apply(Vec::new(), &allow, &["panic-surface"]);
+        assert_eq!(applied.unused.len(), 1);
+        assert_eq!(applied.unused[0].rule, "panic-surface");
     }
 }

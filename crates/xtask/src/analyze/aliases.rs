@@ -1,0 +1,182 @@
+//! Per-file `use`-alias and `type`-alias resolution for the
+//! alias-aware unordered-iteration rule: a `HashMap` smuggled in as
+//! `use std::collections::HashMap as Map;` or hidden behind
+//! `type Index = HashMap<PeerId, usize>;` is still a `HashMap`.
+//!
+//! Resolution is lexical and per-file, matching the engine's
+//! philosophy: no type inference, just every local name that
+//! *textually* binds to one of the tracked targets. Chained aliases
+//! (`type A = Map<..>` where `Map` is itself a rename) resolve in file
+//! order, which covers the sane cases.
+
+use super::lexer::{find_idents, is_ident_byte};
+
+/// One local alias of a tracked type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alias {
+    /// The local name (`Map`, `Index`, ...).
+    pub name: String,
+    /// The tracked target it resolves to (`HashMap` / `HashSet`).
+    pub target: &'static str,
+    /// Byte span of the declaring item, so the declaration itself is
+    /// not double-reported.
+    pub decl_start: usize,
+    pub decl_end: usize,
+}
+
+/// Finds every local alias of `targets` in a stripped source: `use ...
+/// X as Y;` renames (including inside `{...}` groups) and `type Y =
+/// ... X ...;` aliases, resolving chains through earlier aliases.
+pub fn resolve(stripped: &str, targets: &[&'static str]) -> Vec<Alias> {
+    let src = stripped.as_bytes();
+    let mut aliases: Vec<Alias> = Vec::new();
+
+    // Pass 1: `use` declarations, in file order.
+    for start in find_idents(stripped, "use") {
+        let Some(end) = item_semicolon(src, start) else {
+            continue;
+        };
+        let body = &stripped[start + 3..end];
+        for (local, referent) in use_renames(body) {
+            if let Some(target) = targets.iter().find(|t| **t == referent) {
+                if local != referent {
+                    aliases.push(Alias {
+                        name: local,
+                        target,
+                        decl_start: start,
+                        decl_end: end + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass 2: `type` aliases, resolving through pass-1 names and
+    // earlier type aliases.
+    for start in find_idents(stripped, "type") {
+        let Some(end) = item_semicolon(src, start) else {
+            continue;
+        };
+        let body = &stripped[start + 4..end];
+        let Some((name, rhs)) = body.split_once('=') else {
+            continue;
+        };
+        // The declared name: first identifier of the lhs (generic
+        // parameters follow it).
+        let name: String = name
+            .trim_start()
+            .chars()
+            .take_while(|c| is_ident_byte(*c as u8))
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let target = targets
+            .iter()
+            .find(|t| !find_idents(rhs, t).is_empty())
+            .copied()
+            .or_else(|| {
+                aliases
+                    .iter()
+                    .filter(|a| a.decl_start < start)
+                    .find(|a| !find_idents(rhs, &a.name).is_empty())
+                    .map(|a| a.target)
+            });
+        if let Some(target) = target {
+            aliases.push(Alias {
+                name,
+                target,
+                decl_start: start,
+                decl_end: end + 1,
+            });
+        }
+    }
+    aliases
+}
+
+/// `(local_name, referent)` pairs bound by one `use` body: for
+/// `a::b::{X as Y, Z}` yields `(Y, X)` and `(Z, Z)`.
+fn use_renames(body: &str) -> Vec<(String, String)> {
+    // Split the body into leaf segments: on `{` `}` `,` — each leaf is
+    // a path possibly ending in `as Name`.
+    let mut out = Vec::new();
+    for leaf in body.split(['{', '}', ',']) {
+        let leaf = leaf.trim().trim_end_matches("::");
+        if leaf.is_empty() {
+            continue;
+        }
+        let (path, rename) = match leaf.split_once(" as ") {
+            Some((p, r)) => (p.trim(), Some(r.trim())),
+            None => (leaf, None),
+        };
+        let referent = path.rsplit("::").next().unwrap_or(path).trim();
+        if referent.is_empty() || referent == "*" {
+            continue;
+        }
+        let local = rename.unwrap_or(referent);
+        out.push((local.to_string(), referent.to_string()));
+    }
+    out
+}
+
+/// Offset of the `;` terminating the item starting at `start`.
+fn item_semicolon(src: &[u8], start: usize) -> Option<usize> {
+    (start..src.len()).find(|&i| src[i] == b';')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGETS: &[&str] = &["HashMap", "HashSet"];
+
+    #[test]
+    fn use_renames_are_resolved() {
+        let src =
+            "use std::collections::HashMap as Map;\nfn f() { let m: Map<u8, u8> = Map::new(); }\n";
+        let aliases = resolve(src, TARGETS);
+        assert_eq!(aliases.len(), 1);
+        assert_eq!(aliases[0].name, "Map");
+        assert_eq!(aliases[0].target, "HashMap");
+        assert!(aliases[0].decl_end <= src.find("fn f").unwrap());
+    }
+
+    #[test]
+    fn group_imports_with_renames() {
+        let src = "use std::collections::{HashMap as Dict, HashSet as Set, BTreeMap};\n";
+        let aliases = resolve(src, TARGETS);
+        let names: Vec<_> = aliases
+            .iter()
+            .map(|a| (a.name.as_str(), a.target))
+            .collect();
+        assert_eq!(names, [("Dict", "HashMap"), ("Set", "HashSet")]);
+    }
+
+    #[test]
+    fn plain_imports_are_not_aliases() {
+        let src = "use std::collections::HashMap;\nuse std::collections::BTreeMap as Tree;\n";
+        assert!(resolve(src, TARGETS).is_empty());
+    }
+
+    #[test]
+    fn type_aliases_resolve_including_chains() {
+        let src = "\
+use std::collections::HashMap as Map;\n\
+type Index = Map<u64, usize>;\n\
+type Plain = std::collections::HashSet<u8>;\n\
+type Fine = Vec<u8>;\n";
+        let aliases = resolve(src, TARGETS);
+        let names: Vec<_> = aliases
+            .iter()
+            .map(|a| (a.name.as_str(), a.target))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("Map", "HashMap"),
+                ("Index", "HashMap"),
+                ("Plain", "HashSet")
+            ]
+        );
+    }
+}

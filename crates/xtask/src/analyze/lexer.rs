@@ -1,0 +1,602 @@
+//! The lexical core of the structural analyzer: offset-preserving
+//! source stripping, identifier-boundary token search, `#[cfg(...)]`
+//! region tracking, and enclosing-function spans.
+//!
+//! Everything here operates on raw bytes and **preserves byte offsets
+//! exactly**: `strip_code` replaces comment and string-literal contents
+//! with spaces (never adding or removing a byte, never touching a
+//! newline), so any offset found in the stripped text maps 1:1 back to
+//! the original source and its line number. The property tests in
+//! `crates/xtask/tests/lexer_props.rs` pin this invariant for arbitrary
+//! generated sources; the fixtures under `crates/xtask/fixtures/`
+//! pin the tricky tokens (raw strings, nested block comments,
+//! lifetimes vs. char literals) byte for byte.
+
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+pub fn find_from(hay: &[u8], ned: &[u8], from: usize) -> Option<usize> {
+    if ned.is_empty() || hay.len() < ned.len() {
+        return None;
+    }
+    (from..=hay.len() - ned.len()).find(|&i| &hay[i..i + ned.len()] == ned)
+}
+
+/// Byte offsets of `needle` in `haystack` where the match is not
+/// embedded in a longer identifier on either side. A needle that
+/// starts/ends with punctuation (`.sum`, `::`) is boundary-checked
+/// only on its identifier ends.
+pub fn find_idents(haystack: &str, needle: &str) -> Vec<usize> {
+    let hay = haystack.as_bytes();
+    let ned = needle.as_bytes();
+    let mut offsets = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(hay, ned, from) {
+        let left_ok = pos == 0 || !is_ident_byte(hay[pos - 1]);
+        let right_ok = pos + ned.len() >= hay.len() || !is_ident_byte(hay[pos + ned.len()]);
+        let left_ok = left_ok || !is_ident_byte(ned[0]);
+        let right_ok = right_ok || !is_ident_byte(ned[ned.len() - 1]);
+        if left_ok && right_ok {
+            offsets.push(pos);
+        }
+        from = pos + 1;
+    }
+    offsets
+}
+
+pub fn contains_ident(haystack: &str, needle: &str) -> bool {
+    !find_idents(haystack, needle).is_empty()
+}
+
+/// 1-based line number of `offset` in `source`.
+pub fn line_of(source: &str, offset: usize) -> usize {
+    1 + source.as_bytes()[..offset.min(source.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// The source line containing `offset`, trimmed.
+pub fn excerpt_at(source: &str, offset: usize) -> String {
+    let line = line_of(source, offset);
+    source
+        .lines()
+        .nth(line - 1)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+/// Replaces comments and string/char-literal *contents* with spaces,
+/// preserving the total byte length and every newline so offsets map
+/// 1:1 back to the original source. Quote characters themselves are
+/// kept, which lets `.expect("")` detection distinguish an empty
+/// message from a blanked non-empty one.
+pub fn strip_code(source: &str) -> String {
+    let src = source.as_bytes();
+    let mut out = src.to_vec();
+    let mut i = 0;
+    while i < src.len() {
+        match src[i] {
+            b'/' if src.get(i + 1) == Some(&b'/') => {
+                let end = find_from(src, b"\n", i).unwrap_or(src.len());
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < src.len() && depth > 0 {
+                    if src[j] == b'/' && src.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if src[j] == b'*' && src.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i..j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(src, i);
+                blank(&mut out, i + 1..end.saturating_sub(1));
+                i = end;
+            }
+            b'r' | b'b' if !prev_is_ident(src, i) && raw_string_start(src, i).is_some() => {
+                let (body_start, body_end, end) = raw_string_start(src, i).expect("checked above");
+                blank(&mut out, body_start..body_end);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = src.get(i + 1).copied();
+                let is_lifetime = next.is_some_and(|b| is_ident_byte(b) && b != b'\\')
+                    && src.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                } else {
+                    let end = skip_char_literal(src, i);
+                    blank(&mut out, i + 1..end.saturating_sub(1));
+                    i = end;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn blank(out: &mut [u8], range: std::ops::Range<usize>) {
+    for b in &mut out[range] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn prev_is_ident(src: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(src[i - 1])
+}
+
+/// If `src[i..]` starts a raw (or raw-byte) string literal, returns
+/// `(content_start, content_end, end_after_closing_quote_and_hashes)`.
+fn raw_string_start(src: &[u8], i: usize) -> Option<(usize, usize, usize)> {
+    let mut j = i;
+    if src.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if src.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let hash_start = j;
+    while src.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    let hashes = j - hash_start;
+    if src.get(j) != Some(&b'"') {
+        return None;
+    }
+    let content_start = j + 1;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    // Blank only the contents — the closing quote and hashes survive,
+    // mirroring the non-raw case (and keeping stripping idempotent).
+    let (content_end, end) = match find_from(src, &closer, content_start) {
+        Some(p) => (p, p + closer.len()),
+        None => (src.len(), src.len()),
+    };
+    Some((content_start, content_end, end))
+}
+
+/// Returns the index just past the closing quote of the string starting
+/// at `src[start] == b'"'`.
+fn skip_string(src: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < src.len() {
+        match src[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    src.len()
+}
+
+fn skip_char_literal(src: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < src.len() {
+        match src[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    src.len()
+}
+
+/// One `#[cfg(...)]`-gated region: the byte span of the attribute plus
+/// the item it gates, and the predicate text (taken from the *original*
+/// source, since stripping blanks the string literals inside it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgRegion {
+    pub start: usize,
+    pub end: usize,
+    /// Predicate with all whitespace removed, e.g. `test`,
+    /// `feature="wall-clock"`, `not(feature="wall-clock")`.
+    pub predicate: String,
+}
+
+impl CfgRegion {
+    pub fn contains(&self, offset: usize) -> bool {
+        self.start <= offset && offset < self.end
+    }
+}
+
+/// All `#[cfg(...)]` / `#![cfg(...)]` regions of one file, resolved to
+/// byte spans via brace/semicolon tracking. Regions may nest; queries
+/// consider every region containing an offset.
+#[derive(Debug, Clone, Default)]
+pub struct CfgMap {
+    pub regions: Vec<CfgRegion>,
+}
+
+impl CfgMap {
+    /// Builds the map. `stripped` locates the attributes (so a
+    /// commented-out `#[cfg(...)]` is invisible); `original` supplies
+    /// the predicate text (stripping blanks the feature-name strings).
+    pub fn build(stripped: &str, original: &str) -> CfgMap {
+        let src = stripped.as_bytes();
+        let mut regions = Vec::new();
+        let mut from = 0;
+        while let Some(hash) = find_from(src, b"#", from) {
+            from = hash + 1;
+            // `#[cfg(` or `#![cfg(` — and not `#[cfg_attr(`.
+            let mut j = hash + 1;
+            let inner = src.get(j) == Some(&b'!');
+            if inner {
+                j += 1;
+            }
+            if src.get(j) != Some(&b'[') {
+                continue;
+            }
+            j += 1;
+            let kw = b"cfg(";
+            if src.get(j..j + kw.len()) != Some(kw.as_slice()) {
+                continue;
+            }
+            let pred_start = j + kw.len();
+            let Some(pred_end) = matching_paren(src, pred_start - 1) else {
+                continue;
+            };
+            // Attribute closer: the `]` right after the predicate.
+            let Some(attr_end) = find_from(src, b"]", pred_end).map(|p| p + 1) else {
+                continue;
+            };
+            let predicate: String = original[pred_start..pred_end]
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            let end = if inner {
+                // Inner attribute: gates the rest of the file (the
+                // enclosing-module case at file top; nested inner
+                // attributes are not used in this workspace).
+                src.len()
+            } else {
+                item_end(src, attr_end)
+            };
+            regions.push(CfgRegion {
+                start: hash,
+                end,
+                predicate,
+            });
+            from = attr_end;
+        }
+        CfgMap { regions }
+    }
+
+    /// Predicates of every region containing `offset`.
+    pub fn predicates_at(&self, offset: usize) -> impl Iterator<Item = &str> {
+        self.regions
+            .iter()
+            .filter(move |r| r.contains(offset))
+            .map(|r| r.predicate.as_str())
+    }
+
+    /// Whether `offset` sits inside a region positively gated on
+    /// `feature = "<name>"`. A region whose predicate only mentions the
+    /// feature under `not(...)` does not count.
+    pub fn feature_gated(&self, offset: usize, feature: &str) -> bool {
+        let positive = format!("feature=\"{feature}\"");
+        let negated = format!("not(feature=\"{feature}\"");
+        self.predicates_at(offset)
+            .any(|p| p.contains(&positive) && !p.contains(&negated))
+    }
+
+    /// Whether `offset` sits inside a region whose predicate satisfies
+    /// `pred` (predicates are whitespace-free, see [`CfgRegion`]).
+    pub fn gated_by(&self, offset: usize, pred: impl FnMut(&str) -> bool) -> bool {
+        self.predicates_at(offset).any(pred)
+    }
+
+    /// Space-blanks (keeping newlines) every region whose predicate
+    /// satisfies `pred`. Used to hide `cfg(test)` / `cfg(debug_assertions)`
+    /// code from rules that only audit release-reachable paths.
+    pub fn mask_matching(&self, stripped: &str, mut pred: impl FnMut(&str) -> bool) -> String {
+        let mut out = stripped.as_bytes().to_vec();
+        let len = out.len();
+        for region in &self.regions {
+            if pred(&region.predicate) {
+                blank(&mut out, region.start..region.end.min(len));
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+}
+
+/// `test` or any `all(...)`/`any(...)` composition mentioning `test`
+/// positively (predicates are whitespace-free).
+pub fn is_test_predicate(p: &str) -> bool {
+    contains_ident(p, "test") && !p.contains("not(test")
+}
+
+/// Matching `)` for the `(` at `src[open]`, honouring nesting.
+fn matching_paren(src: &[u8], open: usize) -> Option<usize> {
+    debug_assert_eq!(src.get(open), Some(&b'('));
+    let mut depth = 0usize;
+    for (i, &b) in src.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// End offset of the item a (non-inner) attribute at `attr_end` gates:
+/// skips any further attributes, then runs to the end of the first
+/// brace-balanced block — or to the first `;` or `,` at depth zero,
+/// whichever comes first (fields, `use` items, struct-literal fields,
+/// enum variants).
+fn item_end(src: &[u8], attr_end: usize) -> usize {
+    let mut i = attr_end;
+    // Skip whitespace and stacked attributes (`#[derive(..)]`, `#[test]`).
+    loop {
+        while i < src.len() && src[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if src.get(i) == Some(&b'#') && src.get(i + 1) == Some(&b'[') {
+            let mut depth = 0usize;
+            while i < src.len() {
+                match src[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while i < src.len() {
+        match src[i] {
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'[' => bracket += 1,
+            b']' => bracket = bracket.saturating_sub(1),
+            b'{' => {
+                let mut depth = 0usize;
+                while i < src.len() {
+                    match src[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return src.len();
+            }
+            b';' | b',' if paren == 0 && bracket == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    src.len()
+}
+
+/// Span of one `fn` item body: `name` plus the byte range from the
+/// `fn` keyword to the end of its brace block (bodiless trait-method
+/// signatures are skipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Every `fn` body span in the stripped source, in file order. Spans
+/// nest for inner functions; [`enclosing_fn`] picks the innermost.
+pub fn fn_spans(stripped: &str) -> Vec<FnSpan> {
+    let src = stripped.as_bytes();
+    let mut spans = Vec::new();
+    for start in find_idents(stripped, "fn") {
+        let mut j = start + 2;
+        while j < src.len() && src[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < src.len() && is_ident_byte(src[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn` in e.g. `Fn()` position already excluded by boundaries
+        }
+        let name = stripped[name_start..j].to_string();
+        // Find the body `{`, skipping the parameter list and any
+        // parenthesized/bracketed groups in the signature; a `;` first
+        // means a bodiless signature.
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        let mut body = None;
+        while j < src.len() {
+            match src[j] {
+                b'(' => paren += 1,
+                b')' => paren = paren.saturating_sub(1),
+                b'[' => bracket += 1,
+                b']' => bracket = bracket.saturating_sub(1),
+                b'{' if paren == 0 && bracket == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                b';' if paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body else { continue };
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < src.len() {
+            match src[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push(FnSpan {
+            name,
+            start,
+            end: (k + 1).min(src.len()),
+        });
+    }
+    spans
+}
+
+/// Name of the innermost function whose body contains `offset`, or
+/// `"<file>"` for top-level positions.
+pub fn enclosing_fn(spans: &[FnSpan], offset: usize) -> &str {
+    spans
+        .iter()
+        .filter(|s| s.start <= offset && offset < s.end)
+        .min_by_key(|s| s.end - s.start)
+        .map_or("<file>", |s| s.name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_preserves_length_and_newlines() {
+        let src = "// c\nfn f() { let s = \"a\\\"b\"; let r = r#\"x\"#; }\n/* b /* n */ */\n";
+        let stripped = strip_code(src);
+        assert_eq!(stripped.len(), src.len());
+        let nl = |s: &str| -> Vec<usize> {
+            s.bytes()
+                .enumerate()
+                .filter(|(_, b)| *b == b'\n')
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(nl(src), nl(&stripped));
+        assert!(!stripped.contains('x'), "raw string contents blanked");
+    }
+
+    #[test]
+    fn cfg_regions_cover_brace_blocks_and_terse_items() {
+        let src = "\
+#[cfg(test)]\nmod tests { fn t() { hazard(); } }\n\
+#[cfg(feature = \"wall-clock\")]\nuse std::time::Instant;\n\
+fn live() {}\n";
+        let stripped = strip_code(src);
+        let map = CfgMap::build(&stripped, src);
+        assert_eq!(map.regions.len(), 2);
+        assert_eq!(map.regions[0].predicate, "test");
+        assert_eq!(map.regions[1].predicate, "feature=\"wall-clock\"");
+        let hazard = src.find("hazard").unwrap();
+        assert!(map.regions[0].contains(hazard));
+        let instant = src.find("Instant").unwrap();
+        assert!(map.feature_gated(instant, "wall-clock"));
+        let live = src.find("live").unwrap();
+        assert!(!map.feature_gated(live, "wall-clock"));
+        assert!(map.predicates_at(live).next().is_none());
+    }
+
+    #[test]
+    fn negated_feature_regions_do_not_count_as_gated() {
+        let src = "#[cfg(not(feature = \"wall-clock\"))]\nfn fallback() { tick(); }\n";
+        let stripped = strip_code(src);
+        let map = CfgMap::build(&stripped, src);
+        let tick = src.find("tick").unwrap();
+        assert!(!map.feature_gated(tick, "wall-clock"));
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_region() {
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S;\n";
+        let stripped = strip_code(src);
+        assert!(CfgMap::build(&stripped, src).regions.is_empty());
+    }
+
+    #[test]
+    fn inner_cfg_attribute_gates_the_rest_of_the_file() {
+        let src = "#![cfg(feature = \"wall-clock\")]\nfn f() { now(); }\n";
+        let stripped = strip_code(src);
+        let map = CfgMap::build(&stripped, src);
+        assert!(map.feature_gated(src.find("now").unwrap(), "wall-clock"));
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped_to_the_item() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T { x: u8 }\nfn live() {}\n";
+        let stripped = strip_code(src);
+        let map = CfgMap::build(&stripped, src);
+        assert!(map.regions[0].contains(src.find("x: u8").unwrap()));
+        assert!(!map.regions[0].contains(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn struct_literal_field_attribute_spans_to_the_comma() {
+        let src = "fn f() -> S { S {\n#[cfg(feature = \"wall-clock\")]\nat: Instant::now(),\nn: 3,\n} }\n";
+        let stripped = strip_code(src);
+        let map = CfgMap::build(&stripped, src);
+        assert!(map.feature_gated(src.find("Instant::now").unwrap(), "wall-clock"));
+        assert!(!map.feature_gated(src.find("n: 3").unwrap(), "wall-clock"));
+    }
+
+    #[test]
+    fn fn_spans_nest_and_signatures_are_skipped() {
+        let src = "\
+trait T { fn sig(&self) -> u8; }\n\
+fn outer() {\n    fn inner() { draw(); }\n    late();\n}\n";
+        let stripped = strip_code(src);
+        let spans = fn_spans(&stripped);
+        let names: Vec<_> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        assert_eq!(enclosing_fn(&spans, src.find("draw").unwrap()), "inner");
+        assert_eq!(enclosing_fn(&spans, src.find("late").unwrap()), "outer");
+        assert_eq!(enclosing_fn(&spans, 0), "<file>");
+    }
+
+    #[test]
+    fn mask_matching_blanks_only_selected_regions() {
+        let src = "#[cfg(test)]\nmod t { bad(); }\n#[cfg(feature = \"x\")]\nfn keep() { ok(); }\n";
+        let stripped = strip_code(src);
+        let map = CfgMap::build(&stripped, src);
+        let masked = map.mask_matching(&stripped, is_test_predicate);
+        assert!(!masked.contains("bad"));
+        assert!(masked.contains("ok()"));
+        assert_eq!(masked.len(), src.len());
+    }
+}

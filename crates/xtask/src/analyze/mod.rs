@@ -1,0 +1,291 @@
+//! `cargo xtask analyze` — structural static analysis over the whole
+//! workspace (DESIGN.md §14).
+//!
+//! Where `cargo xtask lint` pattern-matches hazard tokens, `analyze`
+//! builds a model first — every source file tokenized with exact byte
+//! offsets ([`lexer`]), `use`-aliases resolved per file ([`aliases`]),
+//! `#[cfg(...)]` regions tracked by brace depth ([`lexer::CfgMap`]),
+//! and every `Cargo.toml` parsed into a crate DAG ([`manifest`]) — and
+//! then runs structural rules over it ([`rules`]):
+//!
+//! * `rng-discipline` — every `SimRng` draw call site diffed against
+//!   the committed registry `crates/xtask/rng_sites.toml`; re-bless
+//!   with `cargo xtask analyze --bless` (or `LAGOVER_BLESS=1`).
+//! * `alias-unordered-iter` — `HashMap`/`HashSet` workspace-wide,
+//!   through renames and type aliases.
+//! * `panic-surface` — tiered unwrap/expect/panic audit of
+//!   `crates/core/src`.
+//! * `layering` — the declared crate DAG holds; externals resolve to
+//!   `stubs/`.
+//! * `feature-gate` — wall-clock reads sit inside
+//!   `#[cfg(feature = "wall-clock")]` regions.
+//! * `forbid-unsafe` — every crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Findings honour the shared allowlist (`crates/xtask/lint.allow.toml`)
+//! and land in `target/analyze/REPORT.json` + `REPORT.md`, rendered
+//! deterministically — byte-identical across runs on the same tree.
+
+pub mod aliases;
+pub mod lexer;
+pub mod manifest;
+pub mod model;
+#[cfg(test)]
+mod props;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use crate::allowlist::{self, ALLOWLIST_PATH, MAX_ALLOW_ENTRIES};
+use model::Model;
+use report::Report;
+use rules::rng_discipline::{self, DrawSite};
+use rules::{feature_gate, forbid_unsafe, layering, panic_surface, unordered};
+pub use rules::{Finding, ANALYZE_RULES};
+
+/// Relative path of the draw-site registry, from the workspace root.
+pub const REGISTRY_PATH: &str = "crates/xtask/rng_sites.toml";
+
+/// One full rule pass over a loaded model, pure and IO-free: findings
+/// are pre-allowlist, sorted (path, line, rule, excerpt).
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub sites: Vec<DrawSite>,
+    pub panic: panic_surface::PanicMetrics,
+}
+
+pub fn analyze(model: &Model, registry: &[DrawSite]) -> Analysis {
+    let sites = rng_discipline::enumerate(model);
+    let mut findings = rng_discipline::diff(&sites, registry, REGISTRY_PATH);
+    findings.extend(unordered::check(model));
+    let (panic_findings, panic) = panic_surface::check(model);
+    findings.extend(panic_findings);
+    findings.extend(layering::check(&model.workspace));
+    findings.extend(feature_gate::check(model));
+    findings.extend(forbid_unsafe::check(model));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.excerpt).cmp(&(&b.path, b.line, b.rule, &b.excerpt))
+    });
+    Analysis {
+        findings,
+        sites,
+        panic,
+    }
+}
+
+/// Entry point for `cargo xtask analyze [--bless]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let mut bless = std::env::var_os("LAGOVER_BLESS").is_some();
+    for arg in args {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            other => {
+                eprintln!("xtask analyze: unknown argument `{other}` (expected --bless)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = crate::workspace_root();
+
+    let allow_text = match fs::read_to_string(root.join(ALLOWLIST_PATH)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot read {ALLOWLIST_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let allow = match allowlist::parse(&allow_text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask analyze: {ALLOWLIST_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if allow.len() > MAX_ALLOW_ENTRIES {
+        eprintln!(
+            "xtask analyze: allowlist has {} entries; the cap is {MAX_ALLOW_ENTRIES} \
+             — fix violations instead of allowlisting them",
+            allow.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let model = match Model::load(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if bless {
+        let sites = rng_discipline::enumerate(&model);
+        let text = rng_discipline::render_registry(&sites);
+        if let Err(e) = fs::write(root.join(REGISTRY_PATH), &text) {
+            eprintln!("xtask analyze: cannot write {REGISTRY_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: blessed {REGISTRY_PATH} ({} sites, {} draw calls) — review and commit it",
+            sites.len(),
+            sites.iter().map(|s| s.count).sum::<u64>()
+        );
+    }
+
+    let registry_text = match fs::read_to_string(root.join(REGISTRY_PATH)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "xtask analyze: cannot read {REGISTRY_PATH}: {e}\n\
+                 \x20 generate it with `cargo xtask analyze --bless` and commit it"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match rng_discipline::parse_registry(&registry_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {REGISTRY_PATH}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let analysis = analyze(&model, &registry);
+    let files_scanned = model.files.len();
+    let applied = allowlist::apply(analysis.findings, &allow, ANALYZE_RULES);
+
+    let report = Report {
+        files_scanned,
+        rng_sites: analysis.sites.len(),
+        rng_draws: analysis.sites.iter().map(|s| s.count).sum(),
+        panic: analysis.panic,
+        allowed: applied.allowed,
+        findings: applied.violations,
+    };
+    let out_dir = crate::target_dir(&root).join("analyze");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("xtask analyze: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_reports(&out_dir, &report) {
+        eprintln!("xtask analyze: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for v in &report.findings {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.excerpt);
+    }
+    for entry in &applied.unused {
+        println!(
+            "warning: unused allowlist entry (path = {:?}, rule = {:?}) — remove it",
+            entry.path, entry.rule
+        );
+    }
+    println!(
+        "xtask analyze: {} files, {} rng draw sites — {} violation(s), {} allowlisted \
+         (report: {})",
+        report.files_scanned,
+        report.rng_sites,
+        report.findings.len(),
+        report.allowed,
+        out_dir.join("REPORT.json").display()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_reports(out_dir: &Path, report: &Report) -> Result<(), String> {
+    let json_path = out_dir.join("REPORT.json");
+    fs::write(&json_path, report.render_json())
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    let md_path = out_dir.join("REPORT.md");
+    fs::write(&md_path, report.render_markdown())
+        .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The end-to-end property `cargo xtask analyze` enforces, run
+    /// in-process: the committed registry matches the tree, and every
+    /// finding in the real workspace is allowlisted.
+    #[test]
+    fn real_workspace_analyzes_clean_modulo_allowlist() {
+        let root = crate::workspace_root();
+        let model = Model::load(&root).expect("model loads");
+        let registry_text =
+            std::fs::read_to_string(root.join(REGISTRY_PATH)).expect("registry committed");
+        let registry = rng_discipline::parse_registry(&registry_text).expect("registry parses");
+        let allow_text =
+            std::fs::read_to_string(root.join(ALLOWLIST_PATH)).expect("allowlist readable");
+        let allow = crate::allowlist::parse(&allow_text).expect("allowlist parses");
+        assert!(allow.len() <= MAX_ALLOW_ENTRIES);
+        let analysis = analyze(&model, &registry);
+        let applied = crate::allowlist::apply(analysis.findings, &allow, ANALYZE_RULES);
+        assert!(
+            applied.violations.is_empty(),
+            "unallowlisted violations:\n{}",
+            applied
+                .violations
+                .iter()
+                .map(|f| format!("  {}:{} [{}] {}", f.path, f.line, f.rule, f.excerpt))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // Every analyze-scoped allowlist entry is live.
+        assert!(
+            applied.unused.is_empty(),
+            "unused analyze allowlist entries: {:?}",
+            applied.unused
+        );
+    }
+
+    /// The committed registry is byte-identical to what `--bless`
+    /// would regenerate — i.e. never hand-edited into drift.
+    #[test]
+    fn committed_registry_matches_a_fresh_bless() {
+        let root = crate::workspace_root();
+        let model = Model::load(&root).expect("model loads");
+        let sites = rng_discipline::enumerate(&model);
+        let fresh = rng_discipline::render_registry(&sites);
+        let committed =
+            std::fs::read_to_string(root.join(REGISTRY_PATH)).expect("registry committed");
+        assert_eq!(
+            committed, fresh,
+            "rng_sites.toml drifted — rerun `cargo xtask analyze --bless`"
+        );
+    }
+
+    /// REPORT.json must not depend on iteration order or wall time:
+    /// two passes over the same tree render identical bytes.
+    #[test]
+    fn report_is_byte_identical_across_passes() {
+        let root = crate::workspace_root();
+        let render = || {
+            let model = Model::load(&root).expect("model loads");
+            let registry_text =
+                std::fs::read_to_string(root.join(REGISTRY_PATH)).expect("registry committed");
+            let registry = rng_discipline::parse_registry(&registry_text).expect("registry parses");
+            let analysis = analyze(&model, &registry);
+            let files_scanned = model.files.len();
+            Report {
+                files_scanned,
+                rng_sites: analysis.sites.len(),
+                rng_draws: analysis.sites.iter().map(|s| s.count).sum(),
+                panic: analysis.panic,
+                allowed: 0,
+                findings: analysis.findings,
+            }
+            .render_json()
+        };
+        assert_eq!(render(), render());
+    }
+}

@@ -18,8 +18,16 @@
 //!   `lagover-perf` harness and diffs it against the committed
 //!   `BENCH_baseline.json` under the `perf.gate.toml` tolerances,
 //!   rendering a markdown regression table.
+//! * `analyze` — structural static analysis (DESIGN.md §14): the
+//!   SimRng draw-site registry, alias-aware hash-container detection,
+//!   the tiered panic-surface audit, crate-DAG layering, wall-clock
+//!   feature gating, and the `#![forbid(unsafe_code)]` check, with a
+//!   deterministic report under `target/analyze/`.
+
+#![forbid(unsafe_code)]
 
 mod allowlist;
+mod analyze;
 mod bench_gate;
 mod gate_config;
 mod lint;
@@ -32,6 +40,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("analyze") => analyze::run(&args[1..]),
         Some("replay-diff") => replay::run(&args[1..]),
         Some("loom") => run_loom(),
         Some("miri") => run_miri(),
@@ -54,6 +63,10 @@ fn print_usage() {
          \n\
          subcommands:\n\
          \x20 lint                  scan workspace sources for determinism hazards\n\
+         \x20 analyze [--bless]     structural static analysis: rng draw-site\n\
+         \x20                       registry, aliases, panic surface, layering,\n\
+         \x20                       feature gates (--bless regenerates\n\
+         \x20                       crates/xtask/rng_sites.toml)\n\
          \x20 replay-diff [FIGS..]  byte-diff figure JSON across thread counts and\n\
          \x20                       chunkings (default: fig2 fig3 fig4 scaling;\n\
          \x20                       --full for paper-scale parameters)\n\
