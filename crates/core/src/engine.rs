@@ -10,7 +10,9 @@
 //! latency-checked attaches, child displacement, and the
 //! replace-and-adopt reconfiguration (`j ← i ← k`).
 
-use lagover_obs::{wall_mark, Event, HealthSample, Pipeline, Scrape, Work};
+use lagover_obs::{
+    wall_mark, Event, HealthSample, InconsistencyCause, Pipeline, RepairKind, Scrape, Work,
+};
 use lagover_sim::{ChurnProcess, FaultPlan, Round, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +22,7 @@ use crate::oracle::{Oracle, OracleKind, OracleView};
 use crate::oracle_index::OracleIndex;
 use crate::overlay::Overlay;
 use crate::trace::{member_to_node, DetachCause, TraceLog};
-use crate::{greedy, hybrid, maintenance};
+use crate::{greedy, hybrid, maintenance, stabilize};
 
 // Moved to `lagover-obs` (the counters are the registry's raw
 // material); re-exported here so `lagover_core::engine::EngineCounters`
@@ -71,7 +73,7 @@ pub(crate) struct ProtoState {
 }
 
 impl ProtoState {
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         *self = ProtoState::default();
     }
 }
@@ -177,15 +179,21 @@ pub struct Engine {
     faults: FaultPlan,
     /// Which peers have crash-stop failed (permanent; disjoint from
     /// graceful churn, which clears overlay edges immediately).
-    crashed: Vec<bool>,
+    pub(crate) crashed: Vec<bool>,
     /// Rounds each crashed peer has been silent, saturating at
     /// `detection_timeout` once its remaining edges are reclaimed.
-    crash_silent: Vec<u32>,
+    pub(crate) crash_silent: Vec<u32>,
     /// Cursor into the fault plan's sorted crash schedule.
     next_crash: usize,
     /// Crash victims so far (kept to make the no-fault fast path in
     /// [`Engine::apply_faults`] a field read, not a vector scan).
     crashed_total: usize,
+    /// Whether a snapshot corruption is being repaired. While set, the
+    /// round-end invariant assertions are suspended (corrupted state is
+    /// *expected* to fail them) and the per-round stabilization sweep
+    /// runs. Deliberately not serialized: snapshots are a facility for
+    /// clean checkpoints, and a restored engine starts un-corrupted.
+    stabilizing: bool,
 }
 
 impl std::fmt::Debug for Engine {
@@ -240,6 +248,7 @@ impl Engine {
             crash_silent: vec![0; n],
             next_crash: 0,
             crashed_total: 0,
+            stabilizing: false,
         }
     }
 
@@ -361,6 +370,7 @@ impl Engine {
             crash_silent: snapshot.crash_silent,
             next_crash: snapshot.next_crash,
             crashed_total,
+            stabilizing: false,
         }
     }
 
@@ -604,6 +614,70 @@ impl Engine {
         true
     }
 
+    /// Whether the engine is repairing a snapshot corruption (see
+    /// [`crate::stabilize::apply_corruption`]).
+    pub fn stabilizing(&self) -> bool {
+        self.stabilizing
+    }
+
+    /// Manually toggles stabilizing mode. Runners clear the flag once
+    /// the overlay is validate-clean and converged again; tests set it
+    /// before hand-crafting corrupt states through the raw overlay
+    /// mutators.
+    pub fn set_stabilizing(&mut self, on: bool) {
+        self.stabilizing = on;
+    }
+
+    /// Enters stabilizing mode after a corruption was applied: suspends
+    /// the round-end invariant assertions and rebuilds the oracle
+    /// sampling index, since cached delays may have been forged
+    /// wholesale underneath it.
+    pub(crate) fn begin_stabilizing(&mut self) {
+        self.stabilizing = true;
+        if self.index.is_some() {
+            self.set_oracle_indexing(true);
+        }
+    }
+
+    /// Records one detected local inconsistency (counter + event).
+    pub(crate) fn note_inconsistency(&mut self, p: PeerId, cause: InconsistencyCause) {
+        self.counters.inconsistencies_detected += 1;
+        if self.obs.is_enabled() {
+            self.obs.record(Event::InconsistencyDetected {
+                round: self.round.get(),
+                peer: p.get(),
+                cause,
+            });
+        }
+    }
+
+    /// Records one repair performed by the stabilize rule.
+    pub(crate) fn note_repair(&mut self, p: PeerId, action: RepairKind) {
+        self.counters.repair_actions += 1;
+        if self.obs.is_enabled() {
+            self.obs.record(Event::RepairAction {
+                round: self.round.get(),
+                peer: p.get(),
+                action,
+            });
+        }
+    }
+
+    /// Detaches `p` as a stabilization repair — the failure-detach
+    /// ladder generalized to corrupted edges (the detach itself is
+    /// lenient about missing backlinks) — and resets `p`'s protocol
+    /// state so ordinary construction re-attaches it.
+    pub(crate) fn stabilize_detach(&mut self, p: PeerId) {
+        let parent = self
+            .overlay
+            .detach(p)
+            .expect("stabilize detach on parented peer");
+        self.counters.detaches += 1;
+        self.emit_detach(p, parent, DetachCause::Failure);
+        self.proto[p.index()].reset();
+        self.note_repair(p, RepairKind::Detach);
+    }
+
     /// Whether `p` has crash-stop failed.
     pub fn is_crashed(&self, p: PeerId) -> bool {
         self.crashed[p.index()]
@@ -689,7 +763,7 @@ impl Engine {
             }
         }
         #[cfg(debug_assertions)]
-        if self.population.len() <= FULL_VALIDATE_LIMIT {
+        if self.population.len() <= FULL_VALIDATE_LIMIT && !self.stabilizing {
             let detected: Vec<bool> = (0..self.online.len())
                 .map(|i| self.crashed[i] && self.crash_silent[i] >= self.config.detection_timeout)
                 .collect();
@@ -742,6 +816,9 @@ impl Engine {
         let mut counters0 = self.counters;
 
         self.fire_scheduled_crashes();
+        if self.stabilizing {
+            stabilize::sweep(self);
+        }
         if profiling {
             let work = self.work_since(draws0, &counters0, 0);
             self.obs.record_phase("detection", work, mark);
@@ -806,6 +883,12 @@ impl Engine {
     /// [`Overlay::spot_check`] stays on in every build as a cheap
     /// corruption tripwire that covers the whole population over time.
     fn check_invariants(&self) {
+        if self.stabilizing {
+            // Corrupted state is *supposed* to fail these until the
+            // stabilize rule has repaired it; the runner re-arms the
+            // checks once validate() comes back clean.
+            return;
+        }
         #[cfg(debug_assertions)]
         if self.population.len() <= FULL_VALIDATE_LIMIT {
             assert_eq!(self.overlay.validate(), Ok(()));
@@ -819,6 +902,14 @@ impl Engine {
     /// asynchronous (event-driven) engine.
     pub fn act_on(&mut self, p: PeerId) {
         debug_assert!(self.online[p.index()], "offline peers do not act");
+        // The stabilize rule: verify cached chain state against the
+        // neighbours' actual replies before acting on it. On a valid
+        // overlay this is a handful of reads (no RNG, no events), so
+        // corruption-free runs stay byte-identical; a detected
+        // inconsistency is repaired in place of the normal action.
+        if stabilize::verify(self, p) {
+            return;
+        }
         if self.overlay.parent(p).is_none() {
             self.construction_step(p);
         } else {
@@ -1081,6 +1172,12 @@ impl Engine {
             if m == i {
                 return false;
             }
+            // An orphan-graft corruption can place a peer in j's child
+            // list without the backlink; displacing it would detach it
+            // from its *real* parent. Always true on a valid overlay.
+            if self.overlay.parent(m) != Some(Member::Peer(j)) {
+                return false;
+            }
             let strictly_laxer = self.population.latency(m) > l_i;
             match policy {
                 DisplacePolicy::Greedy => strictly_laxer,
@@ -1123,31 +1220,43 @@ impl Engine {
         if self.is_in_subtree_of(j, i) {
             return false;
         }
+        // A fanout-overflow corruption can leave j with more children
+        // than it advertises — detaching one victim then frees no slot.
+        // Always false on a valid overlay.
+        if self.overlay.children(j).len() > self.overlay.advertised_fanout(j) as usize {
+            return false;
+        }
         let adopt = adoptable(m);
         if adopt && !self.overlay.has_free_fanout(Member::Peer(i)) {
             // Make room for the victim by orphaning i's laxest fragment
             // child.
-            let discard = self
+            // A forged fanout cache can report i full with no children
+            // to discard; impossible on a valid overlay.
+            let Some(discard) = self
                 .overlay
                 .children(i)
                 .iter()
                 .copied()
                 .max_by_key(|&c| (self.population.latency(c), c.get()))
-                .expect("positive fanout and full implies a child exists");
+            else {
+                return false;
+            };
             self.overlay.detach(discard).expect("child of i");
             self.counters.detaches += 1;
             self.emit_detach(discard, Member::Peer(i), DetachCause::Discarded);
         }
         self.overlay.detach(m).expect("m is a child of j");
         self.emit_detach(m, Member::Peer(j), DetachCause::Displaced);
-        self.overlay
-            .attach(i, Member::Peer(j))
-            .expect("slot freed and cycle pre-checked");
+        if self.overlay.attach(i, Member::Peer(j)).is_err() {
+            // Forged caches can make the O(1) cycle check refuse an
+            // attach the bounded walk approved; impossible on a valid
+            // overlay. m restarts construction from j's neighborhood.
+            self.proto[m.index()].referral = Some(Member::Peer(j));
+            self.counters.detaches += 1;
+            return false;
+        }
         self.emit_attach(i, Member::Peer(j));
-        if adopt {
-            self.overlay
-                .attach(m, Member::Peer(i))
-                .expect("room made at i and m was below j already");
+        if adopt && self.overlay.attach(m, Member::Peer(i)).is_ok() {
             self.counters.attaches += 1;
             self.emit_attach(m, Member::Peer(i));
         } else {
@@ -1182,7 +1291,13 @@ impl Engine {
         i: PeerId,
         orphan_if_unadoptable: bool,
     ) -> bool {
-        debug_assert_eq!(self.overlay.parent(j), Some(parent));
+        // Callers pick j out of parent's child list; an orphan-graft
+        // corruption can plant an entry there without the backlink, in
+        // which case displacing j would detach it from its real parent.
+        // Always true on a valid overlay.
+        if self.overlay.parent(j) != Some(parent) {
+            return false;
+        }
         if i == j || self.overlay.parent(i).is_some() {
             return false;
         }
@@ -1208,29 +1323,49 @@ impl Engine {
                 return false;
             }
         }
+        // A fanout-overflow (or source-graft) corruption can leave the
+        // parent with more children than it advertises — detaching j
+        // then frees no slot. Always false on a valid overlay.
+        let overflowed = match parent {
+            Member::Source => {
+                self.overlay.source_children().len() > self.population.source_fanout() as usize
+            }
+            Member::Peer(k) => {
+                self.overlay.children(k).len() > self.overlay.advertised_fanout(k) as usize
+            }
+        };
+        if overflowed {
+            return false;
+        }
         if can_adopt && !self.overlay.has_free_fanout(Member::Peer(i)) {
-            // Discard the laxest current child to make room for j.
-            let discard = self
+            // Discard the laxest current child to make room for j. A
+            // forged fanout cache can report i full with no children to
+            // discard; impossible on a valid overlay.
+            let Some(discard) = self
                 .overlay
                 .children(i)
                 .iter()
                 .copied()
                 .max_by_key(|&c| (self.population.latency(c), c.get()))
-                .expect("fanout > 0 and full implies a child exists");
+            else {
+                return false;
+            };
             self.overlay.detach(discard).expect("child of i");
             self.counters.detaches += 1;
             self.emit_detach(discard, Member::Peer(i), DetachCause::Discarded);
         }
         self.overlay.detach(j).expect("j is a child of parent");
         self.emit_detach(j, parent, DetachCause::Displaced);
-        self.overlay
-            .attach(i, parent)
-            .expect("slot freed and cycle pre-checked");
+        if self.overlay.attach(i, parent).is_err() {
+            // Forged caches can make the O(1) cycle check refuse an
+            // attach the bounded walk approved; impossible on a valid
+            // overlay. j restarts construction near its displacer.
+            self.proto[j.index()].referral = Some(Member::Peer(i));
+            self.counters.detaches += 1;
+            return false;
+        }
         self.emit_attach(i, parent);
-        if can_adopt {
-            self.overlay
-                .attach(j, Member::Peer(i))
-                .expect("room made at i");
+        if can_adopt && self.overlay.attach(j, Member::Peer(i)).is_ok() {
             self.counters.attaches += 1;
             self.emit_attach(j, Member::Peer(i));
         } else {
@@ -1245,13 +1380,20 @@ impl Engine {
     }
 
     /// Whether `node` lies in the subtree rooted at `root` (walking up
-    /// from `node`; O(depth)).
+    /// from `node`; O(depth)). Bounded by the population size: a walk
+    /// that fails to terminate (a corrupted parent cycle) conservatively
+    /// answers `true`, so every caller refuses its reconfiguration.
     pub(crate) fn is_in_subtree_of(&self, node: PeerId, root: PeerId) -> bool {
         let mut cur = node;
+        let mut budget = self.population.len();
         loop {
             if cur == root {
                 return true;
             }
+            if budget == 0 {
+                return true;
+            }
+            budget -= 1;
             match self.overlay.parent(cur) {
                 Some(Member::Peer(q)) => cur = q,
                 Some(Member::Source) | None => return false,
@@ -1422,15 +1564,19 @@ impl Engine {
 /// Whether `p`'s ancestor chain crosses an offline peer. Free function
 /// over the Sync components so the parallel-chunked probes can call it
 /// from worker threads (the engine itself is not `Sync` — it owns a
-/// `Box<dyn Oracle>`).
+/// `Box<dyn Oracle>`). Bounded by the population size: a chain that
+/// fails to terminate (a corrupted parent cycle) can never deliver the
+/// feed, so it counts as stale.
 fn chain_is_stale(overlay: &Overlay, online: &[bool], p: PeerId) -> bool {
     let mut cur = p;
+    let mut budget = online.len();
     loop {
         match overlay.parent(cur) {
             Some(Member::Peer(q)) => {
-                if !online[q.index()] {
+                if !online[q.index()] || budget == 0 {
                     return true;
                 }
+                budget -= 1;
                 cur = q;
             }
             Some(Member::Source) | None => return false,

@@ -26,7 +26,11 @@
 //!   feasibility checker;
 //! * [`runner`] — convergence, churn, and crash-recovery run
 //!   orchestration (the latter driven by the deterministic
-//!   fault-injection plans of `lagover_sim::faults`).
+//!   fault-injection plans of `lagover_sim::faults`);
+//! * [`stabilize`] — self-stabilization from arbitrary corrupted
+//!   state: adversarial snapshot injection
+//!   (`lagover_sim::CorruptionPlan`) and the always-on local
+//!   detect-and-repair rule that re-converges from it.
 //!
 //! # Quickstart
 //!
@@ -56,6 +60,7 @@ pub mod node;
 pub mod oracle;
 pub mod overlay;
 pub mod runner;
+pub mod stabilize;
 pub mod sufficiency;
 pub mod trace;
 
@@ -76,8 +81,11 @@ pub use overlay::{ChainRoot, Overlay, OverlayError};
 pub use runner::{
     chunk_plan, construct, construct_many, construct_observed, construct_with_oracle,
     parallel_fold, parallel_runs, parallel_runs_with, run_recovery, run_recovery_observed,
-    run_with_churn, ChurnOutcome, ConstructionOutcome, FaultScenario, ObservedRecovery,
-    ObservedRun, RecoveryOutcome,
+    run_recovery_with_oracle, run_stabilization, run_stabilization_observed,
+    run_stabilization_with_oracle, run_with_churn, ChurnOutcome, ConstructionOutcome,
+    FaultScenario, ObservedRecovery, ObservedRun, ObservedStabilization, RecoveryOutcome,
+    StabilizationOutcome,
 };
+pub use stabilize::apply_corruption;
 pub use sufficiency::{check as check_sufficiency, exact_feasibility, SufficiencyReport};
 pub use trace::{DetachCause, TraceEvent, TraceLog};

@@ -275,16 +275,26 @@ impl Overlay {
         let mut stack = std::mem::take(&mut self.scratch);
         debug_assert!(stack.is_empty());
         stack.push(top);
+        // A valid subtree visits each peer once; a corrupted child
+        // structure (grafted ancestors) could loop, so the traversal is
+        // bounded by the population size and the hop arithmetic is
+        // clamped instead of wrapping.
+        let mut budget = self.parent.len();
         while let Some(s) = stack.pop() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
             let i = s.index();
             self.root[i] = packed_root;
-            self.hops[i] = (i64::from(self.hops[i]) + delta) as u32;
+            self.hops[i] = (i64::from(self.hops[i]) + delta).clamp(0, i64::from(u32::MAX)) as u32;
             if self.track_deltas {
                 let delay = rooted.then_some(self.hops[i]);
                 self.delay_deltas.push((s, delay));
             }
             stack.extend_from_slice(self.kids(i));
         }
+        stack.clear();
         self.scratch = stack; // drained by the loop; capacity retained
     }
 
@@ -313,12 +323,29 @@ impl Overlay {
         &self.source_children
     }
 
-    /// Unused fanout of a member.
+    /// Unused fanout of a member. Saturating: a corrupted state may
+    /// carry more children than the advertised fanout (see the raw
+    /// mutation surface below), which simply reads as zero free slots.
     pub fn free_fanout(&self, m: Member) -> u32 {
         match m {
-            Member::Source => self.source_fanout - self.source_children.len() as u32,
-            Member::Peer(p) => self.fanout[p.index()] - self.child_cnt[p.index()],
+            Member::Source => self
+                .source_fanout
+                .saturating_sub(self.source_children.len() as u32),
+            Member::Peer(p) => self.fanout[p.index()].saturating_sub(self.child_cnt[p.index()]),
         }
+    }
+
+    /// The fanout `p` currently advertises (normally its constraint;
+    /// a corruption may have forged it below the child count).
+    pub fn advertised_fanout(&self, p: PeerId) -> u32 {
+        self.fanout[p.index()]
+    }
+
+    /// The physical child-slot capacity of `p` — the fanout the forest
+    /// was built with, immune to forgery.
+    pub fn child_capacity(&self, p: PeerId) -> u32 {
+        let i = p.index();
+        self.child_off[i + 1] - self.child_off[i]
     }
 
     /// Whether a member has unused fanout.
@@ -452,10 +479,13 @@ impl Overlay {
             }
         }
         self.note_fanout_delta(parent);
-        // The child was a fragment root (hops 0), so its whole subtree
-        // shifts down by the child's new depth and adopts the new root.
-        debug_assert_eq!(self.hops[child.index()], 0);
-        self.update_subtree_cache(child, new_root, i64::from(base));
+        // The child was a fragment root, normally at hops 0, so its
+        // whole subtree shifts down to the child's new depth and adopts
+        // the new root. Computing the shift from the recorded hops
+        // (rather than assuming 0) keeps the subtree internally
+        // consistent even when a corruption forged the child's cache.
+        let shift = i64::from(base) - i64::from(self.hops[child.index()]);
+        self.update_subtree_cache(child, new_root, shift);
         Ok(())
     }
 
@@ -468,26 +498,27 @@ impl Overlay {
     pub fn detach(&mut self, child: PeerId) -> Result<Member, OverlayError> {
         let parent = unpack_parent(self.parent[child.index()]).ok_or(OverlayError::NoParent)?;
         self.parent[child.index()] = NO_PARENT;
+        // A corrupted (dangling) parent pointer may have no matching
+        // backlink; detaching then simply clears the pointer — on a
+        // valid overlay the position lookup always succeeds.
         match parent {
             Member::Source => {
-                let pos = self
-                    .source_children
-                    .iter()
-                    .position(|&c| c == child)
-                    .expect("parent/child link consistency");
-                self.source_children.swap_remove(pos);
+                if let Some(pos) = self.source_children.iter().position(|&c| c == child) {
+                    self.source_children.swap_remove(pos);
+                }
             }
             Member::Peer(p) => {
                 let i = p.index();
                 let off = self.child_off[i] as usize;
                 let cnt = self.child_cnt[i] as usize;
-                let pos = self.child_pool[off..off + cnt]
+                if let Some(pos) = self.child_pool[off..off + cnt]
                     .iter()
                     .position(|&c| c == child)
-                    .expect("parent/child link consistency");
-                // Same ordering as `Vec::swap_remove` on the old layout.
-                self.child_pool[off + pos] = self.child_pool[off + cnt - 1];
-                self.child_cnt[i] -= 1;
+                {
+                    // Same ordering as `Vec::swap_remove` on the old layout.
+                    self.child_pool[off + pos] = self.child_pool[off + cnt - 1];
+                    self.child_cnt[i] -= 1;
+                }
             }
         }
         self.note_fanout_delta(parent);
@@ -514,9 +545,10 @@ impl Overlay {
         for &c in &orphans {
             self.parent[c.index()] = NO_PARENT;
             // After the detach above `c` sits at depth 1 under the
-            // fragment root `p`; it now becomes its own fragment root.
-            debug_assert_eq!(self.hops[c.index()], 1);
-            self.update_subtree_cache(c, ChainRoot::Fragment(c), -1);
+            // fragment root `p` (unless a corruption forged its cache);
+            // it now becomes its own fragment root at hops 0.
+            let old_hops = self.hops[c.index()];
+            self.update_subtree_cache(c, ChainRoot::Fragment(c), -i64::from(old_hops));
         }
         orphans
     }
@@ -548,10 +580,17 @@ impl Overlay {
     pub fn spot_check(&self, p: PeerId) -> Result<(), String> {
         let i = p.index();
         if self.child_cnt[i] > self.fanout[i] {
-            return Err(format!("{p} fanout exceeded"));
+            return Err(format!(
+                "fanout bound violated at {p}: {} children > fanout {}",
+                self.child_cnt[i], self.fanout[i]
+            ));
         }
         if self.source_children.len() as u32 > self.source_fanout {
-            return Err("source fanout exceeded".to_string());
+            return Err(format!(
+                "fanout bound violated at source: {} children > fanout {}",
+                self.source_children.len(),
+                self.source_fanout
+            ));
         }
         match unpack_parent(self.parent[i]) {
             None => {
@@ -587,6 +626,34 @@ impl Overlay {
         Ok(())
     }
 
+    /// Walks the parent chain of `p`, bounded by the population size,
+    /// returning the true `(root, hops)` pair — the single chain-walk
+    /// both validators are built on.
+    ///
+    /// # Errors
+    ///
+    /// Names the starting peer when the walk exceeds `n` edges (a
+    /// parent cycle).
+    pub fn checked_walk(&self, p: PeerId) -> Result<(ChainRoot, u32), String> {
+        let mut cur = p;
+        let mut hops = 0u32;
+        loop {
+            match unpack_parent(self.parent[cur.index()]) {
+                Some(Member::Source) => return Ok((ChainRoot::Source, hops + 1)),
+                Some(Member::Peer(q)) => {
+                    hops += 1;
+                    if hops as usize > self.parent.len() {
+                        return Err(format!(
+                            "acyclicity violated: parent chain of {p} cycles (through {cur})"
+                        ));
+                    }
+                    cur = q;
+                }
+                None => return Ok((ChainRoot::Fragment(cur), hops)),
+            }
+        }
+    }
+
     /// Exhaustively checks structural invariants; used by tests and
     /// debug assertions. Cheap enough (O(n + edges)) to run after every
     /// round in test builds at paper scale — the engine size-gates it
@@ -594,11 +661,12 @@ impl Overlay {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violation.
+    /// Returns a human-readable description of the first violation,
+    /// naming the offending peers and the violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         if self.source_children.len() as u32 > self.source_fanout {
             return Err(format!(
-                "source fanout exceeded: {} > {}",
+                "fanout bound violated at source: {} children > fanout {}",
                 self.source_children.len(),
                 self.source_fanout
             ));
@@ -606,55 +674,57 @@ impl Overlay {
         for i in 0..self.parent.len() {
             let p = PeerId::new(i as u32);
             if self.child_cnt[i] > self.fanout[i] {
-                return Err(format!("{p} fanout exceeded"));
+                return Err(format!(
+                    "fanout bound violated at {p}: {} children > fanout {}",
+                    self.child_cnt[i], self.fanout[i]
+                ));
             }
             for &c in self.kids(i) {
                 if self.parent[c.index()] != p.get() {
-                    return Err(format!("{c} not linked back to {p}"));
+                    return Err(format!(
+                        "backlink violated: {p} lists child {c}, but {c}'s parent is {:?}",
+                        unpack_parent(self.parent[c.index()])
+                    ));
                 }
             }
         }
         for &c in &self.source_children {
             if self.parent[c.index()] != PARENT_SOURCE {
-                return Err(format!("{c} not linked back to source"));
+                return Err(format!(
+                    "backlink violated: source lists child {c}, but {c}'s parent is {:?}",
+                    unpack_parent(self.parent[c.index()])
+                ));
             }
         }
         for i in 0..self.parent.len() {
             let p = PeerId::new(i as u32);
             match unpack_parent(self.parent[i]) {
                 Some(Member::Source) if !self.source_children.contains(&p) => {
-                    return Err(format!("{p} missing from source children"));
+                    return Err(format!(
+                        "backlink violated: {p}'s parent is the source, \
+                         but the source does not list {p}"
+                    ));
                 }
                 Some(Member::Peer(q)) if !self.kids(q.index()).contains(&p) => {
-                    return Err(format!("{p} missing from children of {q}"));
+                    return Err(format!(
+                        "backlink violated: {p}'s parent is {q}, but {q} does not list {p}"
+                    ));
                 }
                 _ => {}
             }
-            // Cycle check: walking up from p must terminate within n
-            // steps.
-            let mut cur = p;
-            let mut steps = 0;
-            while let Some(Member::Peer(q)) = unpack_parent(self.parent[cur.index()]) {
-                cur = q;
-                steps += 1;
-                if steps > self.parent.len() {
-                    return Err(format!("cycle through {p}"));
-                }
-            }
-            // Cache coherence: the incrementally maintained root/hops
-            // must match a fresh chain walk.
-            if ChainRoot::unpack(self.root[i]) != self.walk_root(p) {
+            // One bounded walk serves the cycle check and both cache
+            // coherence checks.
+            let (true_root, true_hops) = self.checked_walk(p)?;
+            if ChainRoot::unpack(self.root[i]) != true_root {
                 return Err(format!(
-                    "cached root of {p} is {:?}, walk says {:?}",
+                    "root cache violated at {p}: cached {:?}, chain walk says {true_root:?}",
                     ChainRoot::unpack(self.root[i]),
-                    self.walk_root(p)
                 ));
             }
-            if self.hops[i] != self.walk_hops_to_root(p) {
+            if self.hops[i] != true_hops {
                 return Err(format!(
-                    "cached hops of {p} is {}, walk says {}",
+                    "hops cache violated at {p}: cached {}, chain walk says {true_hops}",
                     self.hops[i],
-                    self.walk_hops_to_root(p)
                 ));
             }
         }
@@ -684,20 +754,140 @@ impl Overlay {
         for (i, &dead) in detected.iter().enumerate() {
             let p = PeerId::new(i as u32);
             if dead {
-                if self.parent[i] != NO_PARENT {
-                    return Err(format!("detected crash victim {p} still has a parent"));
+                if let Some(parent) = unpack_parent(self.parent[i]) {
+                    return Err(format!(
+                        "liveness violated: detected crash victim {p} \
+                         still holds parent {parent:?}"
+                    ));
                 }
                 if self.child_cnt[i] != 0 {
-                    return Err(format!("detected crash victim {p} still serves children"));
+                    return Err(format!(
+                        "liveness violated: detected crash victim {p} still serves {} children",
+                        self.child_cnt[i]
+                    ));
                 }
             }
             if let Some(Member::Peer(q)) = unpack_parent(self.parent[i]) {
                 if detected[q.index()] {
-                    return Err(format!("{p} references detected crash victim {q}"));
+                    return Err(format!(
+                        "liveness violated: live peer {p}'s parent {q} \
+                         is a detected crash victim"
+                    ));
                 }
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Raw mutation surface — adversarial snapshot corruption and local
+    // repair primitives.
+    //
+    // Unlike `attach`/`detach`, nothing here maintains invariants or
+    // caches: these are the operations a `CorruptionPlan` interpreter
+    // uses to force the forest into an *arbitrary* state, and the
+    // minimal counter-operations the `stabilize` rule repairs with.
+    // After any raw mutation [`Overlay::validate`] may (intentionally)
+    // fail until stabilization completes. Delta records ARE maintained
+    // here: the oracle sampling index stays subscribed through repair,
+    // and a stale index would hide the very slots re-attachment needs.
+    // ------------------------------------------------------------------
+
+    /// Overwrites `p`'s parent pointer, touching no child list and no
+    /// cache — the corrupt half of a dangling pointer or cycle splice.
+    pub fn raw_set_parent(&mut self, p: PeerId, parent: Option<Member>) {
+        self.parent[p.index()] = pack_parent(parent);
+    }
+
+    /// Overwrites `p`'s cached chain root and hop count — forged
+    /// depth/delay state ([`ChainRoot`] staleness included).
+    pub fn raw_set_cache(&mut self, p: PeerId, root: ChainRoot, hops: u32) {
+        self.root[p.index()] = root.pack();
+        self.hops[p.index()] = hops;
+        if self.track_deltas {
+            let delay = matches!(root, ChainRoot::Source).then_some(hops);
+            self.delay_deltas.push((p, delay));
+        }
+    }
+
+    /// Forges `p`'s advertised fanout. Clamped to the physical slot
+    /// capacity (the build-time fanout), so only downward forgery —
+    /// the kind that overflows the bound — is possible.
+    pub fn raw_set_fanout(&mut self, p: PeerId, fanout: u32) {
+        self.fanout[p.index()] = fanout.min(self.child_capacity(p));
+        self.note_fanout_delta(Member::Peer(p));
+    }
+
+    /// Appends `child` to `p`'s live child slots without touching
+    /// `child`'s parent pointer (a one-sided graft). Returns `false`
+    /// when every physical slot is taken or the entry already exists.
+    pub fn raw_add_child(&mut self, p: PeerId, child: PeerId) -> bool {
+        let i = p.index();
+        if self.child_cnt[i] >= self.child_capacity(p) || self.kids(i).contains(&child) {
+            return false;
+        }
+        let slot = self.child_off[i] as usize + self.child_cnt[i] as usize;
+        self.child_pool[slot] = child;
+        self.child_cnt[i] += 1;
+        self.note_fanout_delta(Member::Peer(p));
+        true
+    }
+
+    /// Appends `child` to the source's child list without touching
+    /// `child`'s parent pointer. The source list is unbounded storage,
+    /// so this can overflow the source fanout.
+    pub fn raw_push_source_child(&mut self, child: PeerId) {
+        self.source_children.push(child);
+    }
+
+    /// Repair primitive: removes `child` from `parent`'s live slots (or
+    /// the source list) without touching `child`'s parent pointer —
+    /// the counter-operation to a one-sided graft. Returns whether an
+    /// entry was removed.
+    pub fn evict_child(&mut self, parent: Member, child: PeerId) -> bool {
+        match parent {
+            Member::Source => match self.source_children.iter().position(|&c| c == child) {
+                Some(pos) => {
+                    self.source_children.swap_remove(pos);
+                    true
+                }
+                None => false,
+            },
+            Member::Peer(q) => {
+                let i = q.index();
+                let off = self.child_off[i] as usize;
+                let cnt = self.child_cnt[i] as usize;
+                match self.child_pool[off..off + cnt]
+                    .iter()
+                    .position(|&c| c == child)
+                {
+                    Some(pos) => {
+                        self.child_pool[off + pos] = self.child_pool[off + cnt - 1];
+                        self.child_cnt[i] -= 1;
+                        self.note_fanout_delta(parent);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Repair primitive: restores `p`'s advertised fanout to the
+    /// physical capacity it was built with.
+    pub fn restore_fanout(&mut self, p: PeerId) {
+        self.fanout[p.index()] = self.child_capacity(p);
+        self.note_fanout_delta(Member::Peer(p));
+    }
+
+    /// Repair primitive: resolves a self-parent loop by clearing `p`'s
+    /// parent pointer, removing `p` from its own child slots, and
+    /// resetting its cache to a fragment root. `p`'s genuine children
+    /// keep their links (their caches converge via their own checks).
+    pub fn heal_self_parent(&mut self, p: PeerId) {
+        self.parent[p.index()] = NO_PARENT;
+        self.evict_child(Member::Peer(p), p);
+        self.raw_set_cache(p, ChainRoot::Fragment(p), 0);
     }
 }
 

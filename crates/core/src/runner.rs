@@ -2,7 +2,7 @@
 //! churn, and the recorded outcomes the experiment harness consumes.
 
 use lagover_obs::{HealthSample, Journal, Profiler, Scrape};
-use lagover_sim::{ChurnProcess, FaultPlan, Round, SimRng, TimeSeries};
+use lagover_sim::{ChurnProcess, CorruptionPlan, FaultPlan, Round, SimRng, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ConstructionConfig;
@@ -483,7 +483,39 @@ pub fn run_recovery(
     recovery_horizon: u64,
     seed: u64,
 ) -> RecoveryOutcome {
-    recovery_inner(population, config, scenario, recovery_horizon, seed, None).0
+    recovery_inner(
+        population,
+        config,
+        scenario,
+        recovery_horizon,
+        seed,
+        None,
+        None,
+    )
+    .0
+}
+
+/// [`run_recovery`] against a substrate oracle realization (DHT
+/// directory, random-walk sampler, …) instead of the reference oracle —
+/// the crash-and-heal path of the realization experiments.
+pub fn run_recovery_with_oracle(
+    population: &Population,
+    config: &ConstructionConfig,
+    oracle: Box<dyn Oracle>,
+    scenario: &FaultScenario,
+    recovery_horizon: u64,
+    seed: u64,
+) -> RecoveryOutcome {
+    recovery_inner(
+        population,
+        config,
+        scenario,
+        recovery_horizon,
+        seed,
+        None,
+        Some(oracle),
+    )
+    .0
 }
 
 /// A crash-and-heal run with the observability pipeline attached. The
@@ -521,6 +553,7 @@ pub fn run_recovery_observed(
         recovery_horizon,
         seed,
         Some((journal_capacity, sample_interval.max(1))),
+        None,
     )
     .1
     .expect("observation requested")
@@ -533,8 +566,12 @@ fn recovery_inner(
     recovery_horizon: u64,
     seed: u64,
     observe: Option<(usize, u64)>,
+    oracle: Option<Box<dyn Oracle>>,
 ) -> (RecoveryOutcome, Option<ObservedRecovery>) {
-    let mut engine = Engine::new(population, config, seed);
+    let mut engine = match oracle {
+        Some(oracle) => Engine::with_oracle(population, config, oracle, seed),
+        None => Engine::new(population, config, seed),
+    };
     if let Some((capacity, _)) = observe {
         engine
             .obs_mut()
@@ -613,6 +650,205 @@ fn recovery_inner(
         counters: *engine.counters(),
     };
     let observed = observe.map(|_| ObservedRecovery {
+        outcome: outcome.clone(),
+        journal: engine.obs_mut().take_journal().expect("journal enabled"),
+        scrapes,
+        health,
+        profile: engine.obs().profiler().cloned().expect("profiler enabled"),
+    });
+    (outcome, observed)
+}
+
+/// Everything recorded about one corrupt-and-stabilize run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilizationOutcome {
+    /// Round at which the initial (pre-corruption) construction
+    /// converged, if it did within the configured cap.
+    pub construction_converged_at: Option<u64>,
+    /// Round at which the corruption plan was applied.
+    pub corruption_round: u64,
+    /// Peer states the plan actually mutated.
+    pub corrupted_states: u64,
+    /// Whether [`crate::Overlay::validate`] rejected the snapshot right
+    /// after injection (the structural corruption classes guarantee it;
+    /// pure cache forgeries may pass structure and fail only the cache
+    /// coherence checks).
+    pub valid_after_injection: bool,
+    /// Rounds from injection until the overlay was validate-clean,
+    /// every live peer satisfied, and no chain crossed a corpse — the
+    /// *time to clean* — if reached within the horizon.
+    pub clean_rounds: Option<u64>,
+    /// Rounds actually executed after the injection.
+    pub rounds_run: u64,
+    /// Per-round satisfied fraction from the corruption round on.
+    pub satisfied_series: TimeSeries,
+    /// Per-round cumulative repair actions from the corruption round on
+    /// — the time-to-clean series the stabilization experiment plots.
+    pub repair_series: TimeSeries,
+    /// Event counters accumulated over the whole run.
+    pub counters: EngineCounters,
+}
+
+impl StabilizationOutcome {
+    /// Whether the overlay re-stabilized within the horizon.
+    pub fn stabilized(&self) -> bool {
+        self.clean_rounds.is_some()
+    }
+
+    /// Time-to-clean as a float, with non-recovery mapped to `cap`.
+    pub fn clean_or(&self, cap: f64) -> f64 {
+        self.clean_rounds.map(|r| r as f64).unwrap_or(cap)
+    }
+}
+
+/// A corrupt-and-stabilize run with the observability pipeline
+/// attached; the timeline starts at the corruption round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedStabilization {
+    /// The plain outcome (identical to [`run_stabilization`]'s).
+    pub outcome: StabilizationOutcome,
+    /// The bounded event journal recorded over the whole run —
+    /// including every `InconsistencyDetected` / `RepairAction`.
+    pub journal: Journal,
+    /// Registry scrapes: corruption round, every interval, the clean
+    /// round.
+    pub scrapes: Vec<Scrape>,
+    /// Health probes at the same cadence.
+    pub health: Vec<HealthSample>,
+    /// Per-phase work profile.
+    pub profile: Profiler,
+}
+
+/// Builds the overlay to convergence, applies `plan` as a one-shot
+/// snapshot corruption, and measures self-stabilization for up to
+/// `horizon` further rounds.
+///
+/// *Clean* is stricter than the paper's convergence criterion: the
+/// overlay must pass the full [`crate::Overlay::validate`] sweep (a
+/// forged cache can make every peer *look* satisfied), every live peer
+/// must be satisfied, and no chain may cross a crashed peer. Reaching
+/// it re-arms the engine's round-end invariant assertions.
+pub fn run_stabilization(
+    population: &Population,
+    config: &ConstructionConfig,
+    plan: &CorruptionPlan,
+    horizon: u64,
+    seed: u64,
+) -> StabilizationOutcome {
+    stabilization_inner(population, config, plan, horizon, seed, None, None).0
+}
+
+/// [`run_stabilization`] against a substrate oracle realization.
+pub fn run_stabilization_with_oracle(
+    population: &Population,
+    config: &ConstructionConfig,
+    oracle: Box<dyn Oracle>,
+    plan: &CorruptionPlan,
+    horizon: u64,
+    seed: u64,
+) -> StabilizationOutcome {
+    stabilization_inner(population, config, plan, horizon, seed, None, Some(oracle)).0
+}
+
+/// [`run_stabilization`] with the observability pipeline enabled; the
+/// outcome is bit-identical to the unobserved run's.
+pub fn run_stabilization_observed(
+    population: &Population,
+    config: &ConstructionConfig,
+    plan: &CorruptionPlan,
+    horizon: u64,
+    seed: u64,
+    journal_capacity: usize,
+    sample_interval: u64,
+) -> ObservedStabilization {
+    stabilization_inner(
+        population,
+        config,
+        plan,
+        horizon,
+        seed,
+        Some((journal_capacity, sample_interval.max(1))),
+        None,
+    )
+    .1
+    .expect("observation requested")
+}
+
+fn stabilization_inner(
+    population: &Population,
+    config: &ConstructionConfig,
+    plan: &CorruptionPlan,
+    horizon: u64,
+    seed: u64,
+    observe: Option<(usize, u64)>,
+    oracle: Option<Box<dyn Oracle>>,
+) -> (StabilizationOutcome, Option<ObservedStabilization>) {
+    let mut engine = match oracle {
+        Some(oracle) => Engine::with_oracle(population, config, oracle, seed),
+        None => Engine::new(population, config, seed),
+    };
+    if let Some((capacity, _)) = observe {
+        engine
+            .obs_mut()
+            .enable_journal(capacity)
+            .enable_registry()
+            .enable_profiler();
+    }
+    let construction_converged_at = engine.run_to_convergence().map(Round::get);
+    let corruption_round = engine.round().get();
+    let corrupted_states = crate::stabilize::apply_corruption(&mut engine, plan);
+    let valid_after_injection = engine.overlay().validate().is_ok();
+
+    let mut scrapes = Vec::new();
+    let mut health = Vec::new();
+    if observe.is_some() {
+        health.push(engine.health_sample());
+        scrapes.push(engine.scrape().expect("registry enabled"));
+    }
+
+    let repairs_at_injection = engine.counters().repair_actions;
+    let mut satisfied_series = TimeSeries::new("satisfied_fraction");
+    let mut repair_series = TimeSeries::new("repairs");
+    satisfied_series.push(corruption_round as f64, engine.satisfied_fraction());
+    repair_series.push(corruption_round as f64, 0.0);
+    let mut clean_rounds = None;
+    let mut rounds_run = 0u64;
+    for _ in 0..horizon {
+        engine.step();
+        rounds_run += 1;
+        let round = engine.round().get() as f64;
+        satisfied_series.push(round, engine.satisfied_fraction());
+        repair_series.push(
+            round,
+            (engine.counters().repair_actions - repairs_at_injection) as f64,
+        );
+        let clean = engine.overlay().validate().is_ok()
+            && engine.is_converged()
+            && engine.stale_chain_count() == 0;
+        if let Some((_, interval)) = observe {
+            if rounds_run.is_multiple_of(interval) || clean {
+                health.push(engine.health_sample());
+                scrapes.push(engine.scrape().expect("registry enabled"));
+            }
+        }
+        if clean {
+            engine.set_stabilizing(false);
+            clean_rounds = Some(engine.round().get() - corruption_round);
+            break;
+        }
+    }
+    let outcome = StabilizationOutcome {
+        construction_converged_at,
+        corruption_round,
+        corrupted_states,
+        valid_after_injection,
+        clean_rounds,
+        rounds_run,
+        satisfied_series,
+        repair_series,
+        counters: *engine.counters(),
+    };
+    let observed = observe.map(|_| ObservedStabilization {
         outcome: outcome.clone(),
         journal: engine.obs_mut().take_journal().expect("journal enabled"),
         scrapes,
@@ -863,6 +1099,103 @@ mod tests {
             .journal
             .iter()
             .any(|e| e.kind() == lagover_obs::EventKind::Crash));
+    }
+
+    #[test]
+    fn stabilization_run_heals_every_class_at_once() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let plan = lagover_sim::CorruptionPlan::new(3)
+            .with_all_classes()
+            .with_severity(0.3);
+        let outcome = run_stabilization(&recovery_population(), &config, &plan, 1_000, 11);
+        assert!(outcome.construction_converged_at.is_some());
+        assert!(outcome.corrupted_states > 0);
+        assert!(
+            !outcome.valid_after_injection,
+            "structural classes must break validation"
+        );
+        assert!(outcome.stabilized(), "did not re-stabilize: {outcome:?}");
+        assert!(outcome.counters.inconsistencies_detected > 0);
+        assert!(outcome.counters.repair_actions > 0);
+        assert_eq!(
+            outcome.repair_series.last().map(|(_, y)| y),
+            Some(outcome.counters.repair_actions as f64),
+            "repair series ends at the cumulative total"
+        );
+    }
+
+    #[test]
+    fn stabilization_run_is_deterministic() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let plan = lagover_sim::CorruptionPlan::new(8)
+            .with_all_classes()
+            .with_severity(0.4);
+        let a = run_stabilization(&recovery_population(), &config, &plan, 800, 21);
+        let b = run_stabilization(&recovery_population(), &config, &plan, 800, 21);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_corruption_plan_is_clean_immediately() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let plan = lagover_sim::CorruptionPlan::new(1);
+        let outcome = run_stabilization(&recovery_population(), &config, &plan, 50, 5);
+        assert_eq!(outcome.corrupted_states, 0);
+        assert!(outcome.valid_after_injection);
+        assert_eq!(outcome.clean_rounds, Some(1), "clean at the first check");
+        assert_eq!(outcome.counters.inconsistencies_detected, 0);
+    }
+
+    #[test]
+    fn observed_stabilization_matches_plain_run() {
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let plan = lagover_sim::CorruptionPlan::new(5)
+            .with_all_classes()
+            .with_severity(0.3);
+        let plain = run_stabilization(&recovery_population(), &config, &plan, 800, 13);
+        let observed =
+            run_stabilization_observed(&recovery_population(), &config, &plan, 800, 13, 4096, 5);
+        assert_eq!(observed.outcome, plain, "observation must not perturb");
+        assert!(observed
+            .journal
+            .iter()
+            .any(|e| e.kind() == lagover_obs::EventKind::InconsistencyDetected));
+        assert!(observed
+            .journal
+            .iter()
+            .any(|e| e.kind() == lagover_obs::EventKind::RepairAction));
+        let last = observed.scrapes.last().expect("scraped at least once");
+        assert_eq!(
+            last.counter("engine.repair_actions"),
+            plain.counters.repair_actions
+        );
+    }
+
+    #[test]
+    fn recovery_with_reference_oracle_realization_matches_builtin_shape() {
+        // A custom oracle exercising the with-oracle path end to end:
+        // the reference RandomDelay built explicitly.
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(2_000);
+        let scenario = FaultScenario {
+            crash_fraction: 0.5,
+            message_loss: 0.0,
+            blackout_rounds: 0,
+        };
+        let outcome = run_recovery_with_oracle(
+            &recovery_population(),
+            &config,
+            OracleKind::RandomDelay.build(),
+            &scenario,
+            1_000,
+            11,
+        );
+        assert!(outcome.recovered(), "oracle-realization path heals");
+        assert_eq!(outcome.crashed_peers, 1);
     }
 
     #[test]

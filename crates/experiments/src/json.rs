@@ -18,6 +18,7 @@ use crate::realizations::{RealizationRow, RealizationsReport};
 use crate::recovery::{RecoveryReport, RecoveryRow};
 use crate::scaling::{ScalingReport, ScalingRow};
 use crate::serverload::{LoadRow, ServerLoadReportE8};
+use crate::stabilization::{StabilizationReport, StabilizationRow};
 use crate::sufficiency::SufficiencyReportE7;
 use crate::Params;
 
@@ -341,6 +342,38 @@ impl ToJson for RecoveryReport {
             ("workload", Json::Str(self.workload.clone())),
             ("horizon", self.horizon.to_json()),
             ("rows", self.rows.to_json()),
+            ("realization_rows", self.realization_rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for StabilizationRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("class", Json::Str(self.class.clone())),
+            ("severity", Json::F64(self.severity)),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("median_corrupted", Json::F64(self.median_corrupted)),
+            ("median_clean_rounds", Json::F64(self.median_clean_rounds)),
+            ("median_detections", Json::F64(self.median_detections)),
+            ("median_repairs", Json::F64(self.median_repairs)),
+            ("invalid_snapshots", self.invalid_snapshots.to_json()),
+            ("stabilized_runs", self.stabilized_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+            ("repair_series", self.repair_series.to_json()),
+            ("satisfied_series", self.satisfied_series.to_json()),
+        ])
+    }
+}
+
+impl ToJson for StabilizationReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("horizon", self.horizon.to_json()),
+            ("rows", self.rows.to_json()),
+            ("realization_rows", self.realization_rows.to_json()),
         ])
     }
 }

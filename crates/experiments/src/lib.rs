@@ -24,6 +24,7 @@
 //! | [`scaling`] | construction cost vs population size (extension) |
 //! | [`liveness`] | live dissemination under churn: delivery ratio & staleness (extension) |
 //! | [`recovery`] | self-healing after crash-stop failures, oracle blackouts, and message loss (extension) |
+//! | [`stabilization`] | self-stabilization from adversarially corrupted snapshots (extension) |
 //! | [`obs_exp`] | observability timelines — one observed cell per instrumented experiment (extension) |
 //!
 //! Every runner takes a [`Params`] (use [`Params::paper`] for the
@@ -47,6 +48,7 @@ pub mod realizations;
 pub mod recovery;
 pub mod scaling;
 pub mod serverload;
+pub mod stabilization;
 pub mod sufficiency;
 pub mod table;
 

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 use lagover_experiments::{
     ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, multifeed_exp,
-    obs_exp, realizations, recovery, scaling, serverload, sufficiency, Params,
+    obs_exp, realizations, recovery, scaling, serverload, stabilization, sufficiency, Params,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "scaling",
     "liveness",
     "recovery",
+    "stabilization",
     "obs",
 ];
 
@@ -169,6 +170,10 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
         }
         "recovery" => {
             let report = recovery::run(params);
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
+        }
+        "stabilization" => {
+            let report = stabilization::run(params);
             (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         "obs" => {

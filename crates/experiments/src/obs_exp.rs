@@ -1,7 +1,7 @@
 //! `obs` — the unified observability timeline document (extension).
 //!
 //! Re-runs one representative cell of each instrumented experiment
-//! (fig2, fig3, fig4, asynchrony, recovery) with the `lagover-obs`
+//! (fig2, fig3, fig4, asynchrony, recovery, stabilization) with the `lagover-obs`
 //! pipeline fully enabled and collects the merged [`ObsReport`]s into
 //! one document. Each hook reuses the *exact* seeds of its source
 //! experiment, and observation is read-only, so the observed outcomes
@@ -138,6 +138,7 @@ pub fn run(params: &Params) -> ObsExpReport {
             crate::fig4::observed(params),
             crate::asynchrony::observed(params),
             crate::recovery::observed(params),
+            crate::stabilization::observed(params),
         ],
     }
 }
@@ -147,11 +148,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn document_covers_all_five_experiments_and_is_deterministic() {
+    fn document_covers_all_six_experiments_and_is_deterministic() {
         let mut params = Params::quick();
         params.runs = 2;
         let report = run(&params);
-        assert_eq!(report.reports.len(), 5);
+        assert_eq!(report.reports.len(), 6);
         for section in &report.reports {
             assert_eq!(section.runs, 2, "{}: wrong run count", section.label);
             assert!(
@@ -179,6 +180,7 @@ mod tests {
         let text = report.render();
         assert!(text.contains("fig2"));
         assert!(text.contains("recovery"));
+        assert!(text.contains("stabilization"));
     }
 
     #[test]

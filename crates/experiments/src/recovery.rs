@@ -12,11 +12,13 @@ use serde::{Deserialize, Serialize};
 
 use lagover_core::node::Population;
 use lagover_core::{
-    parallel_runs, run_recovery, Algorithm, ConstructionConfig, OracleKind, RecoveryOutcome,
+    parallel_runs, run_recovery, run_recovery_with_oracle, Algorithm, ConstructionConfig,
+    OracleKind, RecoveryOutcome,
 };
-use lagover_sim::{stats, TimeSeries};
+use lagover_sim::{stats, SimRng, TimeSeries};
 use lagover_workload::{FaultSpec, TopologicalConstraint, WorkloadSpec};
 
+use crate::oracle_impls::{DirectoryOracle, GossipWalkOracle};
 use crate::table::TextTable;
 use crate::Params;
 
@@ -88,6 +90,10 @@ pub struct RecoveryReport {
     pub horizon: u64,
     /// Rows, scenario-major.
     pub rows: Vec<RecoveryRow>,
+    /// Substrate realization rows (compound scenario, Hybrid): healing
+    /// through a refresh-lagged DHT directory whose ring itself churns,
+    /// and through an uninformed gossip random walk.
+    pub realization_rows: Vec<RecoveryRow>,
 }
 
 impl RecoveryReport {
@@ -102,7 +108,7 @@ impl RecoveryReport {
             "stale rounds".into(),
             "recovered".into(),
         ]);
-        for r in &self.rows {
+        for r in self.rows.iter().chain(self.realization_rows.iter()) {
             t.row(vec![
                 r.scenario.clone(),
                 r.algorithm.clone(),
@@ -179,11 +185,66 @@ pub fn run(params: &Params) -> RecoveryReport {
             });
         }
     }
+    // Substrate realizations: the compound scenario healed through
+    // imperfect oracles — a DHT directory whose entries go stale under
+    // its own ring churn, and a gossip random walk.
+    let mut realization_rows = Vec::new();
+    let compound = scenarios()[3].1.scenario();
+    let peers = params.peers;
+    let mut realized = |label: String, salt: u64, kind: OracleKind, split: u64| {
+        let outcomes: Vec<RecoveryOutcome> = parallel_runs(params.runs, |r| {
+            let seed = params.run_seed(salt, r as u64);
+            let population = satisfiable_population(class, peers, seed);
+            let config =
+                ConstructionConfig::new(Algorithm::Hybrid, kind).with_max_rounds(params.max_rounds);
+            let mut rng = SimRng::seed_from(seed).split(split);
+            let oracle: Box<dyn lagover_core::Oracle> = match kind {
+                OracleKind::Random => Box::new(GossipWalkOracle::new(peers, 6, 10, &mut rng)),
+                _ => Box::new(
+                    DirectoryOracle::new(kind, 32, 4 * peers as u64, 4, &mut rng)
+                        .with_ring_churn(0.02, 1),
+                ),
+            };
+            run_recovery_with_oracle(&population, &config, oracle, &compound, horizon, seed)
+        });
+        let crashed: Vec<f64> = outcomes.iter().map(|o| o.crashed_peers as f64).collect();
+        let recovery: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.recovery_or(horizon as f64))
+            .collect();
+        let peaks: Vec<f64> = outcomes.iter().map(|o| o.orphan_peak as f64).collect();
+        let stale: Vec<f64> = outcomes.iter().map(|o| o.stale_rounds as f64).collect();
+        realization_rows.push(RecoveryRow {
+            scenario: "compound".to_string(),
+            algorithm: label,
+            median_crashed: stats::median(&crashed).expect("runs >= 1"),
+            median_recovery_rounds: stats::median(&recovery).expect("runs >= 1"),
+            median_orphan_peak: stats::median(&peaks).expect("runs >= 1"),
+            median_stale_rounds: stats::median(&stale).expect("runs >= 1"),
+            recovered_runs: outcomes.iter().filter(|o| o.recovered()).count(),
+            total_runs: outcomes.len(),
+            orphan_series: outcomes[0].orphan_series.clone(),
+        });
+    };
+    realized(
+        "Hybrid / directory, ring churn".to_string(),
+        2_950,
+        OracleKind::RandomDelay,
+        96,
+    );
+    realized(
+        "Hybrid / gossip walk".to_string(),
+        2_951,
+        OracleKind::Random,
+        97,
+    );
+
     RecoveryReport {
         params: *params,
         workload: class.to_string(),
         horizon,
         rows,
+        realization_rows,
     }
 }
 
@@ -260,7 +321,17 @@ mod tests {
         // Silent crashes must produce at least a window of staleness.
         let base = report.row("crash", Algorithm::Hybrid);
         assert!(base.median_stale_rounds >= 1.0, "crash was not silent");
+        // Realization substrates must heal the compound scenario too.
+        assert_eq!(report.realization_rows.len(), 2);
+        for row in &report.realization_rows {
+            assert_eq!(
+                row.recovered_runs, row.total_runs,
+                "{} did not fully recover",
+                row.algorithm
+            );
+        }
         assert!(report.render().contains("recovery rounds"));
+        assert!(report.render().contains("gossip walk"));
     }
 
     #[test]

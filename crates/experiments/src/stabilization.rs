@@ -1,0 +1,398 @@
+//! Self-stabilization from corrupted state (experiment E16,
+//! extension): converge, inject an adversarial [`lagover_sim::CorruptionPlan`]
+//! snapshot mutation — parent cycles, forged caches, dangling
+//! pointers, fanout overflows, orphan grafts, stale roots — and
+//! measure how long the always-on local detect-and-repair rule takes
+//! to return the overlay to a `validate()`-clean, fully converged
+//! state.
+//!
+//! The sweep is a corruption-class × severity grid over both
+//! algorithms, plus substrate realization rows (DHT directory under
+//! ring churn, gossip random walk) showing that re-stabilization does
+//! not depend on a perfect oracle. `clean rounds` is the *time to
+//! clean* (cap-counted); `detections`/`repairs` are the stabilizer's
+//! event counts.
+
+use serde::{Deserialize, Serialize};
+
+use lagover_core::node::Population;
+use lagover_core::{
+    parallel_runs, run_stabilization, run_stabilization_with_oracle, Algorithm, ConstructionConfig,
+    OracleKind, StabilizationOutcome,
+};
+use lagover_sim::{stats, CorruptionClass, SimRng, TimeSeries};
+use lagover_workload::{CorruptionSpec, TopologicalConstraint, WorkloadSpec};
+
+use crate::oracle_impls::{DirectoryOracle, GossipWalkOracle};
+use crate::table::TextTable;
+use crate::Params;
+
+/// Severities swept for every corruption class.
+pub const SEVERITIES: [f64; 2] = [0.15, 0.4];
+
+/// The corruption cells swept, in report order: every class alone,
+/// then all classes combined.
+pub fn cells() -> Vec<(String, Vec<CorruptionClass>)> {
+    let mut cells: Vec<(String, Vec<CorruptionClass>)> = CorruptionClass::ALL
+        .into_iter()
+        .map(|c| (c.to_string(), vec![c]))
+        .collect();
+    cells.push(("combined".to_string(), CorruptionClass::ALL.to_vec()));
+    cells
+}
+
+/// One (class, severity, algorithm) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilizationRow {
+    /// Corruption cell label (a class name or `combined`).
+    pub class: String,
+    /// Fraction of the population targeted per class.
+    pub severity: f64,
+    /// Repair algorithm (or substrate realization label).
+    pub algorithm: String,
+    /// Median peer states actually mutated by the plan.
+    pub median_corrupted: f64,
+    /// Median rounds from injection to a validate-clean, converged,
+    /// stale-free overlay (non-recovered runs count as the horizon).
+    pub median_clean_rounds: f64,
+    /// Median `InconsistencyDetected` events over the whole run.
+    pub median_detections: f64,
+    /// Median `RepairAction` events over the whole run.
+    pub median_repairs: f64,
+    /// Runs whose post-injection snapshot failed `Overlay::validate`.
+    pub invalid_snapshots: usize,
+    /// Runs that re-stabilized within the horizon.
+    pub stabilized_runs: usize,
+    /// Runs attempted.
+    pub total_runs: usize,
+    /// Cumulative repair actions over time for the first run of the
+    /// cell (representative time-to-clean trace; x = round).
+    pub repair_series: TimeSeries,
+    /// Satisfied fraction over time for the same run.
+    pub satisfied_series: TimeSeries,
+}
+
+/// The E16 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilizationReport {
+    /// Parameters used.
+    pub params: Params,
+    /// Workload label.
+    pub workload: String,
+    /// Stabilization horizon in rounds (cap for non-recovered runs).
+    pub horizon: u64,
+    /// Grid rows, cell-major.
+    pub rows: Vec<StabilizationRow>,
+    /// Substrate realization rows (combined corruption, Hybrid).
+    pub realization_rows: Vec<StabilizationRow>,
+}
+
+impl StabilizationReport {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "corruption".into(),
+            "severity".into(),
+            "algorithm".into(),
+            "corrupted".into(),
+            "clean rounds".into(),
+            "detections".into(),
+            "repairs".into(),
+            "stabilized".into(),
+        ]);
+        for r in self.rows.iter().chain(self.realization_rows.iter()) {
+            t.row(vec![
+                r.class.clone(),
+                format!("{:.2}", r.severity),
+                r.algorithm.clone(),
+                format!("{:.0}", r.median_corrupted),
+                format!("{:.0}", r.median_clean_rounds),
+                format!("{:.0}", r.median_detections),
+                format!("{:.0}", r.median_repairs),
+                format!("{}/{}", r.stabilized_runs, r.total_runs),
+            ]);
+        }
+        format!(
+            "Self-stabilization from corrupted state ({})\n{}",
+            self.workload,
+            t.render()
+        )
+    }
+
+    /// Finds a grid row.
+    pub fn row(&self, class: &str, severity: f64, algorithm: Algorithm) -> &StabilizationRow {
+        self.rows
+            .iter()
+            .find(|r| {
+                r.class == class
+                    && (r.severity - severity).abs() < 1e-9
+                    && r.algorithm == algorithm.to_string()
+            })
+            .expect("complete grid")
+    }
+}
+
+/// Generates the run's population, deterministically nudging the seed
+/// past the rare draws whose sufficiency repair loop gives up.
+fn satisfiable_population(class: TopologicalConstraint, peers: usize, seed: u64) -> Population {
+    (0u64..64)
+        .find_map(|nudge| {
+            WorkloadSpec::new(class, peers)
+                .generate(seed.wrapping_add(nudge.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .ok()
+        })
+        .expect("repairable within 64 nudges")
+}
+
+/// The declarative spec for one cell at one severity: a cell is either
+/// a single class or the full combined adversary.
+fn spec_for(classes: &[CorruptionClass], severity: f64) -> CorruptionSpec {
+    match *classes {
+        [class] => CorruptionSpec::Single { class, severity },
+        _ => CorruptionSpec::All { severity },
+    }
+}
+
+fn summarize(
+    class: &str,
+    severity: f64,
+    algorithm: String,
+    horizon: u64,
+    total_runs: usize,
+    outcomes: Vec<StabilizationOutcome>,
+) -> StabilizationRow {
+    let corrupted: Vec<f64> = outcomes.iter().map(|o| o.corrupted_states as f64).collect();
+    let clean: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.clean_or(horizon as f64))
+        .collect();
+    let detections: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.counters.inconsistencies_detected as f64)
+        .collect();
+    let repairs: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.counters.repair_actions as f64)
+        .collect();
+    StabilizationRow {
+        class: class.to_string(),
+        severity,
+        algorithm,
+        median_corrupted: stats::median(&corrupted).expect("runs >= 1"),
+        median_clean_rounds: stats::median(&clean).expect("runs >= 1"),
+        median_detections: stats::median(&detections).expect("runs >= 1"),
+        median_repairs: stats::median(&repairs).expect("runs >= 1"),
+        invalid_snapshots: outcomes.iter().filter(|o| !o.valid_after_injection).count(),
+        stabilized_runs: outcomes.iter().filter(|o| o.stabilized()).count(),
+        total_runs,
+        repair_series: outcomes[0].repair_series.clone(),
+        satisfied_series: outcomes[0].satisfied_series.clone(),
+    }
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> StabilizationReport {
+    let class = TopologicalConstraint::Rand;
+    let horizon = params.max_rounds;
+    let mut rows = Vec::new();
+    for (ci, (label, classes)) in cells().into_iter().enumerate() {
+        for (vi, &severity) in SEVERITIES.iter().enumerate() {
+            for (ai, algorithm) in [Algorithm::Greedy, Algorithm::Hybrid]
+                .into_iter()
+                .enumerate()
+            {
+                let salt = 8_000 + ((ci * SEVERITIES.len() + vi) * 2 + ai) as u64;
+                let outcomes: Vec<StabilizationOutcome> = parallel_runs(params.runs, |r| {
+                    let seed = params.run_seed(salt, r as u64);
+                    let population = satisfiable_population(class, params.peers, seed);
+                    let config = ConstructionConfig::new(algorithm, OracleKind::RandomDelay)
+                        .with_max_rounds(params.max_rounds);
+                    let plan = spec_for(&classes, severity).plan(seed);
+                    run_stabilization(&population, &config, &plan, horizon, seed)
+                });
+                rows.push(summarize(
+                    &label,
+                    severity,
+                    algorithm.to_string(),
+                    horizon,
+                    params.runs,
+                    outcomes,
+                ));
+            }
+        }
+    }
+
+    // Substrate realizations (S1): the repair rule must re-stabilize
+    // through imperfect oracles too — a refresh-lagged DHT directory
+    // whose own ring churns, and an uninformed gossip random walk.
+    let mut realization_rows = Vec::new();
+    let combined: Vec<CorruptionClass> = CorruptionClass::ALL.to_vec();
+    let severity = SEVERITIES[1];
+    let mut realized = |label: String, salt: u64, kind: OracleKind, split: u64, peers: usize| {
+        let outcomes: Vec<StabilizationOutcome> = parallel_runs(params.runs, |r| {
+            let seed = params.run_seed(salt, r as u64);
+            let population = satisfiable_population(class, peers, seed);
+            let config =
+                ConstructionConfig::new(Algorithm::Hybrid, kind).with_max_rounds(params.max_rounds);
+            let plan = spec_for(&combined, severity).plan(seed);
+            let mut rng = SimRng::seed_from(seed).split(split);
+            let oracle: Box<dyn lagover_core::Oracle> = match kind {
+                OracleKind::Random => Box::new(GossipWalkOracle::new(peers, 6, 10, &mut rng)),
+                _ => Box::new(
+                    DirectoryOracle::new(kind, 32, 4 * peers as u64, 4, &mut rng)
+                        .with_ring_churn(0.02, 1),
+                ),
+            };
+            run_stabilization_with_oracle(&population, &config, oracle, &plan, horizon, seed)
+        });
+        realization_rows.push(summarize(
+            "combined",
+            severity,
+            label,
+            horizon,
+            params.runs,
+            outcomes,
+        ));
+    };
+    realized(
+        "Hybrid / directory, ring churn".to_string(),
+        8_950,
+        OracleKind::RandomDelay,
+        94,
+        params.peers,
+    );
+    // The uninformed walk hits any *specific* useful target with
+    // probability ~1/n per query, so even initial construction needs
+    // rounds superlinear in n — at 10^3 peers it regularly exceeds any
+    // reasonable horizon. The row demonstrates that repair does not
+    // depend on an informed oracle, not walk scalability, so it runs
+    // at a population the substrate can actually mix.
+    realized(
+        "Hybrid / gossip walk".to_string(),
+        8_951,
+        OracleKind::Random,
+        95,
+        params.peers.min(300),
+    );
+
+    StabilizationReport {
+        params: *params,
+        workload: class.to_string(),
+        horizon,
+        rows,
+        realization_rows,
+    }
+}
+
+/// Observes the (combined, high-severity, Hybrid) cell with the
+/// `lagover-obs` pipeline enabled — the same seeds [`run`] uses for
+/// that cell. Convergence here means *re-stabilization*:
+/// `converged_rounds` sums rounds from injection to clean.
+pub fn observed(params: &Params) -> lagover_obs::ObsReport {
+    let class = TopologicalConstraint::Rand;
+    let horizon = params.max_rounds;
+    let combined: Vec<CorruptionClass> = CorruptionClass::ALL.to_vec();
+    let severity = SEVERITIES[1];
+    // Salt of the (ci = 6 "combined", vi = 1, ai = 1 Hybrid) cell.
+    let salt = 8_000 + ((6 * SEVERITIES.len() + 1) * 2 + 1) as u64;
+    let reports = parallel_runs(params.runs, |r| {
+        let seed = params.run_seed(salt, r as u64);
+        let population = satisfiable_population(class, params.peers, seed);
+        let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
+            .with_max_rounds(params.max_rounds);
+        let plan = spec_for(&combined, severity).plan(seed);
+        let observed = lagover_core::run_stabilization_observed(
+            &population,
+            &config,
+            &plan,
+            horizon,
+            seed,
+            crate::obs_exp::JOURNAL_CAPACITY,
+            crate::obs_exp::SAMPLE_INTERVAL,
+        );
+        lagover_obs::ObsReport {
+            label: format!("stabilization combined/hybrid {class} n={}", params.peers),
+            peers: population.len() as u64,
+            runs: 1,
+            seed,
+            rounds: observed.outcome.rounds_run,
+            converged: observed.outcome.stabilized() as u64,
+            converged_rounds: observed.outcome.clean_rounds.unwrap_or(0),
+            counters: observed.outcome.counters,
+            profile: observed.profile.clone(),
+            scrapes: observed.scrapes.clone(),
+            health: observed.health.clone(),
+            journal: Some(observed.journal.clone()),
+        }
+    });
+    crate::obs_exp::merge_reports(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_stabilizes() {
+        // Full quick params: the same cells `replay-diff` exercises.
+        let params = Params::quick();
+        let report = run(&params);
+        assert_eq!(report.rows.len(), cells().len() * SEVERITIES.len() * 2);
+        for row in &report.rows {
+            assert_eq!(
+                row.stabilized_runs, row.total_runs,
+                "{}@{}/{} did not re-stabilize",
+                row.class, row.severity, row.algorithm
+            );
+            assert!(
+                row.median_corrupted >= 1.0,
+                "{}@{}: plan was a no-op",
+                row.class,
+                row.severity
+            );
+            assert!(
+                row.median_clean_rounds < params.max_rounds as f64,
+                "{}@{}/{} hit the horizon",
+                row.class,
+                row.severity,
+                row.algorithm
+            );
+        }
+        // The structural classes must actually break validation.
+        for class in [
+            "parent_cycle",
+            "dangling_parent",
+            "orphan_graft",
+            "fanout_overflow",
+        ] {
+            let row = report.row(class, SEVERITIES[1], Algorithm::Hybrid);
+            assert_eq!(
+                row.invalid_snapshots, row.total_runs,
+                "{class}: snapshot still validated after injection"
+            );
+        }
+        assert!(report.render().contains("clean rounds"));
+    }
+
+    #[test]
+    fn realizations_stabilize_through_imperfect_oracles() {
+        let mut params = Params::quick();
+        params.runs = 2;
+        let report = run(&params);
+        assert_eq!(report.realization_rows.len(), 2);
+        for row in &report.realization_rows {
+            assert_eq!(
+                row.stabilized_runs, row.total_runs,
+                "{} did not re-stabilize",
+                row.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let mut params = Params::quick();
+        params.runs = 2;
+        assert_eq!(run(&params), run(&params));
+    }
+}

@@ -42,13 +42,20 @@ pub struct EngineCounters {
     pub oracle_outages: u64,
     /// Own-actions spent waiting out a retry backoff.
     pub backoff_rounds: u64,
+    /// Snapshot corruptions applied (one per mutated peer state).
+    pub corruptions_injected: u64,
+    /// Local self-stabilization checks that found cached chain state
+    /// inconsistent with a neighbour.
+    pub inconsistencies_detected: u64,
+    /// Repairs performed by the stabilize rule.
+    pub repair_actions: u64,
 }
 
 impl EngineCounters {
     /// Every counter as a `(name, value)` pair, in the serialization
     /// order — the registry's absorption path and the report renderer
     /// both consume this.
-    pub fn to_named(&self) -> [(&'static str, u64); 15] {
+    pub fn to_named(&self) -> [(&'static str, u64); 18] {
         [
             ("interactions", self.interactions),
             ("oracle_queries", self.oracle_queries),
@@ -65,6 +72,9 @@ impl EngineCounters {
             ("messages_lost", self.messages_lost),
             ("oracle_outages", self.oracle_outages),
             ("backoff_rounds", self.backoff_rounds),
+            ("corruptions_injected", self.corruptions_injected),
+            ("inconsistencies_detected", self.inconsistencies_detected),
+            ("repair_actions", self.repair_actions),
         ]
     }
 
@@ -85,6 +95,9 @@ impl EngineCounters {
         self.messages_lost += other.messages_lost;
         self.oracle_outages += other.oracle_outages;
         self.backoff_rounds += other.backoff_rounds;
+        self.corruptions_injected += other.corruptions_injected;
+        self.inconsistencies_detected += other.inconsistencies_detected;
+        self.repair_actions += other.repair_actions;
     }
 }
 
@@ -130,6 +143,20 @@ impl FromJson for EngineCounters {
                 None => 0,
             },
             backoff_rounds: match value.get_opt("backoff_rounds")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            // Absent in counters serialized before the stabilization
+            // subsystem.
+            corruptions_injected: match value.get_opt("corruptions_injected")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            inconsistencies_detected: match value.get_opt("inconsistencies_detected")? {
+                Some(v) => u64::from_json(v)?,
+                None => 0,
+            },
+            repair_actions: match value.get_opt("repair_actions")? {
                 Some(v) => u64::from_json(v)?,
                 None => 0,
             },

@@ -123,6 +123,145 @@ impl FromJson for DetachCause {
     }
 }
 
+/// What a peer's local self-stabilization check found wrong with its
+/// cached chain state (the detection taxonomy of the `stabilize` rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InconsistencyCause {
+    /// The peer's parent pointer named the peer itself.
+    SelfParent,
+    /// Walking the parent chain revisited the peer (or exceeded the
+    /// population bound) — a parent cycle.
+    Cycle,
+    /// The recorded parent does not list the peer as a child.
+    BrokenBacklink,
+    /// The cached `root`/`hops` disagree with the parent's reply.
+    CacheMismatch,
+    /// A parentless peer still carried a rooted (or foreign) cached
+    /// [`ChainRoot`] entry.
+    StaleRoot,
+    /// The peer served more children than its advertised fanout.
+    FanoutOverflow,
+    /// A child entry whose own parent pointer names someone else.
+    ForeignChild,
+}
+
+impl InconsistencyCause {
+    /// Every cause, in a fixed order (used by report rollups).
+    pub const ALL: [InconsistencyCause; 7] = [
+        InconsistencyCause::SelfParent,
+        InconsistencyCause::Cycle,
+        InconsistencyCause::BrokenBacklink,
+        InconsistencyCause::CacheMismatch,
+        InconsistencyCause::StaleRoot,
+        InconsistencyCause::FanoutOverflow,
+        InconsistencyCause::ForeignChild,
+    ];
+
+    /// Stable lower-case name (also the JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            InconsistencyCause::SelfParent => "self_parent",
+            InconsistencyCause::Cycle => "cycle",
+            InconsistencyCause::BrokenBacklink => "broken_backlink",
+            InconsistencyCause::CacheMismatch => "cache_mismatch",
+            InconsistencyCause::StaleRoot => "stale_root",
+            InconsistencyCause::FanoutOverflow => "fanout_overflow",
+            InconsistencyCause::ForeignChild => "foreign_child",
+        }
+    }
+
+    /// Parses [`InconsistencyCause::name`] back.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        InconsistencyCause::ALL
+            .into_iter()
+            .find(|c| c.name() == text)
+            .ok_or_else(|| JsonError(format!("unknown inconsistency cause {text:?}")))
+    }
+}
+
+impl fmt::Display for InconsistencyCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ToJson for InconsistencyCause {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().into())
+    }
+}
+
+impl FromJson for InconsistencyCause {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        InconsistencyCause::parse(&String::from_json(value)?)
+    }
+}
+
+/// How a detected inconsistency was repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairKind {
+    /// The corrupt parent link was severed (re-attachment follows via
+    /// the normal construction ladder).
+    Detach,
+    /// The cached `root`/`hops` were rewritten from the parent's truth.
+    CacheRewrite,
+    /// A foreign or overflow child entry was evicted.
+    ChildEvict,
+    /// A forged fanout advertisement was restored from the population.
+    FanoutRestore,
+    /// Edges a corruption re-granted to a detected corpse were
+    /// reclaimed.
+    Reclaim,
+}
+
+impl RepairKind {
+    /// Every kind, in a fixed order (used by report rollups).
+    pub const ALL: [RepairKind; 5] = [
+        RepairKind::Detach,
+        RepairKind::CacheRewrite,
+        RepairKind::ChildEvict,
+        RepairKind::FanoutRestore,
+        RepairKind::Reclaim,
+    ];
+
+    /// Stable lower-case name (also the JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            RepairKind::Detach => "detach",
+            RepairKind::CacheRewrite => "cache_rewrite",
+            RepairKind::ChildEvict => "child_evict",
+            RepairKind::FanoutRestore => "fanout_restore",
+            RepairKind::Reclaim => "reclaim",
+        }
+    }
+
+    /// Parses [`RepairKind::name`] back.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        RepairKind::ALL
+            .into_iter()
+            .find(|c| c.name() == text)
+            .ok_or_else(|| JsonError(format!("unknown repair kind {text:?}")))
+    }
+}
+
+impl fmt::Display for RepairKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ToJson for RepairKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().into())
+    }
+}
+
+impl FromJson for RepairKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        RepairKind::parse(&String::from_json(value)?)
+    }
+}
+
 /// The kind of an [`Event`], for counting and filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
@@ -148,11 +287,15 @@ pub enum EventKind {
     FaultDetected,
     /// [`Event::Delivery`].
     Delivery,
+    /// [`Event::InconsistencyDetected`].
+    InconsistencyDetected,
+    /// [`Event::RepairAction`].
+    RepairAction,
 }
 
 impl EventKind {
     /// Every kind, in the fixed order the registry enumerates counters.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::Attach,
         EventKind::Detach,
         EventKind::OracleHit,
@@ -164,6 +307,8 @@ impl EventKind {
         EventKind::Crash,
         EventKind::FaultDetected,
         EventKind::Delivery,
+        EventKind::InconsistencyDetected,
+        EventKind::RepairAction,
     ];
 
     /// Stable snake-case name (also the JSON `"type"` tag).
@@ -180,6 +325,8 @@ impl EventKind {
             EventKind::Crash => "crash",
             EventKind::FaultDetected => "fault_detected",
             EventKind::Delivery => "delivery",
+            EventKind::InconsistencyDetected => "inconsistency_detected",
+            EventKind::RepairAction => "repair_action",
         }
     }
 }
@@ -286,6 +433,25 @@ pub enum Event {
         /// The consumer's tree depth at delivery time.
         depth: u32,
     },
+    /// `peer`'s self-stabilization check found its cached chain state
+    /// inconsistent with its neighbours.
+    InconsistencyDetected {
+        /// Round of the detection.
+        round: u64,
+        /// The detecting peer.
+        peer: u32,
+        /// What was wrong.
+        cause: InconsistencyCause,
+    },
+    /// `peer` repaired a detected inconsistency.
+    RepairAction {
+        /// Round of the repair.
+        round: u64,
+        /// The repairing peer.
+        peer: u32,
+        /// How it was repaired.
+        action: RepairKind,
+    },
 }
 
 impl Event {
@@ -302,7 +468,9 @@ impl Event {
             | Event::MessageLost { round, .. }
             | Event::Crash { round, .. }
             | Event::FaultDetected { round, .. }
-            | Event::Delivery { round, .. } => round,
+            | Event::Delivery { round, .. }
+            | Event::InconsistencyDetected { round, .. }
+            | Event::RepairAction { round, .. } => round,
         }
     }
 
@@ -318,7 +486,9 @@ impl Event {
             | Event::MessageLost { peer, .. }
             | Event::Crash { peer, .. }
             | Event::FaultDetected { peer, .. }
-            | Event::Delivery { peer, .. } => peer,
+            | Event::Delivery { peer, .. }
+            | Event::InconsistencyDetected { peer, .. }
+            | Event::RepairAction { peer, .. } => peer,
         }
     }
 
@@ -336,6 +506,8 @@ impl Event {
             Event::Crash { .. } => EventKind::Crash,
             Event::FaultDetected { .. } => EventKind::FaultDetected,
             Event::Delivery { .. } => EventKind::Delivery,
+            Event::InconsistencyDetected { .. } => EventKind::InconsistencyDetected,
+            Event::RepairAction { .. } => EventKind::RepairAction,
         }
     }
 }
@@ -383,6 +555,14 @@ impl fmt::Display for Event {
             Event::Delivery { round, peer, depth } => {
                 write!(f, "r{round}: peer {peer} delivered at depth {depth}")
             }
+            Event::InconsistencyDetected { round, peer, cause } => {
+                write!(f, "r{round}: peer {peer} inconsistent ({cause})")
+            }
+            Event::RepairAction {
+                round,
+                peer,
+                action,
+            } => write!(f, "r{round}: peer {peer} repairs ({action})"),
         }
     }
 }
@@ -458,6 +638,22 @@ impl ToJson for Event {
                 ("peer", peer.to_json()),
                 ("depth", depth.to_json()),
             ]),
+            Event::InconsistencyDetected { round, peer, cause } => object(vec![
+                tag,
+                ("round", round.to_json()),
+                ("peer", peer.to_json()),
+                ("cause", cause.to_json()),
+            ]),
+            Event::RepairAction {
+                round,
+                peer,
+                action,
+            } => object(vec![
+                tag,
+                ("round", round.to_json()),
+                ("peer", peer.to_json()),
+                ("action", action.to_json()),
+            ]),
         }
     }
 }
@@ -519,6 +715,16 @@ impl FromJson for Event {
                 peer: peer("peer")?,
                 depth: peer("depth")?,
             },
+            "inconsistency_detected" => Event::InconsistencyDetected {
+                round,
+                peer: peer("peer")?,
+                cause: InconsistencyCause::from_json(value.get("cause")?)?,
+            },
+            "repair_action" => Event::RepairAction {
+                round,
+                peer: peer("peer")?,
+                action: RepairKind::from_json(value.get("action")?)?,
+            },
             other => return Err(JsonError(format!("unknown event type {other:?}"))),
         })
     }
@@ -573,6 +779,16 @@ mod tests {
                 peer: 15,
                 depth: 2,
             },
+            Event::InconsistencyDetected {
+                round: 12,
+                peer: 16,
+                cause: InconsistencyCause::Cycle,
+            },
+            Event::RepairAction {
+                round: 13,
+                peer: 17,
+                action: RepairKind::CacheRewrite,
+            },
         ];
         assert_eq!(samples.len(), EventKind::ALL.len());
         for (event, kind) in samples.into_iter().zip(EventKind::ALL) {
@@ -621,5 +837,31 @@ mod tests {
     fn detach_cause_parse_rejects_unknown() {
         assert!(DetachCause::parse("maintenance").is_ok());
         assert!(DetachCause::parse("gravity").is_err());
+    }
+
+    #[test]
+    fn stabilization_taxonomies_round_trip() {
+        for cause in InconsistencyCause::ALL {
+            assert_eq!(InconsistencyCause::parse(cause.name()).unwrap(), cause);
+            assert_eq!(cause.to_string(), cause.name());
+        }
+        for action in RepairKind::ALL {
+            assert_eq!(RepairKind::parse(action.name()).unwrap(), action);
+            assert_eq!(action.to_string(), action.name());
+        }
+        assert!(InconsistencyCause::parse("entropy").is_err());
+        assert!(RepairKind::parse("reboot").is_err());
+        let e = Event::InconsistencyDetected {
+            round: 9,
+            peer: 4,
+            cause: InconsistencyCause::SelfParent,
+        };
+        assert_eq!(e.to_string(), "r9: peer 4 inconsistent (self_parent)");
+        let r = Event::RepairAction {
+            round: 9,
+            peer: 4,
+            action: RepairKind::Detach,
+        };
+        assert_eq!(r.to_string(), "r9: peer 4 repairs (detach)");
     }
 }

@@ -36,7 +36,7 @@ pub mod registry;
 pub mod report;
 
 pub use counters::EngineCounters;
-pub use event::{DetachCause, Event, EventKind, Node};
+pub use event::{DetachCause, Event, EventKind, InconsistencyCause, Node, RepairKind};
 pub use health::HealthSample;
 pub use journal::Journal;
 pub use profiler::{wall_mark, PhaseStats, Profiler, WallMark, Work};

@@ -12,7 +12,7 @@ use lagover_core::{
     construct, construct_observed, run_recovery_observed, Algorithm, Constraints,
     ConstructionConfig, FaultScenario, OracleKind, Population,
 };
-use lagover_experiments::{fig2, fig3, fig4, obs_exp, recovery};
+use lagover_experiments::{fig2, fig3, fig4, obs_exp, recovery, stabilization};
 use lagover_obs::ObsReport;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -50,6 +50,7 @@ pub fn scenario_names() -> &'static [&'static str] {
         "fig3",
         "fig4",
         "recovery",
+        "stabilization",
         "obs",
         "construction_1e5",
         "recovery_1e5",
@@ -61,7 +62,7 @@ pub fn scenario_names() -> &'static [&'static str] {
 /// registry minus the opt-in scale scenarios, whose pinned 1e5/1e6
 /// sizes would dominate the default document's runtime.
 pub fn default_scenario_names() -> &'static [&'static str] {
-    &["fig2", "fig3", "fig4", "recovery", "obs"]
+    &["fig2", "fig3", "fig4", "recovery", "stabilization", "obs"]
 }
 
 /// The figure drivers `cargo xtask replay-diff` byte-compares across
@@ -89,6 +90,7 @@ pub fn run_scenario(name: &str, params: &PerfParams) -> Option<ObsReport> {
         "fig3" => Some(fig3::observed(params)),
         "fig4" => Some(fig4::observed(params)),
         "recovery" => Some(recovery::observed(params)),
+        "stabilization" => Some(stabilization::observed(params)),
         "obs" => Some(obs_footprint(params)),
         "construction_1e5" => Some(construction_at_scale(name, SCALE_1E5, params.seed)),
         "recovery_1e5" => Some(recovery_at_scale(name, SCALE_1E5, params.seed)),
@@ -380,7 +382,15 @@ mod tests {
         );
         assert_eq!(
             figures,
-            vec!["fig2", "fig3", "fig4", "scaling", "recovery", "obs"]
+            vec![
+                "fig2",
+                "fig3",
+                "fig4",
+                "scaling",
+                "recovery",
+                "stabilization",
+                "obs"
+            ]
         );
     }
 

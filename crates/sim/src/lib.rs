@@ -27,6 +27,8 @@
 //!   model plus session-length extensions),
 //! * [`faults`] — declarative crash-stop / message-loss / oracle-outage
 //!   scenarios ([`faults::FaultPlan`]) replayed deterministically,
+//! * [`corruption`] — adversarial snapshot-corruption plans
+//!   ([`corruption::CorruptionPlan`]) for self-stabilization runs,
 //! * [`metrics`] — time-series / counter / histogram recorders,
 //! * [`stats`] — summary statistics (median-of-k runs is the paper's
 //!   reporting convention, §5.1).
@@ -45,6 +47,7 @@
 //! ```
 
 pub mod churn;
+pub mod corruption;
 pub mod event;
 pub mod faults;
 pub mod metrics;
@@ -53,6 +56,7 @@ pub mod stats;
 pub mod time;
 
 pub use churn::{BernoulliChurn, ChurnProcess, NoChurn, Transitions};
+pub use corruption::{CorruptionClass, CorruptionPlan};
 pub use event::EventQueue;
 pub use faults::{Blackout, CrashEvent, FaultPlan};
 pub use metrics::{Counter, Histogram, TimeSeries};

@@ -36,6 +36,7 @@
 
 pub mod adversarial;
 pub mod churn;
+pub mod corruption;
 pub mod faults;
 pub mod generators;
 
@@ -47,6 +48,7 @@ use lagover_core::node::Population;
 
 pub use adversarial::adversarial_population;
 pub use churn::ChurnSpec;
+pub use corruption::CorruptionSpec;
 pub use faults::FaultSpec;
 
 /// The §4.1 workload classes.
