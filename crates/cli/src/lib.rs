@@ -15,10 +15,19 @@
 //! lagover recover    (--spec FILE | --workload …) [--crash-fraction F] [--message-loss P] [--blackout N]
 //! lagover obs        (--spec FILE | --workload …) [--runs N] [--json]
 //! lagover perf       [--scenario NAME]... [--wall K] [--peers N] [--runs N] [--json]
+//! lagover node       (--spec FILE | --workload …) [--transport mesh|udp] [--scenario-kind construction|recovery]
+//!                    [--node-id I --out-dir DIR] [--base-port P] [--tick-ms T] [--deadline-ms T] [--max-time T]
 //! ```
 //!
 //! `spec` emits a population as JSON (editable by hand); every other
 //! command accepts either such a file or workload-generation flags.
+//!
+//! `node` runs the lockstep node runtime (`lagover-node`): the default
+//! mesh transport executes all nodes in-process at virtual time; the
+//! udp transport without `--node-id` spawns one OS process per node on
+//! loopback (the multi-process harness), and with `--node-id` runs a
+//! single node, writing its report to `--out-dir` (the child mode the
+//! harness uses).
 
 use std::fmt;
 
@@ -29,6 +38,9 @@ use lagover_core::{
     Algorithm, ConstructionConfig, Engine, FaultScenario, OracleKind,
 };
 use lagover_feed::{compare_server_load, disseminate, DisseminationConfig, PublishSchedule};
+use lagover_node::{
+    run_harness, run_mesh, run_udp_node, HarnessOptions, Scenario, ScenarioSpec, UdpNodeOptions,
+};
 use lagover_obs::ObsReport;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -92,6 +104,24 @@ pub struct Options {
     /// `--scenario NAME` (perf: repeatable scenario subset; empty runs
     /// the full registry).
     pub scenarios: Vec<String>,
+    /// `--transport <mesh|udp>` (node).
+    pub transport: String,
+    /// `--scenario-kind <construction|recovery>` (node).
+    pub scenario_kind: String,
+    /// `--node-id I` (node, udp: run this single node instead of the
+    /// harness).
+    pub node_id: Option<u32>,
+    /// `--out-dir DIR` (node, udp: where per-node reports land).
+    pub out_dir: Option<String>,
+    /// `--base-port P` (node, udp: node `i` binds `P + i`).
+    pub base_port: u16,
+    /// `--tick-ms T` (node, udp: wall ms per abstract time unit).
+    pub tick_ms: f64,
+    /// `--deadline-ms T` (node, udp: per-node hard timeout and harness
+    /// kill deadline).
+    pub deadline_ms: u64,
+    /// `--max-time T` (node: virtual-time cap on the replicated run).
+    pub max_time: f64,
 }
 
 impl Default for Options {
@@ -116,19 +146,29 @@ impl Default for Options {
             json: false,
             wall: 0,
             scenarios: Vec::new(),
+            transport: "mesh".into(),
+            scenario_kind: "construction".into(),
+            node_id: None,
+            out_dir: None,
+            base_port: 47000,
+            tick_ms: 2.0,
+            deadline_ms: 120_000,
+            max_time: 4_000.0,
         }
     }
 }
 
 /// The usage string.
 pub const USAGE: &str =
-    "usage: lagover <spec|check|construct|disseminate|evolve|recover|obs|perf> \
+    "usage: lagover <spec|check|construct|disseminate|evolve|recover|obs|perf|node> \
 [--spec FILE] [--workload tf1|rand|bicorr|biuncorr|adversarial|zipf] [--peers N] [--seed N] \
 [--source-fanout F] [--algorithm greedy|hybrid] \
 [--oracle random|random-capacity|random-delay-capacity|random-delay] \
 [--max-rounds N] [--rounds N] [--pull-interval T] [--trace N] \
 [--crash-fraction F] [--message-loss P] [--blackout N] [--runs N] [--json] \
-[--wall K] [--scenario fig2|fig3|fig4|recovery|obs]";
+[--wall K] [--scenario fig2|fig3|fig4|recovery|obs] \
+[--transport mesh|udp] [--scenario-kind construction|recovery] [--node-id I] \
+[--out-dir DIR] [--base-port P] [--tick-ms T] [--deadline-ms T] [--max-time T]";
 
 /// Parses the argument list (without the program name).
 ///
@@ -147,6 +187,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         "recover",
         "obs",
         "perf",
+        "node",
     ]
     .contains(&command.as_str())
     {
@@ -270,6 +311,58 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 }
                 opts.scenarios.push(name);
             }
+            "--transport" => {
+                opts.transport = value()?;
+                if !["mesh", "udp"].contains(&opts.transport.as_str()) {
+                    return Err(err(format!(
+                        "unknown transport '{}' (expected mesh or udp)",
+                        opts.transport
+                    )));
+                }
+            }
+            "--scenario-kind" => {
+                opts.scenario_kind = value()?;
+                if !["construction", "recovery"].contains(&opts.scenario_kind.as_str()) {
+                    return Err(err(format!(
+                        "unknown scenario kind '{}' (expected construction or recovery)",
+                        opts.scenario_kind
+                    )));
+                }
+            }
+            "--node-id" => {
+                opts.node_id = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| err("--node-id needs an integer"))?,
+                )
+            }
+            "--out-dir" => opts.out_dir = Some(value()?),
+            "--base-port" => {
+                opts.base_port = value()?
+                    .parse()
+                    .map_err(|_| err("--base-port needs a port number"))?
+            }
+            "--tick-ms" => {
+                opts.tick_ms = value()?
+                    .parse()
+                    .map_err(|_| err("--tick-ms needs a number"))?;
+                if opts.tick_ms.is_nan() || opts.tick_ms <= 0.0 {
+                    return Err(err("--tick-ms must be positive"));
+                }
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = value()?
+                    .parse()
+                    .map_err(|_| err("--deadline-ms needs an integer"))?
+            }
+            "--max-time" => {
+                opts.max_time = value()?
+                    .parse()
+                    .map_err(|_| err("--max-time needs a number"))?;
+                if opts.max_time.is_nan() || opts.max_time <= 0.0 {
+                    return Err(err("--max-time must be positive"));
+                }
+            }
             other => return Err(err(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
@@ -318,6 +411,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         "recover" => cmd_recover(opts),
         "obs" => cmd_obs(opts),
         "perf" => cmd_perf(opts),
+        "node" => cmd_node(opts),
         other => Err(err(format!("unknown command '{other}'"))),
     }
 }
@@ -591,6 +685,201 @@ fn cmd_obs(opts: &Options) -> Result<String, CliError> {
     }
 }
 
+fn node_scenario(opts: &Options) -> Result<Scenario, CliError> {
+    Ok(match opts.scenario_kind.as_str() {
+        "construction" => Scenario::Construction,
+        "recovery" => Scenario::Recovery {
+            crash_fraction: opts.crash_fraction,
+        },
+        other => return Err(err(format!("unknown scenario kind '{other}'"))),
+    })
+}
+
+fn node_spec(opts: &Options) -> Result<ScenarioSpec, CliError> {
+    Ok(ScenarioSpec {
+        scenario: node_scenario(opts)?,
+        config: ConstructionConfig::new(opts.algorithm, opts.oracle)
+            .with_max_rounds(opts.max_rounds),
+        max_time: opts.max_time,
+        journal_capacity: OBS_JOURNAL_CAPACITY,
+    })
+}
+
+fn node_summary(merged: &lagover_node::MergedRun) -> String {
+    let r = &merged.report;
+    let mut out = format!(
+        "halted: {} | actions {} | satisfied {:.3} | stale chains {}\n",
+        if merged.finished() {
+            "finished"
+        } else {
+            "time limit"
+        },
+        r.actions,
+        r.final_satisfied_fraction,
+        r.final_stale_chains,
+    );
+    if let Some(t) = r.converged_at {
+        out += &format!("converged at t={t:.2}\n");
+    }
+    if r.scenario == "recovery" {
+        out += &format!("crashed {} interior peer(s)\n", r.crashed_peers);
+        match r.healed_at {
+            Some(t) => out += &format!("healed at t={t:.2}\n"),
+            None => out += "NOT healed within the time limit\n",
+        }
+    }
+    out
+}
+
+fn cmd_node(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let spec = node_spec(opts)?;
+    let label = format!(
+        "nodesim {} {} n={} seed={}",
+        opts.transport,
+        opts.scenario_kind,
+        population.len(),
+        opts.seed
+    );
+    match (opts.transport.as_str(), opts.node_id) {
+        ("mesh", None) => {
+            let run = run_mesh(&population, &spec, opts.seed).map_err(err)?;
+            let obs = run.merged.to_obs_report(&label);
+            if opts.json {
+                Ok(lagover_jsonio::to_string_pretty(&obs))
+            } else {
+                Ok(format!(
+                    "{} peers over the in-process mesh transport\n{}{}",
+                    population.len(),
+                    node_summary(&run.merged),
+                    obs.render(),
+                ))
+            }
+        }
+        ("mesh", Some(_)) => Err(err("--node-id only applies to --transport udp")),
+        ("udp", Some(me)) => {
+            // Child mode: run one node, write its report where the
+            // harness will collect it.
+            let out_dir = opts
+                .out_dir
+                .as_deref()
+                .ok_or_else(|| err("--node-id needs --out-dir for the report"))?;
+            let report = run_udp_node(
+                &population,
+                &spec,
+                opts.seed,
+                &UdpNodeOptions {
+                    me,
+                    base_port: opts.base_port,
+                    tick_ms: opts.tick_ms,
+                    linger_ms: 500,
+                    hard_timeout_ms: opts.deadline_ms,
+                },
+            )
+            .map_err(err)?;
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| err(format!("creating {out_dir}: {e}")))?;
+            let path = std::path::Path::new(out_dir).join(format!("node_{me}.json"));
+            std::fs::write(&path, lagover_jsonio::to_string(&report))
+                .map_err(|e| err(format!("writing {}: {e}", path.display())))?;
+            // Quiet on stdout: the harness inherits it, so anything
+            // printed here would interleave with the parent's own
+            // output (notably `--json`). The report file is the result.
+            eprintln!(
+                "node {me}: halted after {} own actions ({} global)",
+                report.own_actions, report.actions
+            );
+            Ok(String::new())
+        }
+        ("udp", None) => {
+            // Harness mode: spawn one child per node on loopback.
+            let program = std::env::current_exe()
+                .map_err(|e| err(format!("cannot locate own binary: {e}")))?;
+            let out_dir = match &opts.out_dir {
+                Some(dir) => std::path::PathBuf::from(dir),
+                None => std::env::temp_dir().join(format!(
+                    "lagover-node-{}-{}",
+                    std::process::id(),
+                    opts.seed
+                )),
+            };
+            let mut common_args: Vec<String> = vec![
+                "node".into(),
+                "--transport".into(),
+                "udp".into(),
+                "--scenario-kind".into(),
+                opts.scenario_kind.clone(),
+                "--seed".into(),
+                opts.seed.to_string(),
+                "--algorithm".into(),
+                match opts.algorithm {
+                    Algorithm::Greedy => "greedy".into(),
+                    Algorithm::Hybrid => "hybrid".into(),
+                },
+                "--oracle".into(),
+                match opts.oracle {
+                    OracleKind::Random => "random".into(),
+                    OracleKind::RandomCapacity => "random-capacity".into(),
+                    OracleKind::RandomDelayCapacity => "random-delay-capacity".into(),
+                    OracleKind::RandomDelay => "random-delay".into(),
+                },
+                "--max-rounds".into(),
+                opts.max_rounds.to_string(),
+                "--max-time".into(),
+                opts.max_time.to_string(),
+                "--crash-fraction".into(),
+                opts.crash_fraction.to_string(),
+                "--base-port".into(),
+                opts.base_port.to_string(),
+                "--tick-ms".into(),
+                opts.tick_ms.to_string(),
+                "--deadline-ms".into(),
+                opts.deadline_ms.to_string(),
+                "--out-dir".into(),
+                out_dir.to_string_lossy().into_owned(),
+            ];
+            match &opts.spec_path {
+                Some(path) => {
+                    common_args.push("--spec".into());
+                    common_args.push(path.clone());
+                }
+                None => {
+                    common_args.extend([
+                        "--workload".into(),
+                        opts.workload.clone(),
+                        "--peers".into(),
+                        opts.peers.to_string(),
+                        "--source-fanout".into(),
+                        opts.source_fanout.to_string(),
+                    ]);
+                }
+            }
+            let outcome = run_harness(&HarnessOptions {
+                program,
+                common_args,
+                peers: population.len() as u32,
+                out_dir,
+                deadline_ms: opts.deadline_ms,
+                label: label.clone(),
+            })
+            .map_err(err)?;
+            if opts.json {
+                Ok(lagover_jsonio::to_string_pretty(&outcome.obs))
+            } else {
+                Ok(format!(
+                    "{} node processes over UDP loopback (ports {}..{})\n{}{}",
+                    population.len(),
+                    opts.base_port,
+                    u32::from(opts.base_port) + population.len() as u32 - 1,
+                    node_summary(&outcome.merged),
+                    outcome.obs.render(),
+                ))
+            }
+        }
+        (other, _) => Err(err(format!("unknown transport '{other}'"))),
+    }
+}
+
 fn cmd_perf(opts: &Options) -> Result<String, CliError> {
     let params = lagover_perf::PerfParams {
         peers: opts.peers,
@@ -776,6 +1065,72 @@ mod tests {
         assert_eq!(baseline.scenarios.len(), 1);
         assert_eq!(baseline.scenarios[0].name, "fig2");
         assert!(baseline.scenarios[0].wall.is_none());
+    }
+
+    #[test]
+    fn node_flags_parse_and_validate() {
+        let opts = parse_args(&args(
+            "node --transport udp --scenario-kind recovery --crash-fraction 0.25 \
+             --node-id 3 --out-dir /tmp/x --base-port 48000 --tick-ms 1.5 \
+             --deadline-ms 30000 --max-time 2000",
+        ))
+        .unwrap();
+        assert_eq!(opts.command, "node");
+        assert_eq!(opts.transport, "udp");
+        assert_eq!(opts.scenario_kind, "recovery");
+        assert_eq!(opts.node_id, Some(3));
+        assert_eq!(opts.out_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(opts.base_port, 48000);
+        assert_eq!(opts.tick_ms, 1.5);
+        assert_eq!(opts.deadline_ms, 30_000);
+        assert_eq!(opts.max_time, 2_000.0);
+        assert!(parse_args(&args("node --transport carrier-pigeon")).is_err());
+        assert!(parse_args(&args("node --scenario-kind demolition")).is_err());
+        assert!(parse_args(&args("node --tick-ms 0")).is_err());
+        assert!(parse_args(&args("node --max-time -5")).is_err());
+    }
+
+    #[test]
+    fn node_mesh_runs_and_summarizes() {
+        let opts = parse_args(&args("node --workload rand --peers 16 --seed 3")).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("in-process mesh transport"), "{out}");
+        assert!(out.contains("halted: finished"), "{out}");
+        assert!(out.contains("converged at t="), "{out}");
+        assert!(out.contains("observability report: nodesim mesh"), "{out}");
+    }
+
+    #[test]
+    fn node_mesh_recovery_reports_healing() {
+        let opts = parse_args(&args(
+            "node --workload rand --peers 16 --seed 3 --scenario-kind recovery \
+             --crash-fraction 0.2",
+        ))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("crashed"), "{out}");
+        assert!(out.contains("healed at t="), "{out}");
+    }
+
+    #[test]
+    fn node_mesh_json_is_byte_stable_and_parseable() {
+        let opts = parse_args(&args("node --workload rand --peers 16 --seed 3 --json")).unwrap();
+        let a = run(&opts).unwrap();
+        let b = run(&opts).unwrap();
+        assert_eq!(a, b, "node --json output is not byte-stable");
+        let report: ObsReport = lagover_jsonio::from_str(&a).unwrap();
+        assert_eq!(report.converged, 1);
+        assert!(report.journal.is_some());
+    }
+
+    #[test]
+    fn node_rejects_contradictory_modes() {
+        let opts = parse_args(&args("node --node-id 1")).unwrap();
+        let e = run(&opts).unwrap_err();
+        assert!(e.0.contains("--transport udp"), "{e}");
+        let opts = parse_args(&args("node --transport udp --node-id 1")).unwrap();
+        let e = run(&opts).unwrap_err();
+        assert!(e.0.contains("--out-dir"), "{e}");
     }
 
     #[test]

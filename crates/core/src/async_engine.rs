@@ -379,6 +379,60 @@ mod tests {
         assert_eq!(observed.profile.total().actions, plain.actions);
     }
 
+    fn wide_population(n: u32) -> Population {
+        // Feasible by construction: 4 peers per latency tier, fanout 3
+        // each, so tier k offers 12 slots to tier k+1's 4 demands.
+        let constraints = (0..n).map(|i| Constraints::new(3, i / 4 + 1)).collect();
+        Population::new(4, constraints)
+    }
+
+    #[test]
+    fn async_recovery_heals_after_interior_crash() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let outcome = run_async_recovery_lockstep(&wide_population(24), &config, 0.2, 10_000.0, 7);
+        assert!(outcome.construction_converged_at.is_some());
+        assert!(outcome.crashed_peers > 0, "cohort must crash somebody");
+        assert!(outcome.healed(), "overlay must re-converge: {outcome:?}");
+        assert_eq!(outcome.final_stale_chains, 0);
+        assert!(outcome.healed_at > outcome.construction_converged_at);
+    }
+
+    #[test]
+    fn async_recovery_zero_fraction_heals_instantly() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let outcome = run_async_recovery_lockstep(&wide_population(16), &config, 0.0, 10_000.0, 3);
+        assert_eq!(outcome.crashed_peers, 0);
+        assert_eq!(outcome.healed_at, outcome.construction_converged_at);
+    }
+
+    #[test]
+    fn observed_async_recovery_matches_plain_run() {
+        let config = ConstructionConfig::new(Algorithm::Greedy, OracleKind::RandomDelay)
+            .with_max_rounds(10_000);
+        let pop = wide_population(24);
+        let plain = run_async_recovery_lockstep(&pop, &config, 0.2, 10_000.0, 7);
+        let observed = run_async_recovery_observed(
+            &pop,
+            &config,
+            FixedActionDuration(1.0),
+            0.2,
+            10_000.0,
+            7,
+            8_192,
+        );
+        assert_eq!(observed.outcome, plain, "observation must not perturb");
+        assert!(!observed.journal.is_empty());
+        let counts = observed.journal.counts_by_kind();
+        assert!(
+            counts
+                .iter()
+                .any(|(kind, n)| *kind == lagover_obs::EventKind::Crash && *n > 0),
+            "journal must record the injected crashes: {counts:?}"
+        );
+    }
+
     #[test]
     fn conversion_to_construction_outcome() {
         let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
@@ -391,6 +445,208 @@ mod tests {
             outcome.final_satisfied_fraction
         );
     }
+}
+
+/// Outcome of an asynchronous crash-recovery run: the E15 scenario
+/// (converge, crash an interior cohort, heal) expressed on the
+/// event-driven clock. This is the deterministic twin the
+/// `lagover-node` runtime replays against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncRecoveryOutcome {
+    /// Virtual time at which construction first converged, if reached.
+    pub construction_converged_at: Option<f64>,
+    /// Size of the crashed interior cohort (0 if construction never
+    /// converged, so no crash was injected).
+    pub crashed_peers: usize,
+    /// Virtual time at which the overlay was satisfied *and* stale-free
+    /// again after the crash, if reached.
+    pub healed_at: Option<f64>,
+    /// Total actions (events) processed.
+    pub actions: u64,
+    /// Final satisfied fraction over online peers.
+    pub final_satisfied_fraction: f64,
+    /// Stale root chains left at the end (0 when healed).
+    pub final_stale_chains: usize,
+}
+
+impl AsyncRecoveryOutcome {
+    /// Whether the overlay healed before the time limit.
+    pub fn healed(&self) -> bool {
+        self.healed_at.is_some()
+    }
+}
+
+/// [`run_async_recovery`] with the event journal attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedAsyncRecovery {
+    /// The plain outcome (identical to [`run_async_recovery`]'s).
+    pub outcome: AsyncRecoveryOutcome,
+    /// The bounded event journal recorded over the run (construction,
+    /// crash injection, detection, and re-attachment events).
+    pub journal: Journal,
+    /// Engine counters accumulated over the run.
+    pub counters: crate::engine::EngineCounters,
+}
+
+/// Runs the E15 recovery scenario on the asynchronous engine: lockstep
+/// offsets and scheduling identical to [`run_async`], construction to
+/// convergence, then an interior cohort crash (same cohort stream as
+/// the round-based `run_recovery`: `split(0xFA17_C0DE)` over online
+/// peers with children), then further actions until the overlay is
+/// satisfied and stale-free again or `max_time` passes.
+///
+/// Crash injection happens at the exact action where convergence is
+/// first observed, so the whole trajectory is a pure function of
+/// `(population, config, seed)` — the property the multi-process node
+/// harness relies on to replicate it.
+pub fn run_async_recovery<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    durations: D,
+    crash_fraction: f64,
+    max_time: f64,
+    seed: u64,
+) -> AsyncRecoveryOutcome {
+    run_async_recovery_inner(
+        population,
+        config,
+        durations,
+        crash_fraction,
+        max_time,
+        seed,
+        None,
+    )
+    .0
+}
+
+/// [`run_async_recovery`] with the journal enabled; the outcome is
+/// bit-identical to the unobserved run's.
+pub fn run_async_recovery_observed<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    durations: D,
+    crash_fraction: f64,
+    max_time: f64,
+    seed: u64,
+    journal_capacity: usize,
+) -> ObservedAsyncRecovery {
+    run_async_recovery_inner(
+        population,
+        config,
+        durations,
+        crash_fraction,
+        max_time,
+        seed,
+        Some(journal_capacity),
+    )
+    .1
+    .expect("observation requested")
+}
+
+/// Convenience: the recovery twin with every action taking one time
+/// unit — the schedule the `lagover-node` transports replicate.
+pub fn run_async_recovery_lockstep(
+    population: &Population,
+    config: &ConstructionConfig,
+    crash_fraction: f64,
+    max_time: f64,
+    seed: u64,
+) -> AsyncRecoveryOutcome {
+    run_async_recovery(
+        population,
+        config,
+        FixedActionDuration(1.0),
+        crash_fraction,
+        max_time,
+        seed,
+    )
+}
+
+fn run_async_recovery_inner<D: InteractionDurations>(
+    population: &Population,
+    config: &ConstructionConfig,
+    mut durations: D,
+    crash_fraction: f64,
+    max_time: f64,
+    seed: u64,
+    observe: Option<usize>,
+) -> (AsyncRecoveryOutcome, Option<ObservedAsyncRecovery>) {
+    let mut engine = Engine::new(population, config, seed);
+    if let Some(capacity) = observe {
+        engine.obs_mut().enable_journal(capacity);
+    }
+    let mut schedule_rng = SimRng::seed_from(seed).split(0x5EED_A57C);
+    let mut queue: EventQueue<PeerId> = EventQueue::with_capacity(population.len() + 1);
+    for p in population.peer_ids() {
+        let offset = schedule_rng.f64();
+        queue.schedule(VirtualTime::new(offset).expect("offset in [0,1)"), p);
+    }
+
+    let mut actions = 0u64;
+    let mut construction_converged_at = None;
+    let mut crashed: Option<usize> = None;
+    let mut healed_at = None;
+
+    while let Some(t) = queue.peek_time() {
+        if t.get() > max_time {
+            break;
+        }
+        let (now, p) = queue.pop().expect("peeked");
+        if engine.is_online(p) {
+            engine.act_on(p);
+            actions += 1;
+            if crashed.is_none() {
+                if engine.is_converged() {
+                    construction_converged_at = Some(now.get());
+                    // Interior cohort at the instant of convergence —
+                    // the same predicate and rng stream as the
+                    // round-based recovery runner.
+                    let interior: Vec<u32> = population
+                        .peer_ids()
+                        .filter(|&q| {
+                            engine.is_online(q) && !engine.overlay().children(q).is_empty()
+                        })
+                        .map(|q| q.get())
+                        .collect();
+                    let mut cohort_rng = SimRng::seed_from(seed).split(0xFA17_C0DE);
+                    let victims = lagover_sim::faults::crash_cohort(
+                        &interior,
+                        crash_fraction,
+                        &mut cohort_rng,
+                    );
+                    for &v in &victims {
+                        engine.inject_crash(PeerId::new(v));
+                    }
+                    crashed = Some(victims.len());
+                    if victims.is_empty() {
+                        healed_at = Some(now.get());
+                        break;
+                    }
+                }
+            } else if engine.is_converged() && engine.stale_chain_count() == 0 {
+                healed_at = Some(now.get());
+                break;
+            }
+        }
+        let d = durations.duration(p, &mut schedule_rng);
+        assert!(d > 0.0, "interaction durations must be positive");
+        queue.schedule_after(d, p);
+    }
+
+    let outcome = AsyncRecoveryOutcome {
+        construction_converged_at,
+        crashed_peers: crashed.unwrap_or(0),
+        healed_at,
+        actions,
+        final_satisfied_fraction: engine.satisfied_fraction(),
+        final_stale_chains: engine.stale_chain_count(),
+    };
+    let observed = observe.map(|_| ObservedAsyncRecovery {
+        outcome: outcome.clone(),
+        counters: *engine.counters(),
+        journal: engine.obs_mut().take_journal().expect("journal enabled"),
+    });
+    (outcome, observed)
 }
 
 /// Outcome of an asynchronous run under churn.

@@ -70,8 +70,9 @@ mod maintenance;
 mod oracle_index;
 
 pub use async_engine::{
-    as_construction_outcome, run_async, run_async_lockstep, run_async_observed,
-    run_async_with_churn, AsyncChurnOutcome, AsyncOutcome, ObservedAsyncRun,
+    as_construction_outcome, run_async, run_async_lockstep, run_async_observed, run_async_recovery,
+    run_async_recovery_lockstep, run_async_recovery_observed, run_async_with_churn,
+    AsyncChurnOutcome, AsyncOutcome, AsyncRecoveryOutcome, ObservedAsyncRecovery, ObservedAsyncRun,
 };
 pub use config::{Algorithm, ConstructionConfig, SourceMode};
 pub use engine::{Engine, EngineCounters, EngineSnapshot};

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use lagover_core::{run_async, Algorithm, ConstructionConfig, OracleKind};
-use lagover_net::{DurationModel, LatencyConfig, LatencySpace, RttInteractionModel};
+use lagover_net::{DurationModel, SpaceSpec, SubstrateModel};
 use lagover_sim::{stats, SimRng};
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -80,28 +80,35 @@ impl AsyncReport {
     }
 }
 
-/// Normalizes an RTT-based duration model so the *fastest* observed
+/// Normalizes a substrate's duration model so the *fastest* observed
 /// interaction takes ~1 time unit: asynchrony makes peers slower than
 /// the lockstep round, never faster (the paper's "different peers need
-/// different amounts of time" premise).
-struct NormalizedRtt {
-    inner: RttInteractionModel,
+/// different amounts of time" premise). Works over any [`SpaceSpec`],
+/// so the measured-matrix experiment reuses the same normalization.
+pub struct NormalizedModel {
+    inner: SubstrateModel,
     scale: f64,
 }
 
-impl NormalizedRtt {
-    fn new(peers: usize, rng: &mut SimRng) -> Self {
-        let space = LatencySpace::generate(peers, &LatencyConfig::default(), rng);
-        let inner = RttInteractionModel::new(space, 2.0);
+impl NormalizedModel {
+    /// Builds the substrate named by `spec` from `rng` (same draws as
+    /// the inline construction it replaced) and probes its minimum.
+    pub fn new(spec: &SpaceSpec, peers: usize, rng: &mut SimRng) -> Self {
+        let inner = spec.build(rng).into_model(2.0);
         // Estimate the minimum duration empirically for normalization.
         let mut probe_rng = rng.split(17);
         let min = (0..512)
             .map(|i| inner.interaction_duration(i % peers, &mut probe_rng))
             .fold(f64::INFINITY, f64::min);
-        NormalizedRtt {
+        NormalizedModel {
             inner,
             scale: 1.0 / min,
         }
+    }
+
+    /// The normalized interaction duration for `peer`.
+    pub fn duration(&self, peer: usize, rng: &mut SimRng) -> f64 {
+        self.inner.interaction_duration(peer, rng) * self.scale
     }
 }
 
@@ -125,12 +132,16 @@ pub fn run(params: &Params) -> AsyncReport {
                     lagover_core::run_async_lockstep(&population, &config, max_time, seed)
                 } else {
                     let mut model_rng = SimRng::seed_from(seed).split(5);
-                    let model = NormalizedRtt::new(params.peers, &mut model_rng);
+                    let model = NormalizedModel::new(
+                        &SpaceSpec::synthetic(params.peers),
+                        params.peers,
+                        &mut model_rng,
+                    );
                     run_async(
                         &population,
                         &config,
                         move |p: lagover_core::PeerId, rng: &mut SimRng| {
-                            model.inner.interaction_duration(p.index(), rng) * model.scale
+                            model.duration(p.index(), rng)
                         },
                         max_time,
                         seed,
@@ -176,13 +187,15 @@ pub fn observed(params: &Params) -> lagover_obs::ObsReport {
             let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
                 .with_max_rounds(params.max_rounds);
             let mut model_rng = SimRng::seed_from(seed).split(5);
-            let model = NormalizedRtt::new(params.peers, &mut model_rng);
+            let model = NormalizedModel::new(
+                &SpaceSpec::synthetic(params.peers),
+                params.peers,
+                &mut model_rng,
+            );
             let observed = lagover_core::run_async_observed(
                 &population,
                 &config,
-                move |p: lagover_core::PeerId, rng: &mut SimRng| {
-                    model.inner.interaction_duration(p.index(), rng) * model.scale
-                },
+                move |p: lagover_core::PeerId, rng: &mut SimRng| model.duration(p.index(), rng),
                 max_time,
                 seed,
                 crate::obs_exp::JOURNAL_CAPACITY,

@@ -13,7 +13,9 @@ use crate::fig3::{Fig3Report, OracleCell};
 use crate::fig4::{Fig4Report, Fig4Row};
 use crate::liveness::{LivenessReport, LivenessRow};
 use crate::locality::{LocalityReport, LocalityRow};
+use crate::measured::{MeasuredReport, MeasuredRow};
 use crate::multifeed_exp::{MultiFeedReport, MultiFeedRow};
+use crate::nodesim::{NodesimReport, NodesimRow};
 use crate::realizations::{RealizationRow, RealizationsReport};
 use crate::recovery::{RecoveryReport, RecoveryRow};
 use crate::scaling::{ScalingReport, ScalingRow};
@@ -267,6 +269,55 @@ impl ToJson for LocalityReport {
         object(vec![
             ("params", self.params.to_json()),
             ("workload", Json::Str(self.workload.clone())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MeasuredRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("substrate", Json::Str(self.substrate.clone())),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("oracle", Json::Str(self.oracle.clone())),
+            ("median_time", Json::F64(self.median_time)),
+            ("converged_runs", self.converged_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MeasuredReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("substrates", self.substrates.to_json()),
+            ("tiv_fraction", Json::F64(self.tiv_fraction)),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for NodesimRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("seed", self.seed.to_json()),
+            ("actions", self.actions.to_json()),
+            ("finished", Json::Bool(self.finished)),
+            ("byte_identical", Json::Bool(self.byte_identical)),
+            ("journal", self.journal.to_json()),
+        ])
+    }
+}
+
+impl ToJson for NodesimReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("transport", Json::Str(self.transport.clone())),
+            ("journal_capacity", self.journal_capacity.to_json()),
             ("rows", self.rows.to_json()),
         ])
     }

@@ -26,6 +26,8 @@
 //! | [`recovery`] | self-healing after crash-stop failures, oracle blackouts, and message loss (extension) |
 //! | [`stabilization`] | self-stabilization from adversarially corrupted snapshots (extension) |
 //! | [`obs_exp`] | observability timelines — one observed cell per instrumented experiment (extension) |
+//! | [`measured`] | fig3/fig4 axes re-run on the measured king-style RTT matrix (extension) |
+//! | [`nodesim`] | node-runtime cross-validation — mesh journals vs the simulator twin (extension) |
 //!
 //! Every runner takes a [`Params`] (use [`Params::paper`] for the
 //! paper-scale settings and [`Params::quick`] in tests), is
@@ -41,7 +43,9 @@ pub mod fig4;
 pub mod json;
 pub mod liveness;
 pub mod locality;
+pub mod measured;
 pub mod multifeed_exp;
+pub mod nodesim;
 pub mod obs_exp;
 pub mod oracle_impls;
 pub mod realizations;

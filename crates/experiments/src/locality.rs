@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use lagover_core::node::Member;
 use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind};
-use lagover_net::{ClusterConfig, ClusteredSpace, LatencyConfig, LatencySpace};
+use lagover_net::{ClusterConfig, LatencyConfig, LatencySpace, SpaceSpec};
 use lagover_sim::{stats, SimRng};
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -114,29 +114,38 @@ fn tree_cost(engine: &Engine, space: &LatencySpace) -> (f64, f64) {
     )
 }
 
-/// Builds the coordinate space for one run: a smooth uniform square or
-/// an ISP-style clustered placement, always over `peers + 1` points
-/// (the source is the last index).
-fn build_space(topology: &str, peers: usize, seed: u64) -> LatencySpace {
-    let mut space_rng = SimRng::seed_from(seed).split(0x10CA);
+/// Names the coordinate space for one topology: a smooth uniform
+/// square or an ISP-style clustered placement, always over `peers + 1`
+/// points (the source is the last index).
+fn space_spec(topology: &str, peers: usize) -> SpaceSpec {
     let latency = LatencyConfig {
         base_rtt: 0.05,
         rtt_per_unit: 1.0,
         jitter: 0.0,
     };
     match topology {
-        "smooth" => LatencySpace::generate(peers + 1, &latency, &mut space_rng),
-        _ => {
-            let config = ClusterConfig {
+        "smooth" => SpaceSpec::Synthetic {
+            peers: peers + 1,
+            config: latency,
+        },
+        _ => SpaceSpec::Clustered {
+            peers: peers + 1,
+            config: ClusterConfig {
                 clusters: 4,
                 scatter: 0.03,
                 latency,
-            };
-            ClusteredSpace::generate(peers + 1, &config, &mut space_rng)
-                .space()
-                .clone()
-        }
+            },
+        },
     }
+}
+
+/// Builds the coordinate space for one run from its spec.
+fn build_space(spec: &SpaceSpec, seed: u64) -> LatencySpace {
+    let mut space_rng = SimRng::seed_from(seed).split(0x10CA);
+    spec.build(&mut space_rng)
+        .latency_space()
+        .expect("locality substrates carry coordinates")
+        .clone()
 }
 
 /// Runs both oracle variants on both topologies, Rand workload.
@@ -144,6 +153,7 @@ pub fn run(params: &Params) -> LocalityReport {
     let class = TopologicalConstraint::Rand;
     let mut rows = Vec::new();
     for topology in ["smooth", "clustered"] {
+        let spec = space_spec(topology, params.peers);
         for variant in ["uniform", "locality"] {
             let mut latencies = Vec::new();
             let mut costs = Vec::new();
@@ -154,7 +164,7 @@ pub fn run(params: &Params) -> LocalityReport {
                 let population = WorkloadSpec::new(class, params.peers)
                     .generate(seed)
                     .expect("repairable");
-                let space = build_space(topology, params.peers, seed);
+                let space = build_space(&spec, seed);
                 let config = ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay)
                     .with_max_rounds(params.max_rounds);
                 let mut engine = if variant == "uniform" {

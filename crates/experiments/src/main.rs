@@ -11,8 +11,9 @@
 use std::process::ExitCode;
 
 use lagover_experiments::{
-    ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, multifeed_exp,
-    obs_exp, realizations, recovery, scaling, serverload, stabilization, sufficiency, Params,
+    ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, measured,
+    multifeed_exp, nodesim, obs_exp, realizations, recovery, scaling, serverload, stabilization,
+    sufficiency, Params,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -32,6 +33,8 @@ const EXPERIMENTS: &[&str] = &[
     "recovery",
     "stabilization",
     "obs",
+    "measured",
+    "nodesim",
 ];
 
 fn usage() -> ExitCode {
@@ -178,6 +181,14 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
         }
         "obs" => {
             let report = obs_exp::run(params);
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
+        }
+        "measured" => {
+            let report = measured::run(params);
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
+        }
+        "nodesim" => {
+            let report = nodesim::run(params);
             (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         other => unreachable!("unknown experiment {other} filtered by main"),

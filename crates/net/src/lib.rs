@@ -32,8 +32,12 @@ pub mod clusters;
 pub mod coords;
 pub mod duration;
 pub mod latency;
+pub mod measured;
+pub mod spacespec;
 
 pub use clusters::{ClusterConfig, ClusteredSpace};
 pub use coords::Coord;
 pub use duration::{DurationModel, FixedDuration, RttInteractionModel};
 pub use latency::{LatencyConfig, LatencySpace};
+pub use measured::{MeasuredConfig, MeasuredInteractionModel, MeasuredSpace, MeasuredSpaceError};
+pub use spacespec::{SpaceSpec, Substrate, SubstrateModel};

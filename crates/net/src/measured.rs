@@ -1,0 +1,338 @@
+//! Measured pairwise RTT matrices (king / planetlab style).
+//!
+//! The synthetic substrates embed peers in a metric space, so every
+//! RTT obeys the triangle inequality by construction. Real internet
+//! paths do not: king-method measurements routinely show triangle
+//! inequality violations (TIVs) from policy routing and access-link
+//! asymmetry, and underlay-aware overlay work argues those violations
+//! are exactly where overlay construction choices matter. This module
+//! loads a measured matrix behind the same [`DurationModel`] seam as
+//! the synthetic spaces so fig3/fig4 re-run on real-shaped latencies.
+//!
+//! A small committed sample ships with the crate
+//! ([`MeasuredSpace::king_sample`]); larger matrices load from the same
+//! text format: optional `#` comment lines, a host-count line, then one
+//! whitespace-separated millisecond row per host (symmetric, zero
+//! diagonal).
+
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::SimRng;
+
+use crate::duration::DurationModel;
+
+/// The committed king-style sample matrix (48 hosts, 4 regions,
+/// access-link penalties and routing detours producing ~4% TIV
+/// triples).
+const KING_SAMPLE: &str = include_str!("../data/king_sample.rtt");
+
+/// Parameters applied on top of a measured matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredConfig {
+    /// Multiplies every millisecond entry into virtual time units.
+    /// The default maps 200 ms to one time unit, which puts the
+    /// committed sample in the same range as the synthetic substrates.
+    pub scale: f64,
+    /// Maximum multiplicative jitter, as in
+    /// [`crate::LatencyConfig::jitter`]: each sampled RTT is scaled by
+    /// a uniform factor in `[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for MeasuredConfig {
+    fn default() -> Self {
+        MeasuredConfig {
+            scale: 0.005,
+            jitter: 0.2,
+        }
+    }
+}
+
+/// A malformed matrix file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredSpaceError(pub String);
+
+impl std::fmt::Display for MeasuredSpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "measured rtt matrix: {}", self.0)
+    }
+}
+
+impl std::error::Error for MeasuredSpaceError {}
+
+/// A dense symmetric RTT matrix loaded from measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredSpace {
+    /// Row-major scaled RTTs (virtual time units), `hosts * hosts`.
+    rtts: Vec<f64>,
+    hosts: usize,
+    config: MeasuredConfig,
+}
+
+impl MeasuredSpace {
+    /// Parses the text format described in the module docs and applies
+    /// `config.scale` to every entry.
+    pub fn parse(text: &str, config: MeasuredConfig) -> Result<Self, MeasuredSpaceError> {
+        assert!(config.scale > 0.0, "scale must be positive");
+        assert!(config.jitter >= 0.0, "jitter must be non-negative");
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let hosts: usize = lines
+            .next()
+            .ok_or_else(|| MeasuredSpaceError("empty file".into()))?
+            .parse()
+            .map_err(|e| MeasuredSpaceError(format!("bad host count: {e}")))?;
+        if hosts == 0 {
+            return Err(MeasuredSpaceError("zero hosts".into()));
+        }
+        let mut rtts = Vec::with_capacity(hosts * hosts);
+        for (i, line) in lines.enumerate() {
+            if i >= hosts {
+                return Err(MeasuredSpaceError(format!("more than {hosts} rows")));
+            }
+            let row: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+            let row = row.map_err(|e| MeasuredSpaceError(format!("row {i}: {e}")))?;
+            if row.len() != hosts {
+                return Err(MeasuredSpaceError(format!(
+                    "row {i} has {} entries, expected {hosts}",
+                    row.len()
+                )));
+            }
+            for (j, &ms) in row.iter().enumerate() {
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err(MeasuredSpaceError(format!("rtt[{i}][{j}] = {ms}")));
+                }
+                if i == j && ms != 0.0 {
+                    return Err(MeasuredSpaceError(format!("nonzero diagonal at {i}")));
+                }
+                rtts.push(ms * config.scale);
+            }
+        }
+        if rtts.len() != hosts * hosts {
+            return Err(MeasuredSpaceError(format!(
+                "{} rows, expected {hosts}",
+                rtts.len() / hosts
+            )));
+        }
+        for a in 0..hosts {
+            for b in (a + 1)..hosts {
+                if rtts[a * hosts + b] != rtts[b * hosts + a] {
+                    return Err(MeasuredSpaceError(format!("asymmetric at ({a}, {b})")));
+                }
+            }
+        }
+        Ok(MeasuredSpace {
+            rtts,
+            hosts,
+            config,
+        })
+    }
+
+    /// The committed 48-host king-style sample.
+    ///
+    /// # Panics
+    ///
+    /// Never for valid configs: the embedded matrix parses (pinned by a
+    /// test).
+    pub fn king_sample(config: MeasuredConfig) -> Self {
+        Self::parse(KING_SAMPLE, config).expect("embedded sample parses")
+    }
+
+    /// Number of measured hosts.
+    pub fn len(&self) -> usize {
+        self.hosts
+    }
+
+    /// Whether the matrix is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.hosts == 0
+    }
+
+    /// The applied parameters.
+    pub fn config(&self) -> &MeasuredConfig {
+        &self.config
+    }
+
+    /// Scaled RTT between two hosts. Indices beyond the matrix wrap, so
+    /// populations larger than the measurement set reuse hosts (the
+    /// standard trick for scaling a fixed matrix).
+    pub fn rtt(&self, a: usize, b: usize) -> f64 {
+        let (a, b) = (a % self.hosts, b % self.hosts);
+        self.rtts[a * self.hosts + b]
+    }
+
+    /// RTT with multiplicative jitter applied — the same single-draw
+    /// pattern as [`crate::LatencySpace::rtt_jittered`].
+    pub fn rtt_jittered(&self, a: usize, b: usize, rng: &mut SimRng) -> f64 {
+        let factor = 1.0 + rng.f64() * self.config.jitter;
+        self.rtt(a, b) * factor
+    }
+
+    /// Fraction of ordered triples `(a, b, c)` where the detour through
+    /// `c` beats the direct path — the triangle inequality violations a
+    /// metric embedding cannot express. O(n³); analysis only.
+    pub fn tiv_fraction(&self) -> f64 {
+        let n = self.hosts;
+        let mut violations = 0u64;
+        let mut total = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let direct = self.rtt(a, b);
+                for c in 0..n {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    total += 1;
+                    if self.rtt(a, c) + self.rtt(c, b) < direct {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            violations as f64 / total as f64
+        }
+    }
+}
+
+/// Interaction duration proportional to the initiating peer's measured
+/// RTT to a random partner — [`crate::RttInteractionModel`] with the
+/// synthetic space swapped for a measured matrix. The per-call draw
+/// pattern (one partner index, one jitter uniform) is identical, so
+/// substituting substrates never shifts downstream draw sites.
+#[derive(Debug, Clone)]
+pub struct MeasuredInteractionModel {
+    space: MeasuredSpace,
+    /// Number of round trips per interaction.
+    pub round_trips: f64,
+}
+
+impl MeasuredInteractionModel {
+    /// Creates the model over a measured matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_trips` is not strictly positive or the matrix
+    /// has fewer than two hosts (a lone host has only the zero-RTT
+    /// diagonal to interact over).
+    pub fn new(space: MeasuredSpace, round_trips: f64) -> Self {
+        assert!(round_trips > 0.0, "round_trips must be positive");
+        assert!(space.len() > 1, "need at least two measured hosts");
+        MeasuredInteractionModel { space, round_trips }
+    }
+
+    /// The underlying matrix.
+    pub fn space(&self) -> &MeasuredSpace {
+        &self.space
+    }
+}
+
+impl DurationModel for MeasuredInteractionModel {
+    fn interaction_duration(&self, peer: usize, rng: &mut SimRng) -> f64 {
+        let len = self.space.len();
+        let me = peer % len;
+        // One partner draw like the synthetic model. The matrix's zero
+        // diagonal would produce a zero duration (the trait demands
+        // strictly positive), so a self-draw steps to the next host —
+        // same draw count, no zero.
+        let mut partner = rng.index(len);
+        if partner == me {
+            partner = (partner + 1) % len;
+        }
+        let rtt = self.space.rtt_jittered(me, partner, rng);
+        rtt * self.round_trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_sample_parses_and_has_tivs() {
+        let space = MeasuredSpace::king_sample(MeasuredConfig::default());
+        assert_eq!(space.len(), 48);
+        assert_eq!(space.rtt(3, 3), 0.0);
+        assert_eq!(space.rtt(1, 7), space.rtt(7, 1));
+        let tiv = space.tiv_fraction();
+        assert!(
+            tiv > 0.01 && tiv < 0.2,
+            "sample should violate triangles in a king-like band, got {tiv}"
+        );
+    }
+
+    #[test]
+    fn scale_is_applied() {
+        let unit = MeasuredSpace::king_sample(MeasuredConfig {
+            scale: 1.0,
+            jitter: 0.0,
+        });
+        let halved = MeasuredSpace::king_sample(MeasuredConfig {
+            scale: 0.5,
+            jitter: 0.0,
+        });
+        assert_eq!(halved.rtt(0, 1), unit.rtt(0, 1) * 0.5);
+    }
+
+    #[test]
+    fn indices_wrap_for_oversized_populations() {
+        let space = MeasuredSpace::king_sample(MeasuredConfig::default());
+        assert_eq!(space.rtt(0, 1), space.rtt(48, 49));
+    }
+
+    #[test]
+    fn jitter_bounded_like_synthetic_spaces() {
+        let space = MeasuredSpace::king_sample(MeasuredConfig {
+            scale: 0.005,
+            jitter: 0.5,
+        });
+        let base = space.rtt(0, 1);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..500 {
+            let j = space.rtt_jittered(0, 1, &mut rng);
+            assert!(j >= base && j <= base * 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn duration_model_mirrors_rtt_model_draws() {
+        let space = MeasuredSpace::king_sample(MeasuredConfig::default());
+        let model = MeasuredInteractionModel::new(space, 2.0);
+        let mut a = SimRng::seed_from(11);
+        let mut b = SimRng::seed_from(11);
+        let _ = model.interaction_duration(0, &mut a);
+        // Two draws per call: partner index, jitter factor.
+        b.index(model.space().len());
+        b.f64();
+        assert_eq!(a.f64(), b.f64(), "draw counts diverged");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        let cfg = MeasuredConfig::default();
+        assert!(MeasuredSpace::parse("", cfg).is_err());
+        assert!(MeasuredSpace::parse("2\n0 1\n", cfg).is_err());
+        assert!(MeasuredSpace::parse("2\n0 1\n2 0\n", cfg).is_err());
+        assert!(MeasuredSpace::parse("1\n5\n", cfg).is_err());
+        assert!(MeasuredSpace::parse("2\n0 1\n1 0\n0 0\n", cfg).is_err());
+        assert!(MeasuredSpace::parse("2\n0 nan\nnan 0\n", cfg).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let text = "# header\n\n2\n# row comment\n0 3.5\n3.5 0\n";
+        let space = MeasuredSpace::parse(
+            text,
+            MeasuredConfig {
+                scale: 1.0,
+                jitter: 0.0,
+            },
+        )
+        .expect("parses");
+        assert_eq!(space.rtt(0, 1), 3.5);
+    }
+}

@@ -1,0 +1,336 @@
+//! Serializable substrate selection.
+//!
+//! Experiment drivers used to construct their latency substrate inline
+//! (`LatencySpace::generate(...)` in the middle of a driver loop),
+//! which made "which network did this figure run on?" invisible to the
+//! serialized report and impossible to vary without editing the
+//! driver. [`SpaceSpec`] names the substrate as data — synthetic
+//! unit-square, clustered, or a measured matrix — and builds it behind
+//! one seam. Specs round-trip through both serializers (`serde` for
+//! in-memory tooling, `jsonio` for the deterministic report writer).
+//!
+//! Building a spec consumes exactly the same rng draws as the inline
+//! construction it replaced (the constructors are shared), so routing
+//! an existing experiment through the seam never shifts a draw site.
+
+use lagover_jsonio::{object, FromJson, Json, JsonError, ToJson};
+use serde::{Deserialize, Serialize};
+
+use lagover_sim::SimRng;
+
+use crate::clusters::{ClusterConfig, ClusteredSpace};
+use crate::duration::{DurationModel, RttInteractionModel};
+use crate::latency::{LatencyConfig, LatencySpace};
+use crate::measured::{MeasuredConfig, MeasuredInteractionModel, MeasuredSpace};
+
+/// A substrate named as data: what to build, not how.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpaceSpec {
+    /// Peers placed uniformly in the unit square.
+    Synthetic {
+        /// Number of coordinate points to place.
+        peers: usize,
+        /// The affine RTT model.
+        config: LatencyConfig,
+    },
+    /// Peers grouped into ISP-style clusters.
+    Clustered {
+        /// Number of coordinate points to place.
+        peers: usize,
+        /// Cluster placement plus the RTT model.
+        config: ClusterConfig,
+    },
+    /// The committed measured king-style matrix (indices wrap when the
+    /// population outgrows the measurement set).
+    Measured {
+        /// Scale and jitter applied to the matrix.
+        config: MeasuredConfig,
+    },
+}
+
+impl SpaceSpec {
+    /// A synthetic space with the default RTT model.
+    pub fn synthetic(peers: usize) -> Self {
+        SpaceSpec::Synthetic {
+            peers,
+            config: LatencyConfig::default(),
+        }
+    }
+
+    /// A clustered space with the default placement.
+    pub fn clustered(peers: usize) -> Self {
+        SpaceSpec::Clustered {
+            peers,
+            config: ClusterConfig::default(),
+        }
+    }
+
+    /// The measured sample with default scale/jitter.
+    pub fn measured() -> Self {
+        SpaceSpec::Measured {
+            config: MeasuredConfig::default(),
+        }
+    }
+
+    /// Stable label for reports and CLI flags.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpaceSpec::Synthetic { .. } => "synthetic",
+            SpaceSpec::Clustered { .. } => "clustered",
+            SpaceSpec::Measured { .. } => "measured",
+        }
+    }
+
+    /// Builds the substrate. Synthetic and clustered placements draw
+    /// from `rng` exactly as their direct constructors do; the measured
+    /// matrix draws nothing.
+    pub fn build(&self, rng: &mut SimRng) -> Substrate {
+        match self {
+            SpaceSpec::Synthetic { peers, config } => {
+                Substrate::Synthetic(LatencySpace::generate(*peers, config, rng))
+            }
+            SpaceSpec::Clustered { peers, config } => {
+                Substrate::Clustered(ClusteredSpace::generate(*peers, config, rng))
+            }
+            SpaceSpec::Measured { config } => {
+                Substrate::Measured(MeasuredSpace::king_sample(*config))
+            }
+        }
+    }
+}
+
+impl ToJson for SpaceSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            SpaceSpec::Synthetic { peers, config } => object(vec![
+                ("kind", Json::Str("synthetic".into())),
+                ("peers", peers.to_json()),
+                ("base_rtt", config.base_rtt.to_json()),
+                ("rtt_per_unit", config.rtt_per_unit.to_json()),
+                ("jitter", config.jitter.to_json()),
+            ]),
+            SpaceSpec::Clustered { peers, config } => object(vec![
+                ("kind", Json::Str("clustered".into())),
+                ("peers", peers.to_json()),
+                ("clusters", config.clusters.to_json()),
+                ("scatter", config.scatter.to_json()),
+                ("base_rtt", config.latency.base_rtt.to_json()),
+                ("rtt_per_unit", config.latency.rtt_per_unit.to_json()),
+                ("jitter", config.latency.jitter.to_json()),
+            ]),
+            SpaceSpec::Measured { config } => object(vec![
+                ("kind", Json::Str("measured".into())),
+                ("scale", config.scale.to_json()),
+                ("jitter", config.jitter.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for SpaceSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = String::from_json(value.get("kind")?)?;
+        let f = |key: &str| -> Result<f64, JsonError> { f64::from_json(value.get(key)?) };
+        Ok(match kind.as_str() {
+            "synthetic" => SpaceSpec::Synthetic {
+                peers: usize::from_json(value.get("peers")?)?,
+                config: LatencyConfig {
+                    base_rtt: f("base_rtt")?,
+                    rtt_per_unit: f("rtt_per_unit")?,
+                    jitter: f("jitter")?,
+                },
+            },
+            "clustered" => SpaceSpec::Clustered {
+                peers: usize::from_json(value.get("peers")?)?,
+                config: ClusterConfig {
+                    clusters: usize::from_json(value.get("clusters")?)?,
+                    scatter: f("scatter")?,
+                    latency: LatencyConfig {
+                        base_rtt: f("base_rtt")?,
+                        rtt_per_unit: f("rtt_per_unit")?,
+                        jitter: f("jitter")?,
+                    },
+                },
+            },
+            "measured" => SpaceSpec::Measured {
+                config: MeasuredConfig {
+                    scale: f("scale")?,
+                    jitter: f("jitter")?,
+                },
+            },
+            other => return Err(JsonError(format!("unknown substrate kind {other:?}"))),
+        })
+    }
+}
+
+/// A built substrate: the space behind a [`SpaceSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Substrate {
+    /// Uniform unit-square placement.
+    Synthetic(LatencySpace),
+    /// Clustered placement (keeps the membership for locality metrics).
+    Clustered(ClusteredSpace),
+    /// Measured matrix.
+    Measured(MeasuredSpace),
+}
+
+impl Substrate {
+    /// Number of endpoints the substrate models.
+    pub fn len(&self) -> usize {
+        match self {
+            Substrate::Synthetic(s) => s.len(),
+            Substrate::Clustered(c) => c.len(),
+            Substrate::Measured(m) => m.len(),
+        }
+    }
+
+    /// Whether the substrate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministic RTT between two endpoints.
+    pub fn rtt(&self, a: usize, b: usize) -> f64 {
+        match self {
+            Substrate::Synthetic(s) => s.rtt(a, b),
+            Substrate::Clustered(c) => c.space().rtt(a, b),
+            Substrate::Measured(m) => m.rtt(a, b),
+        }
+    }
+
+    /// RTT with the substrate's jitter applied (one uniform draw, every
+    /// variant).
+    pub fn rtt_jittered(&self, a: usize, b: usize, rng: &mut SimRng) -> f64 {
+        match self {
+            Substrate::Synthetic(s) => s.rtt_jittered(a, b, rng),
+            Substrate::Clustered(c) => c.space().rtt_jittered(a, b, rng),
+            Substrate::Measured(m) => m.rtt_jittered(a, b, rng),
+        }
+    }
+
+    /// The coordinate-space view, when the substrate has one (the
+    /// locality oracle and tree-cost metrics need coordinates; a
+    /// measured matrix has none).
+    pub fn latency_space(&self) -> Option<&LatencySpace> {
+        match self {
+            Substrate::Synthetic(s) => Some(s),
+            Substrate::Clustered(c) => Some(c.space()),
+            Substrate::Measured(_) => None,
+        }
+    }
+
+    /// Wraps the substrate in its interaction-duration model. All
+    /// variants draw identically per call (partner index + jitter
+    /// uniform), so swapping substrates never changes draw counts.
+    pub fn into_model(self, round_trips: f64) -> SubstrateModel {
+        match self {
+            Substrate::Synthetic(s) => {
+                SubstrateModel::Rtt(RttInteractionModel::new(s, round_trips))
+            }
+            Substrate::Clustered(c) => {
+                SubstrateModel::Rtt(RttInteractionModel::new(c.space().clone(), round_trips))
+            }
+            Substrate::Measured(m) => {
+                SubstrateModel::Measured(MeasuredInteractionModel::new(m, round_trips))
+            }
+        }
+    }
+}
+
+/// [`DurationModel`] over any substrate.
+#[derive(Debug, Clone)]
+pub enum SubstrateModel {
+    /// Coordinate-space substrates.
+    Rtt(RttInteractionModel),
+    /// Measured-matrix substrate.
+    Measured(MeasuredInteractionModel),
+}
+
+impl DurationModel for SubstrateModel {
+    fn interaction_duration(&self, peer: usize, rng: &mut SimRng) -> f64 {
+        match self {
+            SubstrateModel::Rtt(m) => m.interaction_duration(peer, rng),
+            SubstrateModel::Measured(m) => m.interaction_duration(peer, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_draws_match_inline_construction() {
+        let spec = SpaceSpec::synthetic(20);
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let built = spec.build(&mut a);
+        let inline = LatencySpace::generate(20, &LatencyConfig::default(), &mut b);
+        assert_eq!(built.latency_space(), Some(&inline));
+        assert_eq!(a.f64(), b.f64(), "draw streams diverged");
+    }
+
+    #[test]
+    fn clustered_build_matches_inline_construction() {
+        let spec = SpaceSpec::clustered(12);
+        let mut a = SimRng::seed_from(4);
+        let mut b = SimRng::seed_from(4);
+        let built = spec.build(&mut a);
+        let inline = ClusteredSpace::generate(12, &ClusterConfig::default(), &mut b);
+        assert_eq!(built.latency_space(), Some(inline.space()));
+        assert_eq!(a.f64(), b.f64(), "draw streams diverged");
+    }
+
+    #[test]
+    fn measured_build_draws_nothing() {
+        let mut a = SimRng::seed_from(2);
+        let mut b = SimRng::seed_from(2);
+        let built = SpaceSpec::measured().build(&mut a);
+        assert_eq!(built.len(), 48);
+        assert!(built.latency_space().is_none());
+        assert_eq!(a.f64(), b.f64(), "measured build must not draw");
+    }
+
+    #[test]
+    fn specs_round_trip_through_jsonio() {
+        for spec in [
+            SpaceSpec::synthetic(40),
+            SpaceSpec::clustered(12),
+            SpaceSpec::measured(),
+        ] {
+            let text = lagover_jsonio::to_string(&spec);
+            let back: SpaceSpec = lagover_jsonio::from_str(&text).expect("parses");
+            assert_eq!(back, spec, "round trip for {}", spec.kind());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = lagover_jsonio::from_str::<SpaceSpec>("{\"kind\": \"quantum\"}");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn models_share_one_draw_pattern() {
+        for spec in [
+            SpaceSpec::synthetic(30),
+            SpaceSpec::clustered(30),
+            SpaceSpec::measured(),
+        ] {
+            let mut build_rng = SimRng::seed_from(7);
+            let model = spec.build(&mut build_rng).into_model(2.0);
+            let mut a = SimRng::seed_from(13);
+            let mut b = SimRng::seed_from(13);
+            let d = model.interaction_duration(3, &mut a);
+            assert!(d > 0.0);
+            b.f64();
+            b.f64();
+            assert_eq!(
+                a.f64(),
+                b.f64(),
+                "{}: expected exactly two draws per call",
+                spec.kind()
+            );
+        }
+    }
+}

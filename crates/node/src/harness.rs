@@ -1,0 +1,210 @@
+//! Multi-process integration harness.
+//!
+//! Spawns one OS process per node (`program [common_args..]
+//! --node-id i`), waits for all of them under a deadline, then reads
+//! the per-node reports (`out_dir/node_<i>.json`, written by each
+//! child) and merges them into the cross-checked [`MergedRun`] /
+//! [`ObsReport`]. The harness itself is transport-agnostic — it only
+//! knows the child contract, so the CLI can point it at any binary
+//! that speaks it (in practice, `lagover node --transport udp`).
+//!
+//! The deadline is tracked by summing poll-sleep intervals rather than
+//! reading a wall clock, keeping the crate's clock usage confined to
+//! the UDP transport module.
+
+use std::path::PathBuf;
+use std::process::{Child, Command as ProcessCommand, Stdio};
+use std::thread;
+use std::time::Duration;
+
+use lagover_obs::ObsReport;
+
+use crate::journal::{merge_reports, MergedRun, NodeReport};
+
+/// Child-poll interval.
+const POLL_MS: u64 = 20;
+
+/// What to spawn and how long to wait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// The node binary (typically `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments shared by every child (scenario, seed, ports,
+    /// out-dir…); the harness appends `--node-id <i>`.
+    pub common_args: Vec<String>,
+    /// Number of node processes.
+    pub peers: u32,
+    /// Directory the children write `node_<i>.json` into.
+    pub out_dir: PathBuf,
+    /// Kill everything and fail if the run outlives this.
+    pub deadline_ms: u64,
+    /// Label for the merged [`ObsReport`].
+    pub label: String,
+}
+
+/// A completed multi-process run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOutcome {
+    /// Per-node reports, indexed by node id.
+    pub reports: Vec<NodeReport>,
+    /// The cross-checked merge.
+    pub merged: MergedRun,
+    /// The merge folded into the standard observability document.
+    pub obs: ObsReport,
+}
+
+/// Spawns the node processes, waits for them, and merges their
+/// reports.
+///
+/// # Errors
+///
+/// Returns a description of the failure if a child cannot be spawned,
+/// exits non-zero, outlives the deadline (all children are killed), or
+/// the reports are missing, unparseable, or fail the lockstep
+/// cross-check.
+pub fn run_harness(options: &HarnessOptions) -> Result<HarnessOutcome, String> {
+    assert!(options.peers > 0, "harness needs at least one node");
+    std::fs::create_dir_all(&options.out_dir)
+        .map_err(|e| format!("creating {}: {e}", options.out_dir.display()))?;
+
+    let mut children: Vec<(u32, Child)> = Vec::with_capacity(options.peers as usize);
+    for me in 0..options.peers {
+        let spawned = ProcessCommand::new(&options.program)
+            .args(&options.common_args)
+            .arg("--node-id")
+            .arg(me.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push((me, child)),
+            Err(e) => {
+                for (_, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(format!(
+                    "spawning node {me} ({}): {e}",
+                    options.program.display()
+                ));
+            }
+        }
+    }
+
+    // Wait for every child, budgeting elapsed time by summed sleeps.
+    let mut remaining_ms = options.deadline_ms as i64;
+    let mut failures: Vec<String> = Vec::new();
+    while children
+        .iter_mut()
+        .any(|(_, c)| c.try_wait().map(|status| status.is_none()).unwrap_or(false))
+    {
+        if remaining_ms <= 0 {
+            let stragglers: Vec<u32> = children
+                .iter_mut()
+                .filter_map(|(me, c)| matches!(c.try_wait(), Ok(None)).then_some(*me))
+                .collect();
+            for (_, child) in &mut children {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            return Err(format!(
+                "harness deadline ({} ms) exceeded; killed nodes {stragglers:?}",
+                options.deadline_ms
+            ));
+        }
+        thread::sleep(Duration::from_millis(POLL_MS));
+        remaining_ms -= POLL_MS as i64;
+    }
+    for (me, child) in &mut children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("node {me} exited with {status}")),
+            Err(e) => failures.push(format!("waiting on node {me}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    let mut reports: Vec<NodeReport> = Vec::with_capacity(options.peers as usize);
+    for me in 0..options.peers {
+        let path = options.out_dir.join(format!("node_{me}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let report: NodeReport = lagover_jsonio::from_str(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        if report.peer != me {
+            return Err(format!(
+                "{} claims to be node {}, expected {me}",
+                path.display(),
+                report.peer
+            ));
+        }
+        reports.push(report);
+    }
+    let merged = merge_reports(&reports)?;
+    let obs = merged.to_obs_report(&options.label);
+    Ok(HarnessOutcome {
+        reports,
+        merged,
+        obs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deadline path must kill stragglers instead of hanging.
+    #[test]
+    fn deadline_kills_stragglers() {
+        let dir = std::env::temp_dir().join("lagover-harness-deadline-test");
+        let options = HarnessOptions {
+            // `sh -c` so the appended `--node-id <i>` lands in $1
+            // instead of confusing sleep's argument parsing.
+            program: PathBuf::from("/bin/sh"),
+            common_args: vec!["-c".into(), "sleep 30".into(), "straggler".into()],
+            peers: 2,
+            out_dir: dir,
+            deadline_ms: 200,
+            label: "deadline".into(),
+        };
+        let err = run_harness(&options).expect_err("must time out");
+        assert!(err.contains("deadline"), "{err}");
+    }
+
+    /// A child that exits non-zero fails the run with its identity.
+    #[test]
+    fn nonzero_exit_is_reported() {
+        let dir = std::env::temp_dir().join("lagover-harness-exit-test");
+        let options = HarnessOptions {
+            program: PathBuf::from("/bin/false"),
+            common_args: vec![],
+            peers: 1,
+            out_dir: dir,
+            deadline_ms: 5_000,
+            label: "exit".into(),
+        };
+        let err = run_harness(&options).expect_err("must fail");
+        assert!(err.contains("node 0 exited"), "{err}");
+    }
+
+    /// A child that exits cleanly but writes no report fails on the
+    /// missing file, not a panic.
+    #[test]
+    fn missing_report_is_an_error() {
+        let dir = std::env::temp_dir().join("lagover-harness-missing-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = HarnessOptions {
+            program: PathBuf::from("/bin/true"),
+            common_args: vec![],
+            peers: 1,
+            out_dir: dir,
+            deadline_ms: 5_000,
+            label: "missing".into(),
+        };
+        let err = run_harness(&options).expect_err("must fail");
+        assert!(err.contains("node_0.json"), "{err}");
+    }
+}

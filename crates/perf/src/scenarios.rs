@@ -69,9 +69,12 @@ pub fn default_scenario_names() -> &'static [&'static str] {
 /// parallel schedules, derived from the registry: every default
 /// scenario is also a `lagover-experiments run` subcommand, plus the
 /// `scaling` sweep (the widest fan-out driver, which has no baseline
-/// scenario of its own). The scale scenarios are excluded — their
-/// schedule-invariance is checked directly on `lagover-perf` output
-/// by the `construction-1e5-smoke` CI job.
+/// scenario of its own) and the `nodesim` cross-validation (whose
+/// report embeds the mesh-vs-twin journal, so schedule-invariance of
+/// the node runtime itself is pinned byte-for-byte). The scale
+/// scenarios are excluded — their schedule-invariance is checked
+/// directly on `lagover-perf` output by the `construction-1e5-smoke`
+/// CI job.
 pub fn replay_figures() -> Vec<&'static str> {
     let mut figures: Vec<&'static str> = default_scenario_names().to_vec();
     let at = figures
@@ -79,6 +82,7 @@ pub fn replay_figures() -> Vec<&'static str> {
         .position(|&n| n == "recovery")
         .unwrap_or(figures.len());
     figures.insert(at, "scaling");
+    figures.push("nodesim");
     figures
 }
 
@@ -375,6 +379,10 @@ mod tests {
         }
         assert!(figures.contains(&"scaling"), "scaling sweep rides along");
         assert!(
+            figures.contains(&"nodesim"),
+            "node cross-validation rides along"
+        );
+        assert!(
             !figures
                 .iter()
                 .any(|f| f.ends_with("_1e5") || f.ends_with("_1e6")),
@@ -389,7 +397,8 @@ mod tests {
                 "scaling",
                 "recovery",
                 "stabilization",
-                "obs"
+                "obs",
+                "nodesim"
             ]
         );
     }

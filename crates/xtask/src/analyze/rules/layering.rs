@@ -27,6 +27,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("lagover-core", 3),
     ("lagover-workload", 4),
     ("lagover-feed", 5),
+    ("lagover-node", 5),
     ("lagover-experiments", 6),
     ("lagover-perf", 7),
     ("lagover", 8),

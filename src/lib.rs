@@ -37,6 +37,7 @@ pub use lagover_experiments as experiments;
 pub use lagover_feed as feed;
 pub use lagover_gossip as gossip;
 pub use lagover_net as net;
+pub use lagover_node as node;
 pub use lagover_obs as obs;
 pub use lagover_sim as sim;
 pub use lagover_workload as workload;
