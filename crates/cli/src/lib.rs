@@ -11,6 +11,8 @@
 //! lagover check      (--spec FILE | --workload …)
 //! lagover construct  (--spec FILE | --workload …) [--algorithm hybrid] [--oracle random-delay]
 //! lagover disseminate(--spec FILE | --workload …) [--rounds N] [--pull-interval T]
+//! lagover stream     (--spec FILE | --workload …) [--trees K] [--stream-rate R] [--budget B]
+//!                    [--source-budget B] [--rounds N] [--window W] [--ttl N] [--json]
 //! lagover evolve     (--spec FILE | --workload …) [--trace N]
 //! lagover recover    (--spec FILE | --workload …) [--crash-fraction F] [--message-loss P] [--blackout N]
 //! lagover obs        (--spec FILE | --workload …) [--runs N] [--json]
@@ -42,6 +44,7 @@ use lagover_node::{
     run_harness, run_mesh, run_udp_node, HarnessOptions, Scenario, ScenarioSpec, UdpNodeOptions,
 };
 use lagover_obs::ObsReport;
+use lagover_stream::{stream, StreamConfig};
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
 /// A CLI failure with a user-facing message.
@@ -85,6 +88,18 @@ pub struct Options {
     pub rounds: u64,
     /// `--pull-interval T`.
     pub pull_interval: u64,
+    /// `--trees K` (stream: interior-disjoint trees to carve).
+    pub trees: usize,
+    /// `--stream-rate R` (stream: chunks per publication round).
+    pub stream_rate: u64,
+    /// `--budget B` (stream: per-peer upload budget, chunks/round).
+    pub budget: u64,
+    /// `--source-budget B` (stream: source upload budget, chunks/round).
+    pub source_budget: u64,
+    /// `--window W` (stream: per-edge in-flight chunks per round).
+    pub window: u32,
+    /// `--ttl N` (stream: rounds a chunk may wait at an edge head).
+    pub ttl: u64,
     /// `--trace N` (evolve: max trace events to print).
     pub trace: usize,
     /// `--crash-fraction F` (recover: fraction of interior nodes to
@@ -138,6 +153,12 @@ impl Default for Options {
             max_rounds: 20_000,
             rounds: 300,
             pull_interval: 1,
+            trees: 2,
+            stream_rate: 4,
+            budget: 12,
+            source_budget: 16,
+            window: 2,
+            ttl: 16,
             trace: 200,
             crash_fraction: 0.1,
             message_loss: 0.0,
@@ -160,11 +181,12 @@ impl Default for Options {
 
 /// The usage string.
 pub const USAGE: &str =
-    "usage: lagover <spec|check|construct|disseminate|evolve|recover|obs|perf|node> \
+    "usage: lagover <spec|check|construct|disseminate|stream|evolve|recover|obs|perf|node> \
 [--spec FILE] [--workload tf1|rand|bicorr|biuncorr|adversarial|zipf] [--peers N] [--seed N] \
 [--source-fanout F] [--algorithm greedy|hybrid] \
 [--oracle random|random-capacity|random-delay-capacity|random-delay] \
-[--max-rounds N] [--rounds N] [--pull-interval T] [--trace N] \
+[--max-rounds N] [--rounds N] [--pull-interval T] \
+[--trees K] [--stream-rate R] [--budget B] [--source-budget B] [--window W] [--ttl N] [--trace N] \
 [--crash-fraction F] [--message-loss P] [--blackout N] [--runs N] [--json] \
 [--wall K] [--scenario fig2|fig3|fig4|recovery|obs] \
 [--transport mesh|udp] [--scenario-kind construction|recovery] [--node-id I] \
@@ -183,6 +205,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         "check",
         "construct",
         "disseminate",
+        "stream",
         "evolve",
         "recover",
         "obs",
@@ -260,6 +283,45 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 opts.pull_interval = value()?
                     .parse()
                     .map_err(|_| err("--pull-interval needs an integer"))?
+            }
+            "--trees" => {
+                opts.trees = value()?
+                    .parse()
+                    .map_err(|_| err("--trees needs an integer"))?;
+                if opts.trees == 0 {
+                    return Err(err("--trees must be at least 1"));
+                }
+            }
+            "--stream-rate" => {
+                opts.stream_rate = value()?
+                    .parse()
+                    .map_err(|_| err("--stream-rate needs an integer"))?;
+                if opts.stream_rate == 0 {
+                    return Err(err("--stream-rate must be at least 1"));
+                }
+            }
+            "--budget" => {
+                opts.budget = value()?
+                    .parse()
+                    .map_err(|_| err("--budget needs an integer"))?
+            }
+            "--source-budget" => {
+                opts.source_budget = value()?
+                    .parse()
+                    .map_err(|_| err("--source-budget needs an integer"))?
+            }
+            "--window" => {
+                opts.window = value()?
+                    .parse()
+                    .map_err(|_| err("--window needs an integer"))?;
+                if opts.window == 0 {
+                    return Err(err("--window must be at least 1"));
+                }
+            }
+            "--ttl" => {
+                opts.ttl = value()?
+                    .parse()
+                    .map_err(|_| err("--ttl needs an integer"))?
             }
             "--trace" => {
                 opts.trace = value()?
@@ -407,6 +469,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         "check" => cmd_check(opts),
         "construct" => cmd_construct(opts),
         "disseminate" => cmd_disseminate(opts),
+        "stream" => cmd_stream(opts),
         "evolve" => cmd_evolve(opts),
         "recover" => cmd_recover(opts),
         "obs" => cmd_obs(opts),
@@ -559,6 +622,54 @@ fn cmd_disseminate(opts: &Options) -> Result<String, CliError> {
         load.direct_polling_rate,
         load.lagover_rate,
         load.reduction_factor,
+    ))
+}
+
+fn cmd_stream(opts: &Options) -> Result<String, CliError> {
+    let population = resolve_population(opts)?;
+    let mut engine = build(opts, &population);
+    engine
+        .run_to_convergence()
+        .ok_or_else(|| err("construction did not converge; cannot stream"))?;
+    let budgets =
+        lagover_core::StreamBudgets::uniform(population.len(), opts.budget, opts.source_budget);
+    let config = StreamConfig {
+        k: opts.trees,
+        rate: opts.stream_rate,
+        schedule: PublishSchedule::Periodic { interval: 1 },
+        rounds: opts.rounds,
+        drain_rounds: 2 * opts.rounds,
+        window: opts.window,
+        ttl: opts.ttl,
+        chunk_bytes: 1024,
+    };
+    let report = stream(engine.overlay(), &population, &budgets, &config, opts.seed)
+        .map_err(|e| err(format!("cannot carve {} tree(s): {e}", opts.trees)))?;
+    if opts.json {
+        return Ok(lagover_jsonio::to_string_pretty(&report));
+    }
+    Ok(format!(
+        "striped {} chunks across {} tree(s) over {} rounds ({} subscribers)\n\
+         delivered {:.1}% ({} of {} chunk-subscriber pairs), {:.0} bytes/round\n\
+         staleness rounds: median {}, p95 {}, max {}\n\
+         backpressure: {} stalled edge-rounds, {} chunks dropped at ttl {}\n\
+         forest: max depth {}, source capacity {} children/tree\n",
+        report.chunks_published,
+        report.k,
+        report.rounds_run,
+        report.rooted,
+        100.0 * report.delivered_fraction,
+        report.deliveries,
+        report.expected_deliveries,
+        report.bytes_per_round,
+        report.staleness.median,
+        report.staleness.p95,
+        report.staleness.max,
+        report.stalls,
+        report.drops,
+        opts.ttl,
+        report.max_depth,
+        report.source_capacity,
     ))
 }
 
@@ -962,6 +1073,59 @@ mod tests {
         let out = run(&opts).unwrap();
         assert!(out.contains("reduction"), "{out}");
         assert!(out.contains("constraint violations: 0"), "{out}");
+    }
+
+    #[test]
+    fn stream_flags_parse_and_validate() {
+        let opts = parse_args(&args(
+            "stream --workload rand --peers 30 --trees 4 --stream-rate 8 --budget 20 \
+             --source-budget 32 --window 3 --ttl 24 --rounds 40",
+        ))
+        .unwrap();
+        assert_eq!(opts.command, "stream");
+        assert_eq!(opts.trees, 4);
+        assert_eq!(opts.stream_rate, 8);
+        assert_eq!(opts.budget, 20);
+        assert_eq!(opts.source_budget, 32);
+        assert_eq!(opts.window, 3);
+        assert_eq!(opts.ttl, 24);
+        assert!(parse_args(&args("stream --trees 0")).is_err());
+        assert!(parse_args(&args("stream --stream-rate 0")).is_err());
+        assert!(parse_args(&args("stream --window 0")).is_err());
+    }
+
+    #[test]
+    fn stream_reports_throughput_and_backpressure() {
+        let opts = parse_args(&args(
+            "stream --workload rand --peers 30 --seed 5 --rounds 32",
+        ))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("striped"), "{out}");
+        assert!(out.contains("bytes/round"), "{out}");
+        assert!(out.contains("backpressure"), "{out}");
+    }
+
+    #[test]
+    fn stream_json_is_byte_stable() {
+        let opts = parse_args(&args(
+            "stream --workload rand --peers 30 --seed 5 --rounds 32 --json",
+        ))
+        .unwrap();
+        let a = run(&opts).unwrap();
+        assert_eq!(a, run(&opts).unwrap());
+        assert!(a.contains("\"delivered_fraction\""), "{a}");
+    }
+
+    #[test]
+    fn stream_surfaces_infeasible_budgets_cleanly() {
+        let opts = parse_args(&args(
+            "stream --workload rand --peers 30 --seed 5 --trees 1 --budget 2",
+        ))
+        .unwrap();
+        let e = run(&opts).unwrap_err();
+        assert!(e.0.contains("cannot carve"), "{e}");
+        assert!(e.0.contains("infeasible"), "{e}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod analysis;
 pub mod async_engine;
 pub mod config;
 pub mod engine;
+pub mod forest;
 pub mod node;
 pub mod oracle;
 pub mod overlay;
@@ -76,6 +77,7 @@ pub use async_engine::{
 };
 pub use config::{Algorithm, ConstructionConfig, SourceMode};
 pub use engine::{Engine, EngineCounters, EngineSnapshot};
+pub use forest::{carve, CarveError, ForestPlan, StreamBudgets, TreePlan};
 pub use node::{Constraints, Member, PeerId, Population};
 pub use oracle::{Oracle, OracleKind, OracleView};
 pub use overlay::{ChainRoot, Overlay, OverlayError};

@@ -21,6 +21,7 @@ use crate::recovery::{RecoveryReport, RecoveryRow};
 use crate::scaling::{ScalingReport, ScalingRow};
 use crate::serverload::{LoadRow, ServerLoadReportE8};
 use crate::stabilization::{StabilizationReport, StabilizationRow};
+use crate::streams::{StreamsReport, StreamsRow};
 use crate::sufficiency::SufficiencyReportE7;
 use crate::Params;
 
@@ -425,6 +426,45 @@ impl ToJson for StabilizationReport {
             ("horizon", self.horizon.to_json()),
             ("rows", self.rows.to_json()),
             ("realization_rows", self.realization_rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for StreamsRow {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("budget", Json::Str(self.budget.clone())),
+            ("per_peer_budget", self.per_peer_budget.to_json()),
+            ("k", self.k.to_json()),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("feasible_runs", self.feasible_runs.to_json()),
+            ("total_runs", self.total_runs.to_json()),
+            ("infeasible", self.infeasible.to_json()),
+            (
+                "median_delivered_fraction",
+                Json::F64(self.median_delivered_fraction),
+            ),
+            (
+                "median_bytes_per_round",
+                Json::F64(self.median_bytes_per_round),
+            ),
+            ("median_staleness_p95", Json::F64(self.median_staleness_p95)),
+            ("median_stalls", Json::F64(self.median_stalls)),
+            ("median_drops", Json::F64(self.median_drops)),
+            ("median_max_depth", Json::F64(self.median_max_depth)),
+        ])
+    }
+}
+
+impl ToJson for StreamsReport {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("params", self.params.to_json()),
+            ("workload", Json::Str(self.workload.clone())),
+            ("source_budget", self.source_budget.to_json()),
+            ("rate", self.rate.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("rows", self.rows.to_json()),
         ])
     }
 }

@@ -28,6 +28,7 @@
 //! | [`obs_exp`] | observability timelines — one observed cell per instrumented experiment (extension) |
 //! | [`measured`] | fig3/fig4 axes re-run on the measured king-style RTT matrix (extension) |
 //! | [`nodesim`] | node-runtime cross-validation — mesh journals vs the simulator twin (extension) |
+//! | [`streams`] | multi-tree streaming under upload budgets — throughput, staleness, backpressure (extension) |
 //!
 //! Every runner takes a [`Params`] (use [`Params::paper`] for the
 //! paper-scale settings and [`Params::quick`] in tests), is
@@ -53,6 +54,7 @@ pub mod recovery;
 pub mod scaling;
 pub mod serverload;
 pub mod stabilization;
+pub mod streams;
 pub mod sufficiency;
 pub mod table;
 

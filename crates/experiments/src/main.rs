@@ -13,7 +13,7 @@ use std::process::ExitCode;
 use lagover_experiments::{
     ablations, asynchrony, counterexample, fig2, fig3, fig4, liveness, locality, measured,
     multifeed_exp, nodesim, obs_exp, realizations, recovery, scaling, serverload, stabilization,
-    sufficiency, Params,
+    streams, sufficiency, Params,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "obs",
     "measured",
     "nodesim",
+    "streams",
 ];
 
 fn usage() -> ExitCode {
@@ -189,6 +190,10 @@ fn run_one(name: &str, params: &Params) -> (String, String) {
         }
         "nodesim" => {
             let report = nodesim::run(params);
+            (report.render(), lagover_jsonio::to_string_pretty(&report))
+        }
+        "streams" => {
+            let report = streams::run(params);
             (report.render(), lagover_jsonio::to_string_pretty(&report))
         }
         other => unreachable!("unknown experiment {other} filtered by main"),

@@ -1,9 +1,9 @@
 //! `obs` — the unified observability timeline document (extension).
 //!
 //! Re-runs one representative cell of each instrumented experiment
-//! (fig2, fig3, fig4, asynchrony, recovery, stabilization) with the `lagover-obs`
-//! pipeline fully enabled and collects the merged [`ObsReport`]s into
-//! one document. Each hook reuses the *exact* seeds of its source
+//! (fig2, fig3, fig4, asynchrony, recovery, stabilization, streams)
+//! with the `lagover-obs` pipeline fully enabled and collects the
+//! merged [`ObsReport`]s into one document. Each hook reuses the *exact* seeds of its source
 //! experiment, and observation is read-only, so the observed outcomes
 //! are the very runs the figures report — the timeline explains the
 //! numbers instead of sampling different ones.
@@ -139,6 +139,7 @@ pub fn run(params: &Params) -> ObsExpReport {
             crate::asynchrony::observed(params),
             crate::recovery::observed(params),
             crate::stabilization::observed(params),
+            crate::streams::observed(params),
         ],
     }
 }
@@ -148,11 +149,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn document_covers_all_six_experiments_and_is_deterministic() {
+    fn document_covers_all_seven_experiments_and_is_deterministic() {
         let mut params = Params::quick();
         params.runs = 2;
         let report = run(&params);
-        assert_eq!(report.reports.len(), 6);
+        assert_eq!(report.reports.len(), 7);
         for section in &report.reports {
             assert_eq!(section.runs, 2, "{}: wrong run count", section.label);
             assert!(
@@ -181,6 +182,7 @@ mod tests {
         assert!(text.contains("fig2"));
         assert!(text.contains("recovery"));
         assert!(text.contains("stabilization"));
+        assert!(text.contains("streams"));
     }
 
     #[test]

@@ -163,6 +163,7 @@ fn disseminate_inner(
                                     round: r,
                                     peer: p.get(),
                                     depth,
+                                    chunk: None,
                                 });
                             }
                         }
@@ -188,6 +189,7 @@ fn disseminate_inner(
                                         round: r,
                                         peer: p.get(),
                                         depth,
+                                        chunk: None,
                                     });
                                 }
                             }

@@ -291,11 +291,15 @@ pub enum EventKind {
     InconsistencyDetected,
     /// [`Event::RepairAction`].
     RepairAction,
+    /// [`Event::ChunkStalled`].
+    ChunkStalled,
+    /// [`Event::ChunkDropped`].
+    ChunkDropped,
 }
 
 impl EventKind {
     /// Every kind, in the fixed order the registry enumerates counters.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::Attach,
         EventKind::Detach,
         EventKind::OracleHit,
@@ -309,6 +313,8 @@ impl EventKind {
         EventKind::Delivery,
         EventKind::InconsistencyDetected,
         EventKind::RepairAction,
+        EventKind::ChunkStalled,
+        EventKind::ChunkDropped,
     ];
 
     /// Stable snake-case name (also the JSON `"type"` tag).
@@ -327,6 +333,8 @@ impl EventKind {
             EventKind::Delivery => "delivery",
             EventKind::InconsistencyDetected => "inconsistency_detected",
             EventKind::RepairAction => "repair_action",
+            EventKind::ChunkStalled => "chunk_stalled",
+            EventKind::ChunkDropped => "chunk_dropped",
         }
     }
 }
@@ -432,6 +440,9 @@ pub enum Event {
         peer: u32,
         /// The consumer's tree depth at delivery time.
         depth: u32,
+        /// Stream chunk id, when the item is one chunk of a striped
+        /// stream (`None` for single-item feed deliveries).
+        chunk: Option<u64>,
     },
     /// `peer`'s self-stabilization check found its cached chain state
     /// inconsistent with its neighbours.
@@ -452,6 +463,27 @@ pub enum Event {
         /// How it was repaired.
         action: RepairKind,
     },
+    /// A stream chunk owed to `peer` was deferred this round because
+    /// its parent edge's in-flight window (or the parent's upload
+    /// budget) was exhausted — backpressure, retried next round.
+    ChunkStalled {
+        /// Round of the stall.
+        round: u64,
+        /// The waiting consumer.
+        peer: u32,
+        /// The deferred chunk.
+        chunk: u64,
+    },
+    /// A stream chunk owed to `peer` outlived its retry TTL and was
+    /// abandoned — the consumer permanently misses the chunk.
+    ChunkDropped {
+        /// Round of the drop.
+        round: u64,
+        /// The consumer that misses the chunk.
+        peer: u32,
+        /// The abandoned chunk.
+        chunk: u64,
+    },
 }
 
 impl Event {
@@ -470,7 +502,9 @@ impl Event {
             | Event::FaultDetected { round, .. }
             | Event::Delivery { round, .. }
             | Event::InconsistencyDetected { round, .. }
-            | Event::RepairAction { round, .. } => round,
+            | Event::RepairAction { round, .. }
+            | Event::ChunkStalled { round, .. }
+            | Event::ChunkDropped { round, .. } => round,
         }
     }
 
@@ -488,7 +522,9 @@ impl Event {
             | Event::FaultDetected { peer, .. }
             | Event::Delivery { peer, .. }
             | Event::InconsistencyDetected { peer, .. }
-            | Event::RepairAction { peer, .. } => peer,
+            | Event::RepairAction { peer, .. }
+            | Event::ChunkStalled { peer, .. }
+            | Event::ChunkDropped { peer, .. } => peer,
         }
     }
 
@@ -508,6 +544,8 @@ impl Event {
             Event::Delivery { .. } => EventKind::Delivery,
             Event::InconsistencyDetected { .. } => EventKind::InconsistencyDetected,
             Event::RepairAction { .. } => EventKind::RepairAction,
+            Event::ChunkStalled { .. } => EventKind::ChunkStalled,
+            Event::ChunkDropped { .. } => EventKind::ChunkDropped,
         }
     }
 }
@@ -552,9 +590,18 @@ impl fmt::Display for Event {
                 peer,
                 parent,
             } => write!(f, "r{round}: peer {peer} detects crash of peer {parent}"),
-            Event::Delivery { round, peer, depth } => {
-                write!(f, "r{round}: peer {peer} delivered at depth {depth}")
-            }
+            Event::Delivery {
+                round,
+                peer,
+                depth,
+                chunk,
+            } => match chunk {
+                None => write!(f, "r{round}: peer {peer} delivered at depth {depth}"),
+                Some(c) => write!(
+                    f,
+                    "r{round}: peer {peer} delivered chunk {c} at depth {depth}"
+                ),
+            },
             Event::InconsistencyDetected { round, peer, cause } => {
                 write!(f, "r{round}: peer {peer} inconsistent ({cause})")
             }
@@ -563,6 +610,12 @@ impl fmt::Display for Event {
                 peer,
                 action,
             } => write!(f, "r{round}: peer {peer} repairs ({action})"),
+            Event::ChunkStalled { round, peer, chunk } => {
+                write!(f, "r{round}: peer {peer} chunk {chunk} stalled")
+            }
+            Event::ChunkDropped { round, peer, chunk } => {
+                write!(f, "r{round}: peer {peer} chunk {chunk} dropped")
+            }
         }
     }
 }
@@ -632,12 +685,25 @@ impl ToJson for Event {
                 ("peer", peer.to_json()),
                 ("parent", parent.to_json()),
             ]),
-            Event::Delivery { round, peer, depth } => object(vec![
-                tag,
-                ("round", round.to_json()),
-                ("peer", peer.to_json()),
-                ("depth", depth.to_json()),
-            ]),
+            Event::Delivery {
+                round,
+                peer,
+                depth,
+                chunk,
+            } => {
+                // `chunk` is serialized only when present so single-item
+                // feed deliveries keep their pre-streaming byte layout.
+                let mut fields = vec![
+                    tag,
+                    ("round", round.to_json()),
+                    ("peer", peer.to_json()),
+                    ("depth", depth.to_json()),
+                ];
+                if let Some(c) = chunk {
+                    fields.push(("chunk", c.to_json()));
+                }
+                object(fields)
+            }
             Event::InconsistencyDetected { round, peer, cause } => object(vec![
                 tag,
                 ("round", round.to_json()),
@@ -653,6 +719,13 @@ impl ToJson for Event {
                 ("round", round.to_json()),
                 ("peer", peer.to_json()),
                 ("action", action.to_json()),
+            ]),
+            Event::ChunkStalled { round, peer, chunk }
+            | Event::ChunkDropped { round, peer, chunk } => object(vec![
+                tag,
+                ("round", round.to_json()),
+                ("peer", peer.to_json()),
+                ("chunk", chunk.to_json()),
             ]),
         }
     }
@@ -714,6 +787,10 @@ impl FromJson for Event {
                 round,
                 peer: peer("peer")?,
                 depth: peer("depth")?,
+                chunk: match value.get_opt("chunk")? {
+                    Some(v) => Some(u64::from_json(v)?),
+                    None => None,
+                },
             },
             "inconsistency_detected" => Event::InconsistencyDetected {
                 round,
@@ -724,6 +801,16 @@ impl FromJson for Event {
                 round,
                 peer: peer("peer")?,
                 action: RepairKind::from_json(value.get("action")?)?,
+            },
+            "chunk_stalled" => Event::ChunkStalled {
+                round,
+                peer: peer("peer")?,
+                chunk: u64::from_json(value.get("chunk")?)?,
+            },
+            "chunk_dropped" => Event::ChunkDropped {
+                round,
+                peer: peer("peer")?,
+                chunk: u64::from_json(value.get("chunk")?)?,
             },
             other => return Err(JsonError(format!("unknown event type {other:?}"))),
         })
@@ -778,6 +865,7 @@ mod tests {
                 round: 11,
                 peer: 15,
                 depth: 2,
+                chunk: None,
             },
             Event::InconsistencyDetected {
                 round: 12,
@@ -788,6 +876,16 @@ mod tests {
                 round: 13,
                 peer: 17,
                 action: RepairKind::CacheRewrite,
+            },
+            Event::ChunkStalled {
+                round: 14,
+                peer: 18,
+                chunk: 41,
+            },
+            Event::ChunkDropped {
+                round: 15,
+                peer: 19,
+                chunk: 42,
             },
         ];
         assert_eq!(samples.len(), EventKind::ALL.len());
@@ -831,6 +929,57 @@ mod tests {
         assert_eq!(e.peer(), 3);
         assert_eq!(e.kind(), EventKind::FaultDetected);
         assert_eq!(e.kind().name(), "fault_detected");
+    }
+
+    #[test]
+    fn delivery_chunk_field_is_optional_and_round_trips() {
+        // A chunk-less delivery serializes exactly as it did before the
+        // streaming layer existed — old journals stay parseable and
+        // byte-stable.
+        let plain = Event::Delivery {
+            round: 3,
+            peer: 7,
+            depth: 2,
+            chunk: None,
+        };
+        let json = lagover_jsonio::to_string(&plain);
+        assert_eq!(
+            json,
+            "{\"type\":\"delivery\",\"round\":3,\"peer\":7,\"depth\":2}"
+        );
+        round_trip(plain);
+
+        let chunked = Event::Delivery {
+            round: 3,
+            peer: 7,
+            depth: 2,
+            chunk: Some(9),
+        };
+        let json = lagover_jsonio::to_string(&chunked);
+        assert!(json.contains("\"chunk\":9"), "{json}");
+        round_trip(chunked);
+        assert_eq!(
+            chunked.to_string(),
+            "r3: peer 7 delivered chunk 9 at depth 2"
+        );
+        assert_eq!(
+            Event::ChunkStalled {
+                round: 4,
+                peer: 1,
+                chunk: 5
+            }
+            .to_string(),
+            "r4: peer 1 chunk 5 stalled"
+        );
+        assert_eq!(
+            Event::ChunkDropped {
+                round: 4,
+                peer: 1,
+                chunk: 5
+            }
+            .to_string(),
+            "r4: peer 1 chunk 5 dropped"
+        );
     }
 
     #[test]

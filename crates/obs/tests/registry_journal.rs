@@ -53,7 +53,22 @@ fn event() -> impl Strategy<Value = Event> {
         (0u64..100, 0u32..64, 0u32..12).prop_map(|(round, peer, depth)| Event::Delivery {
             round,
             peer,
-            depth
+            depth,
+            chunk: if depth % 2 == 0 {
+                None
+            } else {
+                Some(u64::from(depth))
+            }
+        }),
+        (0u64..100, 0u32..64, 0u64..32).prop_map(|(round, peer, chunk)| Event::ChunkStalled {
+            round,
+            peer,
+            chunk
+        }),
+        (0u64..100, 0u32..64, 0u64..32).prop_map(|(round, peer, chunk)| Event::ChunkDropped {
+            round,
+            peer,
+            chunk
         }),
     ]
 }

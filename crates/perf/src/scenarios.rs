@@ -12,7 +12,7 @@ use lagover_core::{
     construct, construct_observed, run_recovery_observed, Algorithm, Constraints,
     ConstructionConfig, FaultScenario, OracleKind, Population,
 };
-use lagover_experiments::{fig2, fig3, fig4, obs_exp, recovery, stabilization};
+use lagover_experiments::{fig2, fig3, fig4, obs_exp, recovery, stabilization, streams};
 use lagover_obs::ObsReport;
 use lagover_workload::{TopologicalConstraint, WorkloadSpec};
 
@@ -52,6 +52,7 @@ pub fn scenario_names() -> &'static [&'static str] {
         "recovery",
         "stabilization",
         "obs",
+        "streaming",
         "construction_1e5",
         "recovery_1e5",
         "construction_1e6",
@@ -62,7 +63,15 @@ pub fn scenario_names() -> &'static [&'static str] {
 /// registry minus the opt-in scale scenarios, whose pinned 1e5/1e6
 /// sizes would dominate the default document's runtime.
 pub fn default_scenario_names() -> &'static [&'static str] {
-    &["fig2", "fig3", "fig4", "recovery", "stabilization", "obs"]
+    &[
+        "fig2",
+        "fig3",
+        "fig4",
+        "recovery",
+        "stabilization",
+        "obs",
+        "streaming",
+    ]
 }
 
 /// The figure drivers `cargo xtask replay-diff` byte-compares across
@@ -74,9 +83,13 @@ pub fn default_scenario_names() -> &'static [&'static str] {
 /// the node runtime itself is pinned byte-for-byte). The scale
 /// scenarios are excluded — their schedule-invariance is checked
 /// directly on `lagover-perf` output by the `construction-1e5-smoke`
-/// CI job.
+/// CI job. The `streaming` scenario maps to the `streams` experiments
+/// subcommand (the E19 document it reuses the observed cell of).
 pub fn replay_figures() -> Vec<&'static str> {
-    let mut figures: Vec<&'static str> = default_scenario_names().to_vec();
+    let mut figures: Vec<&'static str> = default_scenario_names()
+        .iter()
+        .map(|&n| if n == "streaming" { "streams" } else { n })
+        .collect();
     let at = figures
         .iter()
         .position(|&n| n == "recovery")
@@ -96,6 +109,7 @@ pub fn run_scenario(name: &str, params: &PerfParams) -> Option<ObsReport> {
         "recovery" => Some(recovery::observed(params)),
         "stabilization" => Some(stabilization::observed(params)),
         "obs" => Some(obs_footprint(params)),
+        "streaming" => Some(streams::observed(params)),
         "construction_1e5" => Some(construction_at_scale(name, SCALE_1E5, params.seed)),
         "recovery_1e5" => Some(recovery_at_scale(name, SCALE_1E5, params.seed)),
         "construction_1e6" => Some(construction_at_scale(name, SCALE_1E6, params.seed)),
@@ -371,9 +385,10 @@ mod tests {
     #[test]
     fn replay_figures_derive_from_the_default_registry() {
         let figures = replay_figures();
-        for name in default_scenario_names() {
+        for &name in default_scenario_names() {
+            let driver = if name == "streaming" { "streams" } else { name };
             assert!(
-                figures.contains(name),
+                figures.contains(&driver),
                 "default scenario `{name}` not replayed"
             );
         }
@@ -398,6 +413,7 @@ mod tests {
                 "recovery",
                 "stabilization",
                 "obs",
+                "streams",
                 "nodesim"
             ]
         );

@@ -1,0 +1,126 @@
+//! Property tests for the forest carve and the chunk scheduler — the
+//! invariants the streaming design stands on:
+//!
+//! * the k trees are interior-disjoint (a peer has children in at most
+//!   one tree), and every rooted peer is seated in every tree;
+//! * under budgets at or above the feasibility point with generous
+//!   windows, every chunk reaches every subscriber exactly once;
+//! * carving mutates nothing and draws no randomness, so streaming off
+//!   costs the figures zero extra RNG draws.
+
+use lagover_core::{Algorithm, ConstructionConfig, Engine, OracleKind, StreamBudgets};
+use lagover_feed::PublishSchedule;
+use lagover_stream::{carve, stream, StreamConfig};
+use lagover_workload::{TopologicalConstraint, WorkloadSpec};
+use proptest::prelude::*;
+
+fn built(n: usize, seed: u64) -> (lagover_core::Population, lagover_core::Overlay) {
+    let population = WorkloadSpec::new(TopologicalConstraint::Rand, n)
+        .generate(seed)
+        .expect("Rand workloads are repairable");
+    let config =
+        ConstructionConfig::new(Algorithm::Hybrid, OracleKind::RandomDelay).with_max_rounds(10_000);
+    let mut engine = Engine::new(&population, &config, seed);
+    engine.run_to_convergence().expect("feasible");
+    let overlay = engine.overlay().clone();
+    (population, overlay)
+}
+
+proptest! {
+    #[test]
+    fn trees_are_interior_disjoint_and_seat_everyone(
+        n in 16usize..72,
+        seed in 0u64..500,
+        k in 1usize..5,
+        per_peer in 8u64..24,
+    ) {
+        let (population, overlay) = built(n, seed);
+        let budgets = StreamBudgets::uniform(n, per_peer, 4 * per_peer);
+        let plan = carve(&overlay, &population, &budgets, k, 4).expect("ample budgets");
+        prop_assert_eq!(plan.trees.len(), k);
+
+        let mut interior_in: Vec<Option<usize>> = vec![None; n];
+        for (i, tree) in plan.trees.iter().enumerate() {
+            let seated = tree.parent.iter().filter(|p| p.is_some()).count();
+            prop_assert_eq!(seated, plan.rooted.len(), "tree {} seats all rooted peers", i);
+            for p in tree.interior_peers() {
+                prop_assert_eq!(
+                    interior_in[p.index()].replace(i),
+                    None,
+                    "peer {} is interior in two trees",
+                    p.get()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_budgets_deliver_every_chunk_exactly_once(
+        n in 16usize..56,
+        seed in 0u64..200,
+        k in 1usize..5,
+    ) {
+        let (population, overlay) = built(n, seed);
+        let config = StreamConfig {
+            k,
+            rate: 4,
+            schedule: PublishSchedule::Periodic { interval: 1 },
+            rounds: 24,
+            drain_rounds: 96,
+            window: 8,
+            ttl: 200,
+            chunk_bytes: 512,
+        };
+        // Budgets comfortably above feasibility, windows wide, TTL
+        // beyond the horizon: nothing may stall long enough to drop.
+        let budgets = StreamBudgets::uniform(n, 8 * config.rate, 16 * config.rate);
+        let report = stream(&overlay, &population, &budgets, &config, seed)
+            .expect("budgets are ample");
+        prop_assert_eq!(report.drops, 0);
+        prop_assert_eq!(report.undelivered, 0);
+        // deliveries == chunks * rooted is exactly-once: the scheduler
+        // debug-asserts no slot is ever written twice, so equality
+        // cannot hide a duplicate-plus-miss pair.
+        prop_assert_eq!(report.deliveries, report.expected_deliveries);
+        prop_assert_eq!(report.delivered_fraction, 1.0);
+    }
+
+    #[test]
+    fn carving_mutates_nothing_and_draws_nothing(
+        n in 16usize..64,
+        seed in 0u64..300,
+        k in 1usize..5,
+    ) {
+        let (population, overlay) = built(n, seed);
+        let before: Vec<_> = population
+            .peer_ids()
+            .map(|p| (overlay.parent(p), overlay.children(p).to_vec(), overlay.delay(p)))
+            .collect();
+        let budgets = StreamBudgets::uniform(n, 32, 64);
+        // carve takes no RNG at all — zero draws is a type-level fact;
+        // repeat it to pin determinism output-for-output.
+        let a = carve(&overlay, &population, &budgets, k, 4).expect("ample");
+        let b = carve(&overlay, &population, &budgets, k, 4).expect("ample");
+        prop_assert_eq!(a, b);
+        let after: Vec<_> = population
+            .peer_ids()
+            .map(|p| (overlay.parent(p), overlay.children(p).to_vec(), overlay.delay(p)))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+}
+
+/// With the periodic schedule the whole streaming layer consumes zero
+/// RNG draws: the profiler's `rng_draws` work counter — the same
+/// counter the figure pipeline gates on — stays at zero, which is the
+/// "streaming off costs the figures nothing" guarantee in one number.
+#[test]
+fn periodic_streaming_consumes_zero_rng_draws() {
+    let (population, overlay) = built(32, 21);
+    let config = StreamConfig::default();
+    let budgets = StreamBudgets::uniform(32, 16, 32);
+    let observed =
+        lagover_stream::stream_observed(&overlay, &population, &budgets, &config, 21, 1 << 14, 10)
+            .expect("ample budgets");
+    assert_eq!(observed.profile.total().rng_draws, 0);
+}

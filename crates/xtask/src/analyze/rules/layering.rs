@@ -28,12 +28,13 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("lagover-workload", 4),
     ("lagover-feed", 5),
     ("lagover-node", 5),
-    ("lagover-experiments", 6),
-    ("lagover-perf", 7),
-    ("lagover", 8),
-    ("lagover-bench", 8),
-    ("lagover-cli", 8),
-    ("xtask", 8),
+    ("lagover-stream", 6),
+    ("lagover-experiments", 7),
+    ("lagover-perf", 8),
+    ("lagover", 9),
+    ("lagover-bench", 9),
+    ("lagover-cli", 9),
+    ("xtask", 9),
 ];
 
 fn tier(name: &str) -> Option<u32> {
